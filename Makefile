@@ -1,0 +1,41 @@
+# netalignmc build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test race bench cover vet examples reproduce clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/subgraph
+	$(GO) run ./examples/ppi
+	$(GO) run ./examples/ontology
+	$(GO) run ./examples/steering
+	$(GO) run ./examples/matchers
+
+# Regenerate the full experiment report (results/report.md).
+reproduce:
+	mkdir -p results
+	$(GO) run ./cmd/experiments -scale 0.02 -iters 30 -report results/report.md
+
+clean:
+	$(GO) clean ./...

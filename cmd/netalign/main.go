@@ -1,0 +1,116 @@
+// Command netalign runs a network alignment method on a problem file
+// produced by gensynth (or by netalignmc.WriteProblem) and prints the
+// solution summary; it is the CLI face of the library. The heavy
+// lifting lives in internal/cli so it is unit-tested.
+//
+// Usage:
+//
+//	netalign -in problem.txt -method bp -iters 400 -batch 20 -approx
+//	netalign -a A.smat -b B.smat -l L.smat -method mr -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netalignmc/internal/cli"
+	"netalignmc/internal/core"
+	"netalignmc/internal/problemio"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "problem file (netalign format); or use -a/-b/-l")
+		aFile   = flag.String("a", "", "graph A in SMAT format (with -b and -l)")
+		bFile   = flag.String("b", "", "graph B in SMAT format")
+		lFile   = flag.String("l", "", "candidate graph L in SMAT format")
+		alpha   = flag.Float64("alpha", 1, "objective weight on matching weight (SMAT input only)")
+		beta    = flag.Float64("beta", 2, "objective weight on overlap (SMAT input only)")
+		method  = flag.String("method", "bp", "alignment method: bp or mr")
+		iters   = flag.Int("iters", 100, "iterations")
+		batch   = flag.Int("batch", 1, "bp: rounding batch size r")
+		gamma   = flag.Float64("gamma", 0, "bp: damping base (default 0.99); mr: initial step size (default 0.5)")
+		mstep   = flag.Int("mstep", 10, "mr: stall window before halving the step size")
+		approx  = flag.Bool("approx", false, "round with the parallel half-approximate matcher instead of exact matching")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		timing  = flag.Bool("timing", false, "print the per-step time breakdown")
+		trace   = flag.Bool("trace", false, "print the per-evaluation objective trace")
+		outFile = flag.String("out", "", "write the matching as 'a b' pairs to this file")
+	)
+	flag.Parse()
+
+	p, label, err := loadProblem(*in, *aFile, *bFile, *lFile, *alpha, *beta, *threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
+		if err == errUsage {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+	cli.DescribeProblem(p, label, os.Stdout)
+
+	res, err := cli.Align(p, cli.AlignOptions{
+		Method: *method, Iters: *iters, Batch: *batch, Gamma: *gamma,
+		MStep: *mstep, Approx: *approx, Threads: *threads,
+		Timing: *timing, Trace: *trace,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
+			os.Exit(1)
+		}
+		err = problemio.WriteMatching(f, res.Matching)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netalign: writing matching: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("matching written to %s\n", *outFile)
+	}
+}
+
+var errUsage = fmt.Errorf("-in (or -a/-b/-l) is required")
+
+func loadProblem(in, aFile, bFile, lFile string, alpha, beta float64, threads int) (*core.Problem, string, error) {
+	smatMode := aFile != "" || bFile != "" || lFile != ""
+	if in == "" && !smatMode {
+		return nil, "", errUsage
+	}
+	if smatMode {
+		if aFile == "" || bFile == "" || lFile == "" {
+			return nil, "", fmt.Errorf("SMAT input needs all of -a, -b and -l")
+		}
+		af, err := os.Open(aFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer af.Close()
+		bf, err := os.Open(bFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer bf.Close()
+		lf, err := os.Open(lFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer lf.Close()
+		p, err := problemio.ReadSMATProblem(af, bf, lf, alpha, beta, threads)
+		return p, lFile, err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	p, err := problemio.Read(f, threads)
+	return p, in, err
+}

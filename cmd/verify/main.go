@@ -1,0 +1,64 @@
+// Command verify checks a problem file's internal consistency (the
+// derived overlap matrix S against its definition) and, optionally, a
+// matching file against the problem — the validation companion to
+// netalign's solver output.
+//
+// Usage:
+//
+//	verify -in problem.txt
+//	verify -in problem.txt -matching m.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netalignmc/internal/cli"
+	"netalignmc/internal/matching"
+	"netalignmc/internal/problemio"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "problem file (netalign format, required)")
+		mFile   = flag.String("matching", "", "matching file ('a b' pairs) to verify against the problem")
+		samples = flag.Int("samples", 10000, "random S entries to cross-check (0 = exhaustive)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "verify: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	p, err := problemio.Read(f, 0)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	var m *matching.Result
+	if *mFile != "" {
+		mf, err := os.Open(*mFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		m, err = problemio.ReadMatching(mf, p.L)
+		mf.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := cli.Verify(p, m, cli.VerifyOptions{Samples: *samples}, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "verify: FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,3 @@
+module netalignmc
+
+go 1.22

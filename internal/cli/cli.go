@@ -1,0 +1,180 @@
+// Package cli holds the testable core of the command-line tools:
+// structured option types and run functions that the thin main
+// packages wrap. Everything here writes human-readable output to a
+// caller-supplied writer and returns errors instead of exiting, so the
+// full CLI flow is exercised by unit tests.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/gen"
+	"netalignmc/internal/matching"
+	"netalignmc/internal/problemio"
+	"netalignmc/internal/stats"
+)
+
+// GenerateOptions selects and parameterizes a problem generator.
+type GenerateOptions struct {
+	Type    string // synthetic, dmela-scere, homo-musm, lcsh-wiki, lcsh-rameau
+	N       int
+	DBar    float64
+	Perturb float64
+	Alpha   float64
+	Beta    float64
+	Scale   float64
+	Seed    int64
+	Threads int
+}
+
+// Generate builds the requested problem and writes it in the netalign
+// format to out; it returns the problem for further use.
+func Generate(o GenerateOptions, out io.Writer) (*core.Problem, error) {
+	var (
+		prob *core.Problem
+		err  error
+	)
+	switch o.Type {
+	case "synthetic", "":
+		so := gen.DefaultSynthetic(o.DBar, o.Seed)
+		if o.N > 0 {
+			so.N = o.N
+		}
+		if o.Perturb > 0 {
+			so.PerturbProb = o.Perturb
+		}
+		if o.Alpha > 0 || o.Beta > 0 {
+			so.Alpha, so.Beta = o.Alpha, o.Beta
+		}
+		so.Threads = o.Threads
+		prob, err = gen.Synthetic(so)
+	case "dmela-scere":
+		prob, err = gen.DmelaScere(o.Scale, o.Seed, o.Threads)
+	case "homo-musm":
+		prob, err = gen.HomoMusm(o.Scale, o.Seed, o.Threads)
+	case "lcsh-wiki":
+		prob, err = gen.LcshWiki(o.Scale, o.Seed, o.Threads)
+	case "lcsh-rameau":
+		prob, err = gen.LcshRameau(o.Scale, o.Seed, o.Threads)
+	default:
+		return nil, fmt.Errorf("cli: unknown problem type %q", o.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		if err := problemio.Write(out, prob); err != nil {
+			return nil, fmt.Errorf("cli: writing problem: %w", err)
+		}
+	}
+	return prob, nil
+}
+
+// AlignOptions parameterizes one alignment run.
+type AlignOptions struct {
+	Method  string // "bp" or "mr"
+	Iters   int
+	Batch   int
+	Gamma   float64
+	MStep   int
+	Approx  bool
+	Threads int
+	Timing  bool
+	Trace   bool
+}
+
+// Align runs the requested method on a problem and writes the summary
+// to out. It returns the alignment result.
+func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, error) {
+	var rounding matching.Matcher
+	roundingName := "exact"
+	if o.Approx {
+		rounding = matching.Approx
+		roundingName = "approx"
+	}
+	var timer *stats.StepTimer
+	if o.Timing {
+		timer = stats.NewStepTimer()
+	}
+	start := time.Now()
+	var res *core.AlignResult
+	switch o.Method {
+	case "bp", "":
+		res = p.BPAlign(core.BPOptions{
+			Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
+			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+		})
+	case "mr":
+		res = p.KlauAlign(core.MROptions{
+			Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
+			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+		})
+	default:
+		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
+	}
+	elapsed := time.Since(start)
+
+	threads := o.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(out, "method: %s  rounding: %s  threads: %d  iterations: %d\n",
+		o.Method, roundingName, threads, res.Iterations)
+	fmt.Fprintf(out, "objective:    %.4f\n", res.Objective)
+	fmt.Fprintf(out, "match weight: %.4f\n", res.MatchWeight)
+	fmt.Fprintf(out, "overlap:      %.1f\n", res.Overlap)
+	fmt.Fprintf(out, "matched:      %d pairs (best found at iteration %d of %d evaluations)\n",
+		res.Matching.Card, res.BestIter, res.Evaluations)
+	fmt.Fprintf(out, "elapsed:      %v\n", elapsed.Round(time.Millisecond))
+	if timer != nil {
+		fmt.Fprintf(out, "\nstep breakdown:\n%s", timer)
+	}
+	if o.Trace {
+		fmt.Fprintf(out, "\nobjective trace:\n")
+		for i, obj := range res.ObjectiveTrace {
+			fmt.Fprintf(out, "  eval %4d: %.4f\n", i+1, obj)
+		}
+	}
+	return res, nil
+}
+
+// VerifyOptions parameterizes the verify command.
+type VerifyOptions struct {
+	// Samples is the number of random S entries to cross-check against
+	// the overlap definition (0 = exhaustive over stored entries, only
+	// sensible for small problems).
+	Samples int
+	// Reference, when non-nil, is compared against for precision and
+	// recall.
+	Reference *matching.Result
+}
+
+// Verify checks a problem's internal consistency and, when a matching
+// is supplied, validates and reports it. It writes a human-readable
+// report and returns an error when anything fails to verify.
+func Verify(p *core.Problem, m *matching.Result, o VerifyOptions, out io.Writer) error {
+	if err := p.Verify(o.Samples, nil); err != nil {
+		return fmt.Errorf("cli: problem verification failed: %w", err)
+	}
+	fmt.Fprintf(out, "problem verified: S agrees with the overlap definition\n")
+	if m == nil {
+		return nil
+	}
+	if err := m.Validate(p.L); err != nil {
+		return fmt.Errorf("cli: matching invalid: %w", err)
+	}
+	rep := p.NewReport(m, o.Reference, 0)
+	fmt.Fprintf(out, "matching verified:\n%s", rep)
+	return nil
+}
+
+// DescribeProblem writes the Table II-style one-line summary.
+func DescribeProblem(p *core.Problem, label string, out io.Writer) {
+	st := core.ProblemStats(label, p)
+	fmt.Fprintf(out, "problem: |V_A|=%d |V_B|=%d |E_L|=%d nnz(S)=%d alpha=%g beta=%g\n",
+		st.VA, st.VB, st.EL, st.NnzS, p.Alpha, p.Beta)
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+
+	"netalignmc/internal/matching"
+	"netalignmc/internal/parallel"
+	"netalignmc/internal/sparse"
+	"netalignmc/internal/stats"
+)
+
+// BP step names, used by the Figure 7 per-step scaling study.
+const (
+	BPStepBoundF   = "boundF"   // Step 1: F = bound_{0,β}(βS + S^(k)T)
+	BPStepComputeD = "computeD" // Step 2: d = αw + Fe
+	BPStepOthermax = "othermax" // Step 3: othermax row/col updates
+	BPStepUpdateS  = "updateS"  // Step 4: S^(k) = diag(y+z−d)·S − F
+	BPStepDamping  = "damping"  // Step 5: geometric damping
+	BPStepMatch    = "match"    // Step 6: rounding (possibly batched)
+)
+
+// Damping selects how BP iterates are blended with their predecessors
+// (Section III-B: "We only describe one type of damping. See [13] for
+// other variations.").
+type Damping int
+
+const (
+	// DampPower blends with weight γ^k at iteration k (the paper's
+	// choice; the blend weight decays so the iterates converge).
+	DampPower Damping = iota
+	// DampConstant blends with a fixed weight γ every iteration.
+	DampConstant
+	// DampNone applies no damping; the messages may oscillate, which
+	// is why rounding every iterate and keeping the best still works.
+	DampNone
+)
+
+// String returns the damping scheme name.
+func (d Damping) String() string {
+	switch d {
+	case DampConstant:
+		return "constant"
+	case DampNone:
+		return "none"
+	default:
+		return "power"
+	}
+}
+
+// BPOptions configures the belief-propagation method (Listing 2).
+type BPOptions struct {
+	// Iterations is n_iter; the paper's scaling runs use 400 and note
+	// 500–1000 is the useful maximum.
+	Iterations int
+	// Gamma is the damping base; under DampPower the iterates are
+	// blended with weight γ^k at iteration k. The paper's experiments
+	// use γ = 0.99.
+	Gamma float64
+	// Damp selects the damping scheme (default DampPower, the paper's).
+	Damp Damping
+	// Batch is the rounding batch size r of Section IV-C: iterate
+	// vectors are collected and rounded together as concurrent tasks;
+	// 1 rounds immediately (BP(batch=1)). Each iteration produces two
+	// vectors (y and z), so a batch of r flushes every r/2 iterations.
+	Batch int
+	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	Threads int
+	// Chunk is the dynamic-schedule chunk size (0 = 1000).
+	Chunk int
+	// Sched selects the scheduling policy for the S-indexed loops
+	// (default Dynamic, the paper's choice); the scaling studies vary
+	// it in place of the paper's NUMA memory-layout axis.
+	Sched parallel.Schedule
+	// Rounding is the matcher used to round iterates; nil selects
+	// exact matching, matching.Approx gives the paper's substitution.
+	// Unlike MR, BP's iterate sequence is independent of this choice —
+	// rounding only evaluates quality (Section VII).
+	Rounding matching.Matcher
+	// TaskParallelOthermax computes othermaxrow and othermaxcol
+	// concurrently, the reorganization sketched in the paper's
+	// discussion ("the othermax functions could be computed
+	// independently"). Off by default.
+	TaskParallelOthermax bool
+	// SkipFinalExact disables the final exact rounding of the best
+	// heuristic (used by the scaling studies).
+	SkipFinalExact bool
+	// Timer, when non-nil, accumulates per-step wall time.
+	Timer *stats.StepTimer
+	// Trace records every rounded objective.
+	Trace bool
+	// WarmY and WarmZ, when non-nil, initialize the message vectors
+	// instead of zeros. The steering workflow re-solves a problem
+	// after editing L; transferring the previous solve's messages (see
+	// TransferEdgeVector) lets the new run start near the old fixed
+	// point. Lengths must equal |E_L|.
+	WarmY, WarmZ []float64
+	// Observer, when non-nil, is called after each iteration's damping
+	// with the iteration number and the damped message vectors (which
+	// alias internal buffers — copy before retaining). It exists for
+	// message inspection and for the golden tests that pin the
+	// listing's arithmetic.
+	Observer func(iter int, y, z []float64)
+}
+
+func (o *BPOptions) defaults() BPOptions {
+	opts := *o
+	if opts.Iterations <= 0 {
+		opts.Iterations = 100
+	}
+	if opts.Gamma <= 0 || opts.Gamma >= 1 {
+		opts.Gamma = 0.99
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
+	if opts.Rounding == nil {
+		opts.Rounding = matching.Exact
+	}
+	if opts.Chunk <= 0 {
+		opts.Chunk = parallel.DefaultChunk
+	}
+	return opts
+}
+
+// BPAlign runs the belief-propagation message-passing method
+// (Listing 2). Messages y, z live on the edges of L; the message
+// matrix S^(k) lives on the nonzeros of S. Each iteration bounds the
+// overlap messages into F, folds them into the edge likelihoods d,
+// applies the othermax exclusion updates, rescales S^(k), damps all
+// three with weight γ^k, and rounds the damped y and z iterates to
+// matchings whose objectives are tracked; the best heuristic is
+// exact-rounded at the end.
+func (p *Problem) BPAlign(o BPOptions) *AlignResult {
+	opts := o.defaults()
+	threads, chunk := opts.Threads, opts.Chunk
+	sched := opts.Sched
+	timer := opts.Timer
+	nnz := p.S.NNZ()
+	mEL := p.L.NumEdges()
+
+	y := make([]float64, mEL)
+	z := make([]float64, mEL)
+	yPrev := make([]float64, mEL)
+	zPrev := make([]float64, mEL)
+	if len(opts.WarmY) == mEL {
+		copy(yPrev, opts.WarmY)
+	}
+	if len(opts.WarmZ) == mEL {
+		copy(zPrev, opts.WarmZ)
+	}
+	d := make([]float64, mEL)
+	om := make([]float64, mEL)  // othermax scratch (row)
+	om2 := make([]float64, mEL) // othermax scratch (col)
+	sk := make([]float64, nnz)
+	skPrev := make([]float64, nnz)
+	f := make([]float64, nnz)
+
+	sVal := p.S.Val
+	perm := p.SPerm
+	sRow := p.SRow
+	beta := p.Beta
+	w := p.L.W
+
+	tr := &Tracker{Trace: opts.Trace}
+
+	// batch holds pending iterate copies awaiting rounding.
+	type pending struct {
+		iter int
+		heur []float64
+	}
+	var batch []pending
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		items := batch
+		batch = nil
+		timer.Time(BPStepMatch, func() {
+			tasks := make([]func(int), len(items))
+			for i := range items {
+				it := items[i]
+				tasks[i] = func(taskThreads int) {
+					p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, tr)
+				}
+			}
+			// Each task is one matching problem; with T threads and r
+			// tasks each matching gets max(1, T/r) threads, the
+			// paper's nested-parallelism scheme.
+			parallel.Tasks(threads, tasks)
+		})
+	}
+
+	gammaK := 1.0
+	for iter := 1; iter <= opts.Iterations; iter++ {
+		// Step 1: F = bound_{0,β}(β·S + S^(k−1)ᵀ). The transpose is
+		// realized by pulling through the permutation with no
+		// intermediate write.
+		timer.Time(BPStepBoundF, func() {
+			sched.For(nnz, threads, chunk, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					f[k] = sparse.Bound(beta*sVal[k]+skPrev[perm[k]], 0, beta)
+				}
+			})
+		})
+
+		// Step 2: d = αw + F·e (row sums of F over S's pattern).
+		timer.Time(BPStepComputeD, func() {
+			ptr := p.S.Ptr
+			alpha := p.Alpha
+			sched.For(mEL, threads, chunk, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					s := 0.0
+					for k := ptr[e]; k < ptr[e+1]; k++ {
+						s += f[k]
+					}
+					d[e] = alpha*w[e] + s
+				}
+			})
+		})
+
+		// Step 3: othermax. y = d − othermaxcol(z⁽ᵏ⁻¹⁾),
+		// z = d − othermaxrow(y⁽ᵏ⁻¹⁾).
+		timer.Time(BPStepOthermax, func() {
+			if opts.TaskParallelOthermax {
+				parallel.Tasks(threads, []func(int){
+					func(t int) { othermaxColsInto(om2, zPrev, p.L, t, chunk) },
+					func(t int) { othermaxRowsInto(om, yPrev, p.L, t, chunk) },
+				})
+			} else {
+				othermaxColsInto(om2, zPrev, p.L, threads, chunk)
+				othermaxRowsInto(om, yPrev, p.L, threads, chunk)
+			}
+			parallel.ForStatic(mEL, threads, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					y[e] = d[e] - om2[e]
+					z[e] = d[e] - om[e]
+				}
+			})
+		})
+
+		// Step 4: S^(k) = diag(y + z − d)·S − F (row rescale minus F).
+		timer.Time(BPStepUpdateS, func() {
+			sched.For(nnz, threads, chunk, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					r := sRow[k]
+					sk[k] = (y[r]+z[r]-d[r])*sVal[k] - f[k]
+				}
+			})
+		})
+
+		// Step 5: damping against the previous iterates; the damped
+		// values become both the output of this iteration and the next
+		// iteration's "previous" state.
+		gammaK *= opts.Gamma
+		timer.Time(BPStepDamping, func() {
+			var g float64
+			switch opts.Damp {
+			case DampConstant:
+				g = opts.Gamma
+			case DampNone:
+				g = 1
+			default:
+				g = gammaK
+			}
+			parallel.ForStatic(mEL, threads, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					y[e] = g*y[e] + (1-g)*yPrev[e]
+					z[e] = g*z[e] + (1-g)*zPrev[e]
+				}
+			})
+			sched.For(nnz, threads, chunk, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					sk[k] = g*sk[k] + (1-g)*skPrev[k]
+				}
+			})
+			y, yPrev = yPrev, y
+			z, zPrev = zPrev, z
+			sk, skPrev = skPrev, sk
+			// After the swaps, *Prev hold iteration k's damped state.
+		})
+
+		if opts.Observer != nil {
+			opts.Observer(iter, yPrev, zPrev)
+		}
+
+		// Step 6: round y and z (batched).
+		batch = append(batch,
+			pending{iter, append([]float64(nil), yPrev...)},
+			pending{iter, append([]float64(nil), zPrev...)},
+		)
+		if len(batch) >= opts.Batch {
+			flush()
+		}
+	}
+	flush()
+
+	out := p.finishResult(tr, threads, opts.SkipFinalExact)
+	out.Iterations = opts.Iterations
+	if opts.Trace {
+		out.ObjectiveTrace = append([]float64(nil), tr.Objective...)
+	}
+	return out
+}
+
+// bpSanityCheck verifies finite messages; used in tests via export.
+func bpSanityCheck(vals []float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

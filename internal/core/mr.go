@@ -1,0 +1,350 @@
+package core
+
+import (
+	"netalignmc/internal/matching"
+	"netalignmc/internal/parallel"
+	"netalignmc/internal/sparse"
+	"netalignmc/internal/stats"
+)
+
+// MR step names, used by the Figure 6 per-step scaling study.
+const (
+	MRStepRowMatch  = "rowmatch"  // Step 1: one small matching per row of S
+	MRStepDaxpy     = "daxpy"     // Step 2: w̄ = αw + d
+	MRStepMatch     = "match"     // Step 3: x = bipartite_match(w̄)
+	MRStepObjective = "objective" // Step 4: objective and upper bound
+	MRStepUpdateU   = "updateU"   // Step 5: multiplier update
+)
+
+// MROptions configures Klau's matching-relaxation method (Listing 1).
+type MROptions struct {
+	// Iterations is n_iter. The paper notes there is no point running
+	// beyond 500–1000 iterations; the scaling studies use 400.
+	Iterations int
+	// Gamma is the initial subgradient step size γ (halved whenever
+	// the upper bound stalls for MStep iterations).
+	Gamma float64
+	// MStep is the stall window before halving γ; the paper's scaling
+	// runs use mstep = 10.
+	MStep int
+	// UBound clamps the Lagrange multipliers to [-UBound, UBound]; 0
+	// selects the default β/2.
+	UBound float64
+	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	Threads int
+	// Chunk is the dynamic-schedule chunk size (0 = 1000, the value
+	// the paper tuned for the imbalanced S-indexed loops).
+	Chunk int
+	// Sched selects the scheduling policy for the S-indexed loops
+	// (default Dynamic, the paper's choice). The scheduling-policy
+	// axis substitutes for the paper's NUMA memory-layout axis in the
+	// scaling studies; see DESIGN.md §4.
+	Sched parallel.Schedule
+	// Rounding is the bipartite matcher used in Step 3. nil selects
+	// exact matching; pass matching.Approx for the paper's
+	// substitution. Step 1's per-row matchings are always exact ("we
+	// always use exact matching in the first step... because the
+	// problems in each row tend to be small and we parallelize over
+	// rows").
+	Rounding matching.Matcher
+	// GreedyRowMatch replaces the exact per-row matchings of Step 1
+	// with the greedy half-approximation. The paper always uses exact
+	// row matching ("the problems in each row tend to be small");
+	// this option exists to measure that design choice (ablation
+	// BenchmarkAblationRowMatch).
+	GreedyRowMatch bool
+	// GapTolerance, when positive, stops the iteration early once the
+	// relative gap between the best upper bound and the best rounded
+	// objective falls below it — the paper: "this method can actually
+	// detect when it has reached the optimal point, although that will
+	// not always occur".
+	GapTolerance float64
+	// SkipFinalExact disables the final exact rounding of the best
+	// heuristic (used by scaling studies, which exclude that step).
+	SkipFinalExact bool
+	// Timer, when non-nil, accumulates per-step wall time.
+	Timer *stats.StepTimer
+	// Trace records per-iteration upper and lower bounds.
+	Trace bool
+	// Observer, when non-nil, is called each iteration with the
+	// combined heuristic w̄ (aliasing an internal buffer — copy before
+	// retaining), the upper bound w̄ᵀx and the rounded objective.
+	Observer func(iter int, wbar []float64, upper, obj float64)
+}
+
+func (o *MROptions) defaults(p *Problem) MROptions {
+	opts := *o
+	if opts.Iterations <= 0 {
+		opts.Iterations = 100
+	}
+	if opts.Gamma <= 0 {
+		opts.Gamma = 0.5
+	}
+	if opts.MStep <= 0 {
+		opts.MStep = 10
+	}
+	if opts.UBound <= 0 {
+		opts.UBound = p.Beta / 2
+		if opts.UBound == 0 {
+			opts.UBound = 0.5
+		}
+	}
+	if opts.Rounding == nil {
+		opts.Rounding = matching.Exact
+	}
+	if opts.Chunk <= 0 {
+		opts.Chunk = parallel.DefaultChunk
+	}
+	return opts
+}
+
+// AlignResult is the outcome of an alignment method.
+type AlignResult struct {
+	// Matching is the returned alignment.
+	Matching *matching.Result
+	// Objective is α·wᵀx + (β/2)·xᵀSx of Matching.
+	Objective float64
+	// MatchWeight is wᵀx and Overlap is xᵀSx/2 of Matching — the two
+	// axes of the paper's Figure 3.
+	MatchWeight float64
+	Overlap     float64
+	// BestIter is the iteration whose heuristic produced the best
+	// rounded objective; Evaluations counts round_heuristic calls.
+	BestIter    int
+	Iterations  int
+	Evaluations int
+	// Converged reports that MR stopped early because the bound gap
+	// fell below MROptions.GapTolerance; ConvergedIter is the
+	// iteration at which that happened.
+	Converged     bool
+	ConvergedIter int
+	// Upper and Lower trace the per-iteration upper bound w̄ᵀx and
+	// rounded objective (MR only, with Trace set).
+	Upper []float64
+	Lower []float64
+	// ObjectiveTrace holds every rounded objective in evaluation order
+	// (with Trace set).
+	ObjectiveTrace []float64
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) *AlignResult {
+	var res *matching.Result
+	var obj float64
+	if skipFinal {
+		if tr.HasBest() {
+			res, obj = tr.BestMatching, tr.BestObjective
+		} else {
+			res = matching.Exact(p.L, threads)
+			obj = p.ObjectiveOfMatching(res, threads)
+		}
+	} else {
+		res, obj = p.FinalRound(tr, threads)
+	}
+	x := res.Indicator(p.L)
+	return &AlignResult{
+		Matching:    res,
+		Objective:   obj,
+		MatchWeight: p.MatchWeight(x, threads),
+		Overlap:     p.Overlap(x, threads),
+		BestIter:    tr.BestIter,
+		Evaluations: tr.Evaluations,
+	}
+}
+
+// KlauAlign runs Klau's iterative matching relaxation (Listing 1).
+//
+// Each iteration: (1) solve, for every row of S, a small exact
+// matching over L weighted by β/2·S + U − Uᵀ, recording the row values
+// in d and the selected entries in S_L; (2) form w̄ = αw + d; (3)
+// round w̄ to a matching x with the configured matcher; (4) evaluate
+// the objective (lower bound) and w̄ᵀx (upper bound); (5) take a
+// subgradient step on the multipliers U restricted to the upper
+// triangle, clamped to [-UBound, UBound], halving γ when the upper
+// bound has not improved for MStep iterations.
+func (p *Problem) KlauAlign(o MROptions) *AlignResult {
+	opts := o.defaults(p)
+	threads, chunk := opts.Threads, opts.Chunk
+	sched := opts.Sched
+	timer := opts.Timer
+	nnz := p.S.NNZ()
+	mEL := p.L.NumEdges()
+
+	u := make([]float64, nnz)    // Lagrange multipliers (upper triangle only)
+	rowW := make([]float64, nnz) // β/2·S + U − Uᵀ values
+	sL := make([]float64, nnz)   // row-matching indicators
+	d := make([]float64, mEL)    // row-matching values
+	wbar := make([]float64, mEL) // αw + d
+	gamma := opts.Gamma
+	bestUpper := 0.0
+	haveUpper := false
+	sinceImproved := 0
+	converged := false
+	convergedIter := 0
+	lastIter := 0
+
+	tr := &Tracker{Trace: opts.Trace}
+	result := func() *AlignResult { return p.finishResult(tr, threads, opts.SkipFinalExact) }
+
+	var upperTrace, lowerTrace []float64
+	sVal := p.S.Val
+	perm := p.SPerm
+	beta2 := p.Beta / 2
+
+	// Per-worker row-matching scratch, preallocated outside the
+	// iteration (§IV-B: "We precompute the maximum memory required for
+	// p threads to run matching problems on the rows of S and
+	// preallocate this memory outside of the iteration").
+	nWorkers := parallel.Threads(threads)
+	rowMatchers := make([]*matching.SubsetMatcher, nWorkers)
+	rowSelected := make([][]int, nWorkers)
+	for i := range rowMatchers {
+		rowMatchers[i] = matching.NewSubsetMatcher(p.L.NA, p.L.NB)
+	}
+
+	for iter := 1; iter <= opts.Iterations; iter++ {
+		// Step 1: row match.
+		timer.Time(MRStepRowMatch, func() {
+			sched.For(nnz, threads, chunk, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					rowW[k] = beta2*sVal[k] + u[k] - u[perm[k]]
+				}
+			})
+			// One small exact matching per row; the row problems are
+			// tiny and independent, so parallelize across rows with a
+			// dynamic schedule (the row sizes are highly imbalanced)
+			// and solve each with the worker's preallocated scratch.
+			parallel.ForDynamicWorker(p.S.NumRows, threads, chunk, func(worker, lo, hi int) {
+				sm := rowMatchers[worker]
+				for e1 := lo; e1 < hi; e1++ {
+					klo, khi := p.S.RowRange(e1)
+					if klo == khi {
+						d[e1] = 0
+						continue
+					}
+					var selected []int
+					var value float64
+					if opts.GreedyRowMatch {
+						selected, value = sm.GreedySubset(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
+					} else {
+						selected, value = sm.Solve(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
+					}
+					rowSelected[worker] = selected
+					for k := klo; k < khi; k++ {
+						sL[k] = 0
+					}
+					for _, pos := range selected {
+						sL[klo+pos] = 1
+					}
+					d[e1] = value
+				}
+			})
+		})
+
+		// Step 2: daxpy.
+		timer.Time(MRStepDaxpy, func() {
+			w := p.L.W
+			parallel.ForStatic(mEL, threads, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					wbar[e] = p.Alpha*w[e] + d[e]
+				}
+			})
+		})
+
+		// Step 3: match.
+		var res *matching.Result
+		timer.Time(MRStepMatch, func() {
+			lw, err := p.L.WithWeights(wbar)
+			if err != nil {
+				panic("core: w̄ length mismatch: " + err.Error())
+			}
+			matched := opts.Rounding(lw, threads)
+			res = matching.NewResult(p.L, matched.MateA, matched.MateB)
+		})
+
+		// Step 4: objective (lower bound) and upper bound.
+		var x []float64
+		var obj, upper float64
+		timer.Time(MRStepObjective, func() {
+			x = res.Indicator(p.L)
+			obj = p.Objective(x, threads)
+			tr.Offer(iter, obj, res, wbar)
+			upper = parallel.SumFloat64(mEL, threads, func(lo, hi int) float64 {
+				s := 0.0
+				for e := lo; e < hi; e++ {
+					s += wbar[e] * x[e]
+				}
+				return s
+			})
+			if opts.Trace {
+				upperTrace = append(upperTrace, upper)
+				lowerTrace = append(lowerTrace, obj)
+			}
+			// Subgradient step control: halve γ when the upper bound
+			// has not improved (decreased) within MStep iterations.
+			if !haveUpper || upper < bestUpper-1e-12 {
+				haveUpper = true
+				bestUpper = upper
+				sinceImproved = 0
+			} else {
+				sinceImproved++
+				if sinceImproved >= opts.MStep {
+					gamma /= 2
+					sinceImproved = 0
+				}
+			}
+		})
+
+		// Step 5: update U on the upper triangle:
+		// F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped.
+		timer.Time(MRStepUpdateU, func() {
+			sRow := p.SRow
+			sCol := p.S.Col
+			bound := opts.UBound
+			g := gamma
+			sched.For(nnz, threads, chunk, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					e1, e2 := sRow[k], sCol[k]
+					if e2 <= e1 {
+						continue // multipliers live on the upper triangle
+					}
+					f := u[k] - g*x[e1]*sL[k] + g*sL[perm[k]]*x[e2]
+					u[k] = sparse.Bound(f, -bound, bound)
+				}
+			})
+		})
+
+		if opts.Observer != nil {
+			opts.Observer(iter, wbar, upper, obj)
+		}
+
+		lastIter = iter
+		// Optimality detection: the best rounded objective is a lower
+		// bound and bestUpper an upper bound on the optimum; a closed
+		// gap proves the tracked solution optimal.
+		if lower, ok := tr.Best(); opts.GapTolerance > 0 && haveUpper && ok {
+			if bestUpper-lower <= opts.GapTolerance*(1+absf(lower)) {
+				converged = true
+				convergedIter = iter
+				break
+			}
+		}
+	}
+
+	out := result()
+	out.Iterations = lastIter
+	out.Converged = converged
+	out.ConvergedIter = convergedIter
+	out.Upper = upperTrace
+	out.Lower = lowerTrace
+	if opts.Trace {
+		out.ObjectiveTrace = append([]float64(nil), tr.Objective...)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/graph"
+	"netalignmc/internal/matching"
+)
+
+// tinyProblem: A = B = path 0-1, L complete 2x2 with unit weights.
+func tinyProblem(t testing.TB, alpha, beta float64) *Problem {
+	t.Helper()
+	a := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	b := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	l, err := bipartite.New(2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 0, B: 1, W: 1}, {A: 1, B: 0, W: 1}, {A: 1, B: 1, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a, b, l, alpha, beta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSConstructionTiny(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	// L edges in canonical order: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3.
+	// Overlap pairs: {(0,0),(1,1)} and {(0,1),(1,0)}, each symmetric:
+	// 4 stored entries.
+	if p.NNZS() != 4 {
+		t.Fatalf("nnz(S) = %d, want 4", p.NNZS())
+	}
+	if p.S.At(0, 3) != 1 || p.S.At(3, 0) != 1 || p.S.At(1, 2) != 1 || p.S.At(2, 1) != 1 {
+		t.Fatalf("S entries wrong: %v", p.S.Dense())
+	}
+	if p.S.At(0, 1) != 0 || p.S.At(0, 2) != 0 || p.S.At(0, 0) != 0 {
+		t.Fatal("S has spurious entries")
+	}
+}
+
+func TestSConstructionRespectsMissingLEdges(t *testing.T) {
+	// Same graphs but L lacks (1,1): no overlap pair can form.
+	a := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	b := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	l, err := bipartite.New(2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 0, B: 1, W: 1}, {A: 1, B: 0, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a, b, l, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only {(0,1),(1,0)} overlaps.
+	if p.NNZS() != 2 {
+		t.Fatalf("nnz(S) = %d, want 2", p.NNZS())
+	}
+}
+
+func TestSConstructionByDefinition(t *testing.T) {
+	// Cross-check S against the definition on a random instance.
+	a := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 4}, {U: 1, V: 3}})
+	b := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 2}})
+	var edges []bipartite.WeightedEdge
+	for va := 0; va < 5; va++ {
+		for vb := 0; vb < 4; vb++ {
+			if (va+vb)%2 == 0 {
+				edges = append(edges, bipartite.WeightedEdge{A: va, B: vb, W: 1})
+			}
+		}
+	}
+	l, err := bipartite.New(5, 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a, b, l, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e1 := 0; e1 < l.NumEdges(); e1++ {
+		for e2 := 0; e2 < l.NumEdges(); e2++ {
+			i, iP := l.EdgeA[e1], l.EdgeB[e1]
+			j, jP := l.EdgeA[e2], l.EdgeB[e2]
+			want := 0.0
+			if a.HasEdge(i, j) && b.HasEdge(iP, jP) {
+				want = 1
+			}
+			if got := p.S.At(e1, e2); got != want {
+				t.Fatalf("S[(%d,%d),(%d,%d)] = %g, want %g", i, iP, j, jP, got, want)
+			}
+		}
+	}
+}
+
+func TestNewProblemErrors(t *testing.T) {
+	a := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	b := graph.FromEdges(3, nil)
+	l, err := bipartite.New(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProblem(a, b, l, 1, 1, 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	l2, _ := bipartite.New(2, 3, nil)
+	if _, err := NewProblem(a, b, l2, -1, 1, 1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestObjectiveDecomposition(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	x := p.IdentityIndicator() // matches (0,0) and (1,1)
+	if got := p.MatchWeight(x, 1); got != 2 {
+		t.Fatalf("MatchWeight = %g, want 2", got)
+	}
+	if got := p.Overlap(x, 1); got != 1 {
+		t.Fatalf("Overlap = %g, want 1 (the single A/B edge pair)", got)
+	}
+	if got := p.Objective(x, 1); got != 1*2+2*1 {
+		t.Fatalf("Objective = %g, want 4", got)
+	}
+	// The anti-identity matching (0,1),(1,0) also overlaps.
+	y := make([]float64, 4)
+	y[1], y[2] = 1, 1
+	if got := p.Objective(y, 1); got != 4 {
+		t.Fatalf("anti-identity objective = %g, want 4", got)
+	}
+	// A single-edge matching has no overlap.
+	zVec := make([]float64, 4)
+	zVec[0] = 1
+	if got := p.Objective(zVec, 1); got != 1 {
+		t.Fatalf("single edge objective = %g, want 1", got)
+	}
+}
+
+func TestObjectiveOfMatching(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	r := matching.Exact(p.L, 1)
+	obj := p.ObjectiveOfMatching(r, 1)
+	// Exact matching picks 2 unit edges; whether it overlaps depends on
+	// which pair; objective is 2 (no overlap) or 4 (overlap).
+	if obj != 2 && obj != 4 {
+		t.Fatalf("objective = %g", obj)
+	}
+}
+
+func TestCorrectMatchFraction(t *testing.T) {
+	r := &matching.Result{MateA: []int{0, 2, 2, -1}}
+	// a0->b0 correct; a1->b2 wrong; a2->b2 correct; a3 unmatched.
+	if got := CorrectMatchFraction(r); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CorrectMatchFraction = %g, want 0.5", got)
+	}
+	if CorrectMatchFraction(&matching.Result{}) != 0 {
+		t.Fatal("empty result fraction nonzero")
+	}
+}
+
+func TestProblemStats(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	s := ProblemStats("tiny", p)
+	if s.Name != "tiny" || s.VA != 2 || s.VB != 2 || s.EL != 4 || s.NnzS != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Every L vertex has degree 2; every S row has one nonzero.
+	if s.MaxLDegree != 2 || s.MeanLDegree != 2 {
+		t.Fatalf("L degree stats %+v", s)
+	}
+	if s.MaxSRow != 1 || s.MeanSRow != 1 || s.Imbalance != 1 {
+		t.Fatalf("S row stats %+v", s)
+	}
+}
+
+func TestIdentityIndicatorPartialL(t *testing.T) {
+	a := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	b := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	l, err := bipartite.New(3, 3, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 2, B: 1, W: 1}, // (1,1) and (2,2) absent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a, b, l, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.IdentityIndicator()
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("identity indicator selected %g edges, want 1", sum)
+	}
+}
+
+func TestTrackerKeepsBest(t *testing.T) {
+	tr := &Tracker{Trace: true}
+	tr.Offer(1, 5, &matching.Result{}, []float64{1, 2})
+	tr.Offer(2, 3, &matching.Result{}, []float64{9, 9})
+	tr.Offer(3, 7, &matching.Result{}, []float64{4, 5})
+	if tr.BestObjective != 7 || tr.BestIter != 3 {
+		t.Fatalf("best = %g at %d", tr.BestObjective, tr.BestIter)
+	}
+	if tr.BestHeuristic[0] != 4 || tr.BestHeuristic[1] != 5 {
+		t.Fatalf("best heuristic = %v", tr.BestHeuristic)
+	}
+	if tr.Evaluations != 3 || len(tr.Objective) != 3 {
+		t.Fatalf("evaluations/trace wrong: %d %d", tr.Evaluations, len(tr.Objective))
+	}
+	if !tr.HasBest() {
+		t.Fatal("HasBest false")
+	}
+}
+
+func TestTrackerCopiesHeuristic(t *testing.T) {
+	tr := &Tracker{}
+	h := []float64{1, 2, 3}
+	tr.Offer(1, 10, &matching.Result{}, h)
+	h[0] = 99
+	if tr.BestHeuristic[0] != 1 {
+		t.Fatal("tracker aliased the winning heuristic")
+	}
+}
+
+func TestRoundHeuristicTiny(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	tr := &Tracker{}
+	// Heuristic weights favoring the identity pair.
+	heur := []float64{10, 0.1, 0.1, 10}
+	obj, res := p.RoundHeuristic(heur, matching.Exact, 1, 1, tr)
+	if err := res.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+	if res.MateA[0] != 0 || res.MateA[1] != 1 {
+		t.Fatalf("rounding ignored the heuristic: %v", res.MateA)
+	}
+	// Objective of identity: αw'x + β/2 x'Sx = 2 + 2 = 4.
+	if obj != 4 {
+		t.Fatalf("objective = %g, want 4", obj)
+	}
+	if tr.BestObjective != 4 {
+		t.Fatal("tracker missed the offer")
+	}
+}
+
+func TestFinalRoundEmptyTracker(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	tr := &Tracker{}
+	res, obj := p.FinalRound(tr, 1)
+	if err := res.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+	if obj < 0 {
+		t.Fatalf("objective %g", obj)
+	}
+}

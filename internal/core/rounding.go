@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+
+	"netalignmc/internal/matching"
+)
+
+// Tracker records the best rounded solution seen across the iteration,
+// implementing the paper's round_heuristic bookkeeping ("also keep
+// track of which g produced the largest objective"). It is safe for
+// concurrent use because batched rounding evaluates several iterates
+// simultaneously as tasks.
+type Tracker struct {
+	mu            sync.Mutex
+	BestObjective float64
+	BestIter      int
+	BestMatching  *matching.Result
+	// BestHeuristic is a copy of the heuristic weight vector that
+	// produced the best objective; the methods run one final exact
+	// matching on it (Section VII: "we perform one final step of exact
+	// maximum weight matching to convert this into the returned
+	// matching").
+	BestHeuristic []float64
+	// Evaluations counts round_heuristic calls.
+	Evaluations int
+	// Trace optionally records every evaluated objective in call
+	// order; enabled by the experiment harness for Figure 3 sweeps.
+	Trace     bool
+	Objective []float64
+	hasBest   bool
+}
+
+// Offer submits a rounded solution. heur is copied only when it wins.
+func (t *Tracker) Offer(iter int, obj float64, m *matching.Result, heur []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Evaluations++
+	if t.Trace {
+		t.Objective = append(t.Objective, obj)
+	}
+	if !t.hasBest || obj > t.BestObjective {
+		t.hasBest = true
+		t.BestObjective = obj
+		t.BestIter = iter
+		t.BestMatching = m
+		t.BestHeuristic = append(t.BestHeuristic[:0], heur...)
+	}
+}
+
+// Best returns the best objective seen and whether any solution has
+// been offered, under the tracker's lock.
+func (t *Tracker) Best() (float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.BestObjective, t.hasBest
+}
+
+// HasBest reports whether any solution has been offered.
+func (t *Tracker) HasBest() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hasBest
+}
+
+// RoundHeuristic is the paper's round_heuristic(g): compute
+// x = bipartite_match(g) with the given matcher, evaluate the
+// alignment objective of x, and offer the result to the tracker.
+// It returns the objective and the matching.
+func (p *Problem) RoundHeuristic(heur []float64, m matching.Matcher, threads int, iter int, tr *Tracker) (float64, *matching.Result) {
+	lw, err := p.L.WithWeights(heur)
+	if err != nil {
+		panic("core: heuristic vector length mismatch: " + err.Error())
+	}
+	matched := m(lw, threads)
+	// The matcher scored the heuristic weights; re-base the result on
+	// L's true weights so downstream consumers see real match weight.
+	res := matching.NewResult(p.L, matched.MateA, matched.MateB)
+	x := res.Indicator(p.L)
+	obj := p.Objective(x, threads)
+	if tr != nil {
+		tr.Offer(iter, obj, res, heur)
+	}
+	return obj, res
+}
+
+// FinalRound performs the final exact rounding of the tracker's best
+// heuristic and returns the resulting matching with its objective. If
+// the tracker is empty it returns an empty matching.
+func (p *Problem) FinalRound(tr *Tracker, threads int) (*matching.Result, float64) {
+	if !tr.HasBest() {
+		res := matching.Exact(p.L, threads)
+		return res, p.ObjectiveOfMatching(res, threads)
+	}
+	lw, err := p.L.WithWeights(tr.BestHeuristic)
+	if err != nil {
+		panic("core: tracked heuristic length mismatch: " + err.Error())
+	}
+	matched := matching.Exact(lw, threads)
+	res := matching.NewResult(p.L, matched.MateA, matched.MateB)
+	obj := p.ObjectiveOfMatching(res, threads)
+	// The exact re-rounding of the best heuristic can only tie or
+	// improve in matching weight but the full objective (with overlap)
+	// may differ either way; keep whichever matching scores better.
+	if obj >= tr.BestObjective {
+		return res, obj
+	}
+	return tr.BestMatching, tr.BestObjective
+}

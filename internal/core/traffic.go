@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TrafficModel is an analytical per-iteration memory-traffic model of
+// the BP iteration: for each step, the number of float64 words read
+// and written as a function of |E_L| and nnz(S). The paper attributes
+// BP's scaling ceiling to memory bandwidth in the damping step
+// ("With a batch size of 20, we need to store and access the last 20
+// iterates, which stresses the memory bandwidth"); this model makes
+// that argument quantitative for any problem size without running it.
+type TrafficModel struct {
+	EL   int
+	NnzS int
+	// Batch is the rounding batch size r (each buffered iterate copy
+	// is |E_L| words written and later read).
+	Batch int
+}
+
+// StepTraffic is the modeled traffic of one step in 8-byte words.
+type StepTraffic struct {
+	Step          string
+	Reads, Writes int64
+}
+
+// Words returns total words moved.
+func (s StepTraffic) Words() int64 { return s.Reads + s.Writes }
+
+// NewTrafficModel builds the model for a problem and batch size.
+func NewTrafficModel(p *Problem, batch int) TrafficModel {
+	if batch < 1 {
+		batch = 1
+	}
+	return TrafficModel{EL: p.L.NumEdges(), NnzS: p.S.NNZ(), Batch: batch}
+}
+
+// Steps returns the modeled traffic per BP step, in listing order.
+func (m TrafficModel) Steps() []StepTraffic {
+	el := int64(m.EL)
+	nnz := int64(m.NnzS)
+	return []StepTraffic{
+		// F = bound(β·S + Skᵀ): read S values and permuted Sk, write F.
+		{BPStepBoundF, 2 * nnz, nnz},
+		// d = αw + F·e: read w and all of F, write d.
+		{BPStepComputeD, el + nnz, el},
+		// othermax row+col: read y and z once each, write two scratch
+		// vectors, then read d + both scratch and write y, z.
+		{BPStepOthermax, 2*el + (el + 2*el), 2*el + 2*el},
+		// Sk = diag(y+z−d)·S − F: read y,z,d rows via row index plus S
+		// and F values, write Sk.
+		{BPStepUpdateS, 3*nnz + 2*nnz, nnz},
+		// damping: read y,z,Sk and their prevs, write all three.
+		{BPStepDamping, 2 * (2*el + nnz), 2*el + nnz},
+		// rounding buffer copies: 2 vectors per iteration written, and
+		// each batched vector read once when its matching runs.
+		{BPStepMatch, 2 * el, 2 * el},
+	}
+}
+
+// DampingShare returns the damping step's fraction of total modeled
+// traffic — the quantity that grows with problem size and explains the
+// paper's Figure 7 bottleneck.
+func (m TrafficModel) DampingShare() float64 {
+	var total, damp int64
+	for _, s := range m.Steps() {
+		total += s.Words()
+		if s.Step == BPStepDamping {
+			damp = s.Words()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(damp) / float64(total)
+}
+
+// String renders the model as a table of words moved per iteration.
+func (m TrafficModel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modeled BP traffic per iteration (|E_L|=%d, nnz(S)=%d, batch=%d)\n", m.EL, m.NnzS, m.Batch)
+	for _, s := range m.Steps() {
+		fmt.Fprintf(&b, "%-10s reads %12d  writes %12d words\n", s.Step, s.Reads, s.Writes)
+	}
+	fmt.Fprintf(&b, "damping share of traffic: %.1f%%\n", 100*m.DampingShare())
+	return b.String()
+}

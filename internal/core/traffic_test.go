@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrafficModel(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	m := NewTrafficModel(p, 20)
+	if m.EL != 4 || m.NnzS != 4 || m.Batch != 20 {
+		t.Fatalf("model %+v", m)
+	}
+	steps := m.Steps()
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	seen := map[string]bool{}
+	var total int64
+	for _, s := range steps {
+		if s.Reads < 0 || s.Writes < 0 {
+			t.Fatalf("negative traffic %+v", s)
+		}
+		seen[s.Step] = true
+		total += s.Words()
+	}
+	for _, name := range []string{BPStepBoundF, BPStepComputeD, BPStepOthermax, BPStepUpdateS, BPStepDamping, BPStepMatch} {
+		if !seen[name] {
+			t.Fatalf("missing step %s", name)
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no traffic modeled")
+	}
+	share := m.DampingShare()
+	if share <= 0 || share >= 1 {
+		t.Fatalf("damping share %g", share)
+	}
+	if !strings.Contains(m.String(), "damping share") {
+		t.Fatal("String missing summary")
+	}
+}
+
+func TestTrafficModelBatchClamp(t *testing.T) {
+	p := tinyProblem(t, 1, 2)
+	m := NewTrafficModel(p, 0)
+	if m.Batch != 1 {
+		t.Fatalf("batch not clamped: %d", m.Batch)
+	}
+}
+
+func TestTrafficDampingGrowsWithEL(t *testing.T) {
+	// With nnz(S) fixed, growing |E_L| grows the damping share: the
+	// damping step moves 3 full |E_L| vectors plus S^(k).
+	small := TrafficModel{EL: 100, NnzS: 1000, Batch: 20}
+	big := TrafficModel{EL: 100000, NnzS: 1000, Batch: 20}
+	if big.DampingShare() <= small.DampingShare() {
+		t.Fatalf("damping share did not grow: %g vs %g", small.DampingShare(), big.DampingShare())
+	}
+	empty := TrafficModel{}
+	if empty.DampingShare() != 0 {
+		t.Fatal("empty model share nonzero")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Verify cross-checks the problem's derived structures against their
+// definitions: L is structurally valid with finite weights, S is
+// structurally symmetric with unit values and an empty diagonal, the
+// transpose permutation is involutive, and sampleEntries randomly
+// sampled (edge, edge) pairs of S agree with the overlap definition
+// S[(i,i'),(j,j')] = 1 ⇔ (i,j) ∈ E_A ∧ (i',j') ∈ E_B (0 samples all
+// pairs of stored entries plus an equal number of random pairs, which
+// is exhaustive only for tiny problems — prefer a positive sample
+// count on anything real). It exists for loaders and tests; a healthy
+// problem always verifies.
+func (p *Problem) Verify(sampleEntries int, rng *rand.Rand) error {
+	if err := p.L.Validate(); err != nil {
+		return fmt.Errorf("core: L invalid: %w", err)
+	}
+	for e, w := range p.L.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: L weight %d is not finite", e)
+		}
+	}
+	if err := p.S.Validate(); err != nil {
+		return fmt.Errorf("core: S invalid: %w", err)
+	}
+	if p.S.NumRows != p.L.NumEdges() || p.S.NumCols != p.L.NumEdges() {
+		return fmt.Errorf("core: S is %dx%d but |E_L| = %d", p.S.NumRows, p.S.NumCols, p.L.NumEdges())
+	}
+	if len(p.SPerm) != p.S.NNZ() || len(p.SRow) != p.S.NNZ() {
+		return fmt.Errorf("core: permutation/row-index arrays out of sync with S")
+	}
+	for k, pk := range p.SPerm {
+		if pk < 0 || pk >= p.S.NNZ() || p.SPerm[pk] != k {
+			return fmt.Errorf("core: transpose permutation not involutive at %d", k)
+		}
+	}
+	check := func(e1, e2 int) error {
+		i, iP := p.L.EdgeA[e1], p.L.EdgeB[e1]
+		j, jP := p.L.EdgeA[e2], p.L.EdgeB[e2]
+		want := 0.0
+		if p.A.HasEdge(i, j) && p.B.HasEdge(iP, jP) {
+			want = 1
+		}
+		if got := p.S.At(e1, e2); got != want {
+			return fmt.Errorf("core: S[(%d,%d),(%d,%d)] = %g, want %g", i, iP, j, jP, got, want)
+		}
+		return nil
+	}
+	for k := 0; k < p.S.NNZ(); k++ {
+		if p.S.Val[k] != 1 {
+			return fmt.Errorf("core: S value %d is %g, want 1", k, p.S.Val[k])
+		}
+		if p.SRow[k] == p.S.Col[k] {
+			return fmt.Errorf("core: S has a diagonal entry at %d", k)
+		}
+	}
+	m := p.L.NumEdges()
+	if m == 0 {
+		return nil
+	}
+	if sampleEntries <= 0 {
+		// Exhaustive over stored entries plus random zero checks.
+		for k := 0; k < p.S.NNZ(); k++ {
+			if err := check(p.SRow[k], p.S.Col[k]); err != nil {
+				return err
+			}
+		}
+		sampleEntries = p.S.NNZ() + 16
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	for s := 0; s < sampleEntries; s++ {
+		if err := check(rng.Intn(m), rng.Intn(m)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/gen"
+	"netalignmc/internal/matching"
+)
+
+// quickConfig keeps experiment tests fast: tiny stand-ins, few
+// iterations, two thread counts.
+func quickConfig() Config {
+	return Config{Scale: 0.01, Seed: 7, Iterations: 5, Threads: []int{1, 2}}
+}
+
+func TestTable2(t *testing.T) {
+	res, err := Table2(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 4 || len(res.Paper) != 4 {
+		t.Fatalf("rows %d/%d", len(res.Stats), len(res.Paper))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Stats {
+		names[s.Name] = true
+		if s.VA < 2 || s.EL == 0 {
+			t.Fatalf("degenerate stand-in %+v", s)
+		}
+	}
+	for _, want := range []string{"dmela-scere", "homo-musm", "lcsh-wiki", "lcsh-rameau"} {
+		if !names[want] {
+			t.Fatalf("missing problem %s", want)
+		}
+	}
+	if !strings.Contains(res.Report, "lcsh-rameau") {
+		t.Fatal("report missing rows")
+	}
+	// Paper columns must carry the published sizes verbatim.
+	if res.Paper[2].EL != 4971629 {
+		t.Fatalf("paper lcsh-wiki |E_L| = %d", res.Paper[2].EL)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(quickConfig(), []float64{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2*len(Fig2Methods) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	seen := map[string]int{}
+	for _, pt := range res.Points {
+		seen[pt.Method]++
+		if pt.ObjFraction < 0 || pt.CorrectMatch < 0 || pt.CorrectMatch > 1 {
+			t.Fatalf("out-of-range point %+v", pt)
+		}
+	}
+	for _, m := range Fig2Methods {
+		if seen[m] != 2 {
+			t.Fatalf("method %s measured %d times", m, seen[m])
+		}
+	}
+	if !strings.Contains(res.Report, "Panel 2") {
+		t.Fatal("report missing panel")
+	}
+}
+
+func TestFig2QualityOrdering(t *testing.T) {
+	// The headline claim at easy noise levels: every method should be
+	// close to the identity objective, and BP-approx must track
+	// BP-exact closely (paper: "indistinguishable").
+	c := quickConfig()
+	c.Iterations = 12
+	res, err := Fig2(c, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Fig2Point{}
+	for _, pt := range res.Points {
+		byMethod[pt.Method] = pt
+	}
+	be, ba := byMethod["BP-exact"], byMethod["BP-approx"]
+	if diff := be.ObjFraction - ba.ObjFraction; diff > 0.15 || diff < -0.15 {
+		t.Fatalf("BP exact %.3f vs approx %.3f differ too much", be.ObjFraction, ba.ObjFraction)
+	}
+	if be.ObjFraction < 0.8 {
+		t.Fatalf("BP-exact only reached %.3f of identity objective at dbar=2", be.ObjFraction)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	res, err := Fig3(quickConfig(), "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 alpha/beta × 2 gamma × 2 rounding × 2 methods = 32 points.
+	if len(res.Points) != 32 {
+		t.Fatalf("points = %d, want 32", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Weight < 0 || pt.Overlap < 0 {
+			t.Fatalf("negative point %+v", pt)
+		}
+	}
+	if _, err := Fig3(quickConfig(), "no-such-problem"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 3
+	res, err := Scaling(c, "dmela-scere", []string{"MR", "BP-batch1"}, []string{"dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 methods × 1 schedule × 2 thread counts.
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Elapsed <= 0 {
+			t.Fatalf("non-positive time %+v", pt)
+		}
+		if pt.Threads == 1 && (pt.Speedup < 0.5 || pt.Speedup > 2.0) {
+			t.Fatalf("1-thread speedup %.2f not ≈ 1", pt.Speedup)
+		}
+	}
+	if !strings.Contains(res.Report, "speedup") {
+		t.Fatal("report missing speedups")
+	}
+}
+
+func TestScalingAllMethodsListed(t *testing.T) {
+	ms := scalingMethods()
+	want := []string{"MR", "BP-batch1", "BP-batch10", "BP-batch20"}
+	if len(ms) != len(want) {
+		t.Fatalf("methods = %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name != want[i] {
+			t.Fatalf("method %d = %s, want %s", i, m.Name, want[i])
+		}
+	}
+}
+
+func TestStepScalingMR(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 3
+	res, err := StepScaling(c, "dmela-scere", "MR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := map[string]bool{}
+	for _, pt := range res.Points {
+		steps[pt.Step] = true
+		if pt.Fraction < 0 || pt.Fraction > 1 {
+			t.Fatalf("fraction %g", pt.Fraction)
+		}
+	}
+	for _, s := range []string{"rowmatch", "daxpy", "match", "objective", "updateU"} {
+		if !steps[s] {
+			t.Fatalf("missing MR step %s", s)
+		}
+	}
+}
+
+func TestStepDominanceClaims(t *testing.T) {
+	// The paper's Figures 6-7 identify the dominant steps: for MR, row
+	// match + matching carry most of the runtime; for BP, matching
+	// dominates with othermax second among the compute steps. Assert
+	// those orderings at small scale.
+	c := Config{Scale: 0.01, Seed: 7, Iterations: 6, Threads: []int{1}}
+	mr, err := StepScaling(c, "lcsh-wiki", "MR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := map[string]float64{}
+	for _, pt := range mr.Points {
+		frac[pt.Step] = pt.Fraction
+	}
+	if frac["rowmatch"]+frac["match"] < 0.5 {
+		t.Fatalf("MR rowmatch+match only %.0f%% of runtime", 100*(frac["rowmatch"]+frac["match"]))
+	}
+	bp, err := StepScaling(c, "lcsh-wiki", "BP-batch20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac = map[string]float64{}
+	for _, pt := range bp.Points {
+		frac[pt.Step] = pt.Fraction
+	}
+	if frac["match"] < 0.4 {
+		t.Fatalf("BP matching only %.0f%% of runtime", 100*frac["match"])
+	}
+	for _, other := range []string{"boundF", "computeD", "updateS", "damping"} {
+		if frac[other] > frac["othermax"]+0.05 {
+			t.Fatalf("step %s (%.0f%%) above othermax (%.0f%%)", other, 100*frac[other], 100*frac["othermax"])
+		}
+	}
+}
+
+func TestSoakLargeStandIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	// A larger end-to-end run: lcsh-wiki at scale 0.05, both methods
+	// with approximate rounding, quality sanity against the
+	// round-weights baseline.
+	p, err := gen.LcshWiki(0.05, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.BaselineAlign(core.BaselineOptions{Kind: core.BaselineRoundWeights, Rounding: matching.Approx})
+	bp := p.BPAlign(core.BPOptions{Iterations: 40, Batch: 20, Rounding: matching.Approx})
+	if err := bp.Matching.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Objective < base.Objective {
+		t.Fatalf("BP %g below round-weights baseline %g at scale 0.05", bp.Objective, base.Objective)
+	}
+	mr := p.KlauAlign(core.MROptions{Iterations: 15, Rounding: matching.Approx})
+	if err := mr.Matching.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepScalingBP(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 4
+	res, err := StepScaling(c, "dmela-scere", "BP-batch20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := map[string]bool{}
+	var total time.Duration
+	for _, pt := range res.Points {
+		steps[pt.Step] = true
+		total += pt.Elapsed
+	}
+	for _, s := range []string{"boundF", "computeD", "othermax", "updateS", "damping", "match"} {
+		if !steps[s] {
+			t.Fatalf("missing BP step %s", s)
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if _, err := StepScaling(c, "dmela-scere", "nope"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestConfigThreadList(t *testing.T) {
+	c := Config{Threads: []int{3, 5}}
+	got := c.threadList()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("threadList = %v", got)
+	}
+	d := Config{}
+	auto := d.threadList()
+	if len(auto) == 0 || auto[0] != 1 {
+		t.Fatalf("auto threadList = %v", auto)
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	if parseSched("static").String() != "static" ||
+		parseSched("guided").String() != "guided" ||
+		parseSched("dynamic").String() != "dynamic" ||
+		parseSched("").String() != "dynamic" {
+		t.Fatal("parseSched wrong")
+	}
+}
+
+func TestMatcherComparison(t *testing.T) {
+	res, err := MatcherComparison(quickConfig(), "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points = %d, want 7", len(res.Points))
+	}
+	var exact float64
+	for _, pt := range res.Points {
+		if pt.Matcher == "exact" {
+			exact = pt.Weight
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Weight > exact+1e-6 {
+			t.Fatalf("%s weight %g exceeds exact %g", pt.Matcher, pt.Weight, exact)
+		}
+		switch pt.Matcher {
+		case "greedy", "locally-dominant", "locally-dominant-1side", "suitor", "path-growing":
+			if pt.Weight < exact/2-1e-9 {
+				t.Fatalf("%s weight %g below half of exact %g", pt.Matcher, pt.Weight, exact)
+			}
+		case "auction":
+			if pt.WeightRatio < 0.999 {
+				t.Fatalf("auction ratio %g, want ≈ 1", pt.WeightRatio)
+			}
+		}
+	}
+	if _, err := MatcherComparison(quickConfig(), "bogus"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 4
+	res, err := Headline(c, "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowTime <= 0 || res.FastTime <= 0 {
+		t.Fatalf("times %v %v", res.SlowTime, res.FastTime)
+	}
+	// The fast configuration must not collapse quality: BP iterates
+	// are matcher-independent, so the ratio should be near 1.
+	if res.QualityRatio < 0.85 || res.QualityRatio > 1.15 {
+		t.Fatalf("quality ratio %.3f", res.QualityRatio)
+	}
+	// The approximate matcher is asymptotically cheaper; even on one
+	// CPU the fast configuration must win.
+	if res.Speedup < 1 {
+		t.Fatalf("speedup %.2f < 1", res.Speedup)
+	}
+	if _, err := Headline(c, "zzz"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestFig2Baselines(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 4
+	c.IncludeBaselines = true
+	res, err := Fig2(c, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig2Methods)+len(Fig2Baselines) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	seen := map[string]bool{}
+	for _, pt := range res.Points {
+		seen[pt.Method] = true
+	}
+	if !seen["round-w"] || !seen["isorank"] {
+		t.Fatal("baseline curves missing")
+	}
+	if !strings.Contains(res.Report, "isorank") {
+		t.Fatal("report missing baseline column")
+	}
+}
+
+func TestFig2Repeats(t *testing.T) {
+	c := quickConfig()
+	c.Repeats = 2
+	c.Iterations = 4
+	res, err := Fig2(c, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig2Methods) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.ObjStd < 0 {
+			t.Fatalf("negative std %+v", pt)
+		}
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 3
+	t2, err := Table2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(t2.CSV(), "problem,") {
+		t.Fatal("table2 csv header wrong")
+	}
+	f2, err := Fig2(c, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2.CSV(), "BP-approx") {
+		t.Fatal("fig2 csv missing rows")
+	}
+	mc, err := MatcherComparison(c, "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mc.CSV(), "suitor") {
+		t.Fatal("matcher csv missing rows")
+	}
+	sc, err := Scaling(c, "dmela-scere", []string{"MR"}, []string{"dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sc.CSV(), "dynamic") {
+		t.Fatal("scaling csv missing rows")
+	}
+	ss, err := StepScaling(c, "dmela-scere", "MR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ss.CSV(), "rowmatch") {
+		t.Fatal("step csv missing rows")
+	}
+	f3, err := Fig3(c, "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3.CSV(), "MR-exact") {
+		t.Fatal("fig3 csv missing rows")
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 10
+	res, err := Convergence(c, "dmela-scere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MRTrace) != 10 {
+		t.Fatalf("MR trace %d evaluations, want 10", len(res.MRTrace))
+	}
+	if len(res.BPTrace) != 20 { // y and z each iteration
+		t.Fatalf("BP trace %d evaluations, want 20", len(res.BPTrace))
+	}
+	if res.MRBestAt <= 0 || res.MRBestAt > 1 || res.BPBestAt <= 0 || res.BPBestAt > 1 {
+		t.Fatalf("best-at fractions %g %g", res.MRBestAt, res.BPBestAt)
+	}
+	if res.Report == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	d, at := traceStats([]float64{1, 3, 2, 5, 4})
+	if d != 2 {
+		t.Fatalf("decreases = %d, want 2", d)
+	}
+	if at != 4.0/5.0 {
+		t.Fatalf("bestAt = %g", at)
+	}
+	if d, at := traceStats(nil); d != 0 || at != 0 {
+		t.Fatal("empty trace stats wrong")
+	}
+}
+
+func TestLPComparison(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 15
+	res, err := LPComparison(c, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		// LP bound dominates every integral solution.
+		for name, v := range map[string]float64{
+			"LP rounded": pt.LPRounded, "BP": pt.BP, "MR": pt.MR,
+			"round-w": pt.RoundW, "isorank": pt.IsoRank, "identity": pt.IdentityObj,
+		} {
+			if v > pt.LPBound+1e-6 {
+				t.Fatalf("dbar=%g: %s objective %g exceeds LP bound %g", pt.Degree, name, v, pt.LPBound)
+			}
+		}
+		// §III: the iterative methods outperform (here: at least
+		// match) LP rounding on easy planted instances.
+		if pt.BP < pt.LPRounded-1e-6 {
+			t.Fatalf("dbar=%g: BP %g below LP rounding %g", pt.Degree, pt.BP, pt.LPRounded)
+		}
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	c := quickConfig()
+	c.Iterations = 3
+	var buf strings.Builder
+	if err := FullReport(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table II", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Matcher library", "Headline",
+		"Objective traces", "LP relaxation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing section %q", want)
+		}
+	}
+}
+
+func TestBuildNamedUnknown(t *testing.T) {
+	if _, err := buildNamed("x", quickConfig()); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

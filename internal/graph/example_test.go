@@ -1,0 +1,34 @@
+package graph_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netalignmc/internal/graph"
+)
+
+func ExampleBuilder() {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 0) // duplicate, dropped
+	g := b.Build()
+	fmt.Println(g.NumVertices(), g.NumEdges(), g.Neighbors(1))
+	// Output:
+	// 3 2 [0 2]
+}
+
+func ExamplePowerLaw() {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.PowerLaw(rng, 400, 2.1, 1, 30)
+	fmt.Println(g.NumVertices() == 400, g.NumEdges() > 0)
+	// Output:
+	// true true
+}
+
+func ExampleGraph_DegreeHistogram() {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	fmt.Println(g.DegreeHistogram())
+	// Output:
+	// [0 3 0 1]
+}

@@ -1,0 +1,205 @@
+// Package lp provides a dense tableau simplex solver for linear
+// programs in the inequality standard form
+//
+//	maximize    cᵀx
+//	subject to  Ax ≤ b,  x ≥ 0,  b ≥ 0,
+//
+// which is exactly the shape of the network-alignment LP relaxation
+// (Section III of the paper: relax the integrality constraint of the
+// MILP; "solving the resulting linear program will compute a
+// real-valued score for each edge"). Because b ≥ 0 the slack basis is
+// feasible, so no phase-1 is needed. Bland's rule guards against
+// cycling; the solver is meant for the small instances the LP
+// baseline is evaluated on, not for production-scale LPs.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+	// IterationLimit means the solver stopped before convergence.
+	IterationLimit
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Constraint is one row aᵀx ≤ b given sparsely.
+type Constraint struct {
+	Cols []int
+	Vals []float64
+	B    float64
+}
+
+// Problem is an LP in inequality standard form.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars
+	Constraints []Constraint
+}
+
+// Solution holds the primal solution and objective value.
+type Solution struct {
+	X      []float64
+	Value  float64
+	Status Status
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+const eps = 1e-9
+
+// Solve runs the primal simplex method. maxIters <= 0 selects a
+// default proportional to the problem size.
+func Solve(p *Problem, maxIters int) (*Solution, error) {
+	n := p.NumVars
+	m := len(p.Constraints)
+	if len(p.Objective) != n {
+		return nil, fmt.Errorf("lp: objective length %d != %d vars", len(p.Objective), n)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Cols) != len(c.Vals) {
+			return nil, fmt.Errorf("lp: constraint %d has %d cols, %d vals", i, len(c.Cols), len(c.Vals))
+		}
+		if c.B < 0 {
+			return nil, fmt.Errorf("lp: constraint %d has negative rhs %g (standard form requires b ≥ 0)", i, c.B)
+		}
+		for _, j := range c.Cols {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d of %d", i, j, n)
+			}
+		}
+	}
+	if maxIters <= 0 {
+		maxIters = 50 * (n + m + 10)
+	}
+
+	// Tableau: m rows × (n + m + 1) columns (structural vars, slacks,
+	// rhs), plus the objective row.
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, width)
+	}
+	for i, c := range p.Constraints {
+		for k, j := range c.Cols {
+			tab[i][j] += c.Vals[k]
+		}
+		tab[i][n+i] = 1
+		tab[i][width-1] = c.B
+	}
+	// Objective row holds -c so that optimality is "no negative
+	// reduced costs".
+	for j := 0; j < n; j++ {
+		tab[m][j] = -p.Objective[j]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	sol := &Solution{X: make([]float64, n)}
+	for iter := 0; ; iter++ {
+		if iter >= maxIters {
+			sol.Status = IterationLimit
+			break
+		}
+		// Entering variable: most negative reduced cost (Dantzig),
+		// falling back to Bland's rule when progress stalls to prevent
+		// cycling on degenerate vertices.
+		pivotCol := -1
+		useBland := iter > maxIters/2
+		best := -eps
+		for j := 0; j < n+m; j++ {
+			rc := tab[m][j]
+			if rc < -eps {
+				if useBland {
+					pivotCol = j
+					break
+				}
+				if rc < best {
+					best = rc
+					pivotCol = j
+				}
+			}
+		}
+		if pivotCol == -1 {
+			sol.Status = Optimal
+			break
+		}
+		// Ratio test.
+		pivotRow := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][pivotCol]
+			if a > eps {
+				ratio := tab[i][width-1] / a
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && pivotRow >= 0 && basis[i] < basis[pivotRow]) {
+					bestRatio = ratio
+					pivotRow = i
+				}
+			}
+		}
+		if pivotRow == -1 {
+			sol.Status = Unbounded
+			break
+		}
+		pivot(tab, pivotRow, pivotCol)
+		basis[pivotRow] = pivotCol
+		sol.Iterations++
+	}
+
+	for i, b := range basis {
+		if b < n {
+			sol.X[b] = tab[i][width-1]
+		}
+	}
+	val := 0.0
+	for j := 0; j < n; j++ {
+		val += p.Objective[j] * sol.X[j]
+	}
+	sol.Value = val
+	return sol, nil
+}
+
+// pivot performs a Gauss–Jordan pivot on tab[r][c].
+func pivot(tab [][]float64, r, c int) {
+	width := len(tab[r])
+	inv := 1 / tab[r][c]
+	for j := 0; j < width; j++ {
+		tab[r][j] *= inv
+	}
+	tab[r][c] = 1
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		factor := tab[i][c]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= factor * tab[r][j]
+		}
+		tab[i][c] = 0
+	}
+}

@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleLP(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x ≤ 2 → x=2, y=2, value 10.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Cols: []int{0, 1}, Vals: []float64{1, 1}, B: 4},
+			{Cols: []int{0}, Vals: []float64{1}, B: 2},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Value-10) > 1e-9 || math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-2) > 1e-9 {
+		t.Fatalf("solution %v value %g", s.X, s.Value)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Cols: []int{1}, Vals: []float64{1}, B: 5}, // x unconstrained above
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{0},
+		Constraints: []Constraint{
+			{Cols: []int{0}, Vals: []float64{1}, B: 3},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || s.Value != 0 {
+		t.Fatalf("status %v value %g", s.Status, s.Value)
+	}
+}
+
+func TestNegativeCoefficientsInConstraints(t *testing.T) {
+	// max x s.t. x - y ≤ 1, y ≤ 2 → x = 3.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Cols: []int{0, 1}, Vals: []float64{1, -1}, B: 1},
+			{Cols: []int{1}, Vals: []float64{1}, B: 2},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-3) > 1e-9 {
+		t.Fatalf("value %g status %v", s.Value, s.Status)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}, 0); err == nil {
+		t.Fatal("short objective accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1},
+		Constraints: []Constraint{{Cols: []int{0}, Vals: []float64{1}, B: -1}}}, 0); err == nil {
+		t.Fatal("negative rhs accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1},
+		Constraints: []Constraint{{Cols: []int{5}, Vals: []float64{1}, B: 1}}}, 0); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1},
+		Constraints: []Constraint{{Cols: []int{0, 0}, Vals: []float64{1}, B: 1}}}, 0); err == nil {
+		t.Fatal("cols/vals mismatch accepted")
+	}
+}
+
+func TestDuplicateColumnEntriesSum(t *testing.T) {
+	// A constraint listing the same column twice sums: 2x ≤ 4 → x ≤ 2.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Cols: []int{0, 0}, Vals: []float64{1, 1}, B: 4},
+		},
+	}
+	s := solve(t, p)
+	if math.Abs(s.Value-2) > 1e-9 {
+		t.Fatalf("value %g, want 2", s.Value)
+	}
+}
+
+// bruteBoxLP evaluates a tiny LP by grid search over the feasible box
+// (coarse lower bound on the optimum for validation).
+func bruteBoxLP(p *Problem, grid int) float64 {
+	// Find per-variable upper bounds from singleton constraints; use 5
+	// as a default cap for the random instances generated below.
+	ub := make([]float64, p.NumVars)
+	for i := range ub {
+		ub[i] = 5
+	}
+	best := math.Inf(-1)
+	var rec func(i int, x []float64)
+	rec = func(i int, x []float64) {
+		if i == p.NumVars {
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for k, j := range c.Cols {
+					lhs += c.Vals[k] * x[j]
+				}
+				if lhs > c.B+1e-9 {
+					return
+				}
+			}
+			v := 0.0
+			for j, cj := range p.Objective {
+				v += cj * x[j]
+			}
+			if v > best {
+				best = v
+			}
+			return
+		}
+		for g := 0; g <= grid; g++ {
+			x[i] = ub[i] * float64(g) / float64(grid)
+			rec(i+1, x)
+		}
+	}
+	rec(0, make([]float64, p.NumVars))
+	return best
+}
+
+// Property: the simplex optimum dominates any feasible point found by
+// grid search, and the returned X is feasible.
+func TestQuickSimplexDominatesGrid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 1
+		m := rng.Intn(4) + 1
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 1
+		}
+		// Box constraints keep it bounded, plus random extra rows.
+		for j := 0; j < n; j++ {
+			p.Constraints = append(p.Constraints, Constraint{Cols: []int{j}, Vals: []float64{1}, B: 5})
+		}
+		for i := 0; i < m; i++ {
+			cols := []int{rng.Intn(n)}
+			vals := []float64{rng.Float64()*2 + 0.1}
+			p.Constraints = append(p.Constraints, Constraint{Cols: cols, Vals: vals, B: rng.Float64()*8 + 0.5})
+		}
+		s, err := Solve(p, 0)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Feasibility of the returned point.
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for k, j := range c.Cols {
+				lhs += c.Vals[k] * s.X[j]
+			}
+			if lhs > c.B+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return s.Value >= bruteBoxLP(p, 6)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Unbounded.String() != "unbounded" || IterationLimit.String() != "iteration-limit" {
+		t.Fatal("status names wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netalignmc/internal/graph"
+)
+
+// bruteMaxCard computes the maximum matching cardinality of a small
+// general graph by branch and bound.
+func bruteMaxCard(g *graph.Graph) int {
+	edges := g.Edges()
+	used := make([]bool, g.NumVertices())
+	best := 0
+	var rec func(i, count int)
+	rec = func(i, count int) {
+		if count+len(edges)-i <= best {
+			return
+		}
+		if count > best {
+			best = count
+		}
+		if i >= len(edges) {
+			return
+		}
+		e := edges[i]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			rec(i+1, count+1)
+			used[e.U], used[e.V] = false, false
+		}
+		rec(i+1, count)
+	}
+	rec(0, 0)
+	return best
+}
+
+func validateGeneralMates(t *testing.T, g *graph.Graph, mate []int, card int) {
+	t.Helper()
+	matched := 0
+	for v, m := range mate {
+		if m < 0 {
+			continue
+		}
+		if mate[m] != v {
+			t.Fatalf("mate not mutual at %d", v)
+		}
+		if !g.HasEdge(v, m) {
+			t.Fatalf("matched non-edge (%d,%d)", v, m)
+		}
+		matched++
+	}
+	if matched != 2*card {
+		t.Fatalf("card %d but %d matched vertices", card, matched)
+	}
+}
+
+func TestBlossomTriangle(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	mate, card := MaxCardinalityGeneral(g)
+	validateGeneralMates(t, g, mate, card)
+	if card != 1 {
+		t.Fatalf("triangle card = %d", card)
+	}
+}
+
+func TestBlossomOddCycleWithTail(t *testing.T) {
+	// 5-cycle plus a pendant: maximum matching has 3 edges — finding
+	// it requires augmenting through the blossom.
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0},
+		{U: 2, V: 5},
+	})
+	mate, card := MaxCardinalityGeneral(g)
+	validateGeneralMates(t, g, mate, card)
+	if card != 3 {
+		t.Fatalf("card = %d, want 3", card)
+	}
+}
+
+func TestBlossomPetersenLike(t *testing.T) {
+	// Two triangles joined by a path: perfect matching exists.
+	g := graph.FromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, // triangle 1
+		{U: 5, V: 6}, {U: 6, V: 7}, {U: 5, V: 7}, // triangle 2
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, // path
+	})
+	mate, card := MaxCardinalityGeneral(g)
+	validateGeneralMates(t, g, mate, card)
+	if card != 4 {
+		t.Fatalf("card = %d, want 4", card)
+	}
+}
+
+func TestBlossomEmptyAndSingleton(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	mate, card := MaxCardinalityGeneral(g)
+	if card != 0 {
+		t.Fatal("edgeless graph matched something")
+	}
+	for _, m := range mate {
+		if m != -1 {
+			t.Fatal("edgeless graph has mates")
+		}
+	}
+}
+
+func TestQuickBlossomMatchesBrute(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%11 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(rng, n, 0.4)
+		mate, card := MaxCardinalityGeneral(g)
+		for v, m := range mate {
+			if m >= 0 && (mate[m] != v || !g.HasEdge(v, m)) {
+				return false
+			}
+		}
+		return card == bruteMaxCard(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlossomAgainstHopcroftKarpOnBipartite(t *testing.T) {
+	// On bipartite inputs the blossom algorithm must agree with HK.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := rng.Intn(10)+1, rng.Intn(10)+1
+		bg := randomGraph(rng, na, nb, 0.3)
+		b := graph.NewBuilder(na + nb)
+		for e := 0; e < bg.NumEdges(); e++ {
+			b.AddEdge(bg.EdgeA[e], na+bg.EdgeB[e])
+		}
+		g := b.Build()
+		_, card := MaxCardinalityGeneral(g)
+		hk := HopcroftKarp(bg, nil)
+		if card != hk.Card {
+			t.Fatalf("trial %d: blossom %d != HK %d", trial, card, hk.Card)
+		}
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(rng, 300, 0.03)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxCardinalityGeneral(g)
+	}
+}

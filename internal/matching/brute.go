@@ -1,0 +1,43 @@
+package matching
+
+import "netalignmc/internal/bipartite"
+
+// Brute computes a maximum-weight matching by exhaustive branch and
+// bound over the edges. It is exponential and exists to validate the
+// exact solver on small instances in tests; it returns only the
+// optimal weight since distinct matchings can attain it.
+func Brute(g *bipartite.Graph) float64 {
+	usedA := make([]bool, g.NA)
+	usedB := make([]bool, g.NB)
+	best := 0.0
+	var rec func(e int, acc float64)
+	rec = func(e int, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		if e >= g.NumEdges() {
+			return
+		}
+		// Bound: remaining positive weight.
+		rem := 0.0
+		for k := e; k < g.NumEdges(); k++ {
+			if g.W[k] > 0 {
+				rem += g.W[k]
+			}
+		}
+		if acc+rem <= best {
+			return
+		}
+		// Take edge e if possible.
+		a, b := g.EdgeA[e], g.EdgeB[e]
+		if !usedA[a] && !usedB[b] && g.W[e] > 0 {
+			usedA[a], usedB[b] = true, true
+			rec(e+1, acc+g.W[e])
+			usedA[a], usedB[b] = false, false
+		}
+		// Skip edge e.
+		rec(e+1, acc)
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,389 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"netalignmc/internal/graph"
+	"netalignmc/internal/parallel"
+)
+
+// WeightedGraph pairs an undirected graph with edge weights aligned to
+// its adjacency array: W[k] is the weight of the edge whose directed
+// slot is Adj[k], and both slots of an undirected edge must carry the
+// same weight (checked by Validate).
+type WeightedGraph struct {
+	*graph.Graph
+	W []float64
+}
+
+// NewWeightedGraph builds a weighted graph from explicit edge weights.
+func NewWeightedGraph(g *graph.Graph, weights map[graph.Edge]float64) (*WeightedGraph, error) {
+	w := make([]float64, len(g.Adj))
+	for u := 0; u < g.NumVertices(); u++ {
+		lo := g.Ptr[u]
+		for i, v := range g.Neighbors(u) {
+			key := graph.Edge{U: u, V: v}
+			if u > v {
+				key = graph.Edge{U: v, V: u}
+			}
+			wt, ok := weights[key]
+			if !ok {
+				return nil, fmt.Errorf("matching: missing weight for edge %v", key)
+			}
+			w[lo+i] = wt
+		}
+	}
+	return &WeightedGraph{Graph: g, W: w}, nil
+}
+
+// Validate checks that both directed slots of every edge agree.
+func (g *WeightedGraph) Validate() error {
+	if len(g.W) != len(g.Adj) {
+		return fmt.Errorf("matching: weight array length %d != adjacency %d", len(g.W), len(g.Adj))
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		lo := g.Ptr[u]
+		for i, v := range g.Neighbors(u) {
+			// Find u in v's list.
+			vlo := g.Ptr[v]
+			found := false
+			for j, t := range g.Neighbors(v) {
+				if t == u {
+					if g.W[vlo+j] != g.W[lo+i] {
+						return fmt.Errorf("matching: asymmetric weight on edge (%d,%d)", u, v)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("matching: adjacency asymmetric at (%d,%d)", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// LocallyDominantGeneral runs the parallel locally-dominant
+// half-approximate matching (Algorithms 1–3) on a general weighted
+// graph — the algorithm's native setting ("The locally-dominant
+// algorithm can compute matchings in general graphs"). It returns the
+// mate array (mate[v] = partner or -1) and the matched weight.
+// The same guarantees hold: valid maximal matching, weight ≥ ½·opt.
+func LocallyDominantGeneral(g *WeightedGraph, threads int) (mate []int, weight float64) {
+	n := g.NumVertices()
+	st := &gldState{
+		g:         g,
+		mate:      make([]int32, n),
+		candidate: make([]int32, n),
+		queued:    make([]int32, n),
+		qNext:     make([]int32, n),
+	}
+	for i := range st.mate {
+		st.mate[i] = -1
+		st.candidate[i] = ldUnset
+	}
+	threads = parallel.Threads(threads)
+	chunk := n/(4*threads) + 1
+
+	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			st.setCandidate(int32(v), st.findMate(int32(v)))
+		}
+	})
+	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			st.processVertex(int32(v))
+		}
+	})
+	st.promote()
+	for len(st.qCur) > 0 {
+		cur := st.qCur
+		parallel.ForDynamic(len(cur), threads, chunk, func(lo, hi int) {
+			for qi := lo; qi < hi; qi++ {
+				u := cur[qi]
+				ulo, uhi := st.g.Ptr[u], st.g.Ptr[u+1]
+				for k := ulo; k < uhi; k++ {
+					v := int32(st.g.Adj[k])
+					if atomic.LoadInt32(&st.mate[v]) != -1 {
+						continue
+					}
+					c := atomic.LoadInt32(&st.candidate[v])
+					if c == u || c == ldUnset {
+						st.processVertex(v)
+					}
+				}
+			}
+		})
+		st.promote()
+	}
+
+	mate = make([]int, n)
+	for v := 0; v < n; v++ {
+		mate[v] = int(st.mate[v])
+		if p := st.mate[v]; p >= 0 && int(p) > v {
+			weight += st.weightOf(int32(v), p)
+		}
+	}
+	return mate, weight
+}
+
+// GreedyGeneral computes the sorted-greedy half-approximate matching
+// on a general weighted graph: the serial reference the parallel
+// general matchers are validated against.
+func GreedyGeneral(g *WeightedGraph) (mate []int, weight float64) {
+	n := g.NumVertices()
+	mate = make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	type wedge struct {
+		u, v int
+		w    float64
+	}
+	edges := make([]wedge, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		lo := g.Ptr[u]
+		for i, v := range g.Neighbors(u) {
+			if u < v && g.W[lo+i] > 0 {
+				edges = append(edges, wedge{u, v, g.W[lo+i]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		if mate[e.u] < 0 && mate[e.v] < 0 {
+			mate[e.u] = e.v
+			mate[e.v] = e.u
+			weight += e.w
+		}
+	}
+	return mate, weight
+}
+
+// SuitorGeneral computes the half-approximate matching on a general
+// weighted graph with the Suitor algorithm: every vertex proposes to
+// the heaviest neighbor whose standing offer it can beat; dethroned
+// suitors immediately re-propose. At termination the standing-suitor
+// relation is symmetric on matched pairs, and the matching equals the
+// greedy matching under the strict (weight, proposer id) order.
+func SuitorGeneral(g *WeightedGraph, threads int) (mate []int, weight float64) {
+	n := g.NumVertices()
+	st := &gSuitorState{
+		g:      g,
+		suitor: make([]int32, n),
+		offerW: make([]uint64, n),
+		lock:   make([]int32, n),
+	}
+	for i := range st.suitor {
+		st.suitor[i] = -1
+	}
+	threads = parallel.Threads(threads)
+	chunk := n/(4*threads) + 1
+	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			st.propose(int32(v))
+		}
+	})
+	mate = make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		u := st.suitor[v]
+		if u < 0 || int(u) > v {
+			continue
+		}
+		// Mutual standing proposals form the matching.
+		if st.suitor[u] == int32(v) {
+			mate[v] = int(u)
+			mate[u] = v
+			weight += st.g.weightBetween(int(u), v)
+		}
+	}
+	return mate, weight
+}
+
+// weightBetween returns the weight of edge (u, v), 0 if absent.
+func (g *WeightedGraph) weightBetween(u, v int) float64 {
+	lo := g.Ptr[u]
+	adj := g.Neighbors(u)
+	i := sort.SearchInts(adj, v)
+	if i < len(adj) && adj[i] == v {
+		return g.W[lo+i]
+	}
+	return 0
+}
+
+type gSuitorState struct {
+	g      *WeightedGraph
+	suitor []int32
+	offerW []uint64
+	lock   []int32
+}
+
+func (st *gSuitorState) lockVertex(v int32) {
+	for !atomic.CompareAndSwapInt32(&st.lock[v], 0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (st *gSuitorState) unlockVertex(v int32) { atomic.StoreInt32(&st.lock[v], 0) }
+
+func (st *gSuitorState) offer(v int32) (float64, int32) {
+	w := math.Float64frombits(atomic.LoadUint64(&st.offerW[v]))
+	s := atomic.LoadInt32(&st.suitor[v])
+	return w, s
+}
+
+func (st *gSuitorState) propose(v int32) {
+	g := st.g
+	current := v
+	for {
+		var best int32 = -1
+		bestW := 0.0
+		lo, hi := g.Ptr[current], g.Ptr[current+1]
+		for k := lo; k < hi; k++ {
+			t := int32(g.Adj[k])
+			w := g.W[k]
+			if w <= 0 {
+				continue
+			}
+			curW, curS := st.offer(t)
+			if !beats(w, current, curW, curS) {
+				continue
+			}
+			if w > bestW || (w == bestW && t > best) {
+				bestW = w
+				best = t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		st.lockVertex(best)
+		curW, curS := st.offer(best)
+		if beats(bestW, current, curW, curS) {
+			atomic.StoreInt32(&st.suitor[best], current)
+			atomic.StoreUint64(&st.offerW[best], math.Float64bits(bestW))
+			st.unlockVertex(best)
+			if curS < 0 {
+				return
+			}
+			current = curS
+		} else {
+			st.unlockVertex(best)
+		}
+	}
+}
+
+type gldState struct {
+	g         *WeightedGraph
+	mate      []int32
+	candidate []int32
+	queued    []int32
+	qCur      []int32
+	qNext     []int32
+	qNextLen  atomic.Int64
+}
+
+func (st *gldState) weightOf(u, v int32) float64 {
+	lo, hi := st.g.Ptr[u], st.g.Ptr[u+1]
+	for k := lo; k < hi; k++ {
+		if int32(st.g.Adj[k]) == v {
+			return st.g.W[k]
+		}
+	}
+	return 0
+}
+
+func (st *gldState) findMate(s int32) int32 {
+	best := int32(-1)
+	bestW := 0.0
+	lo, hi := st.g.Ptr[s], st.g.Ptr[s+1]
+	for k := lo; k < hi; k++ {
+		t := int32(st.g.Adj[k])
+		w := st.g.W[k]
+		if w <= 0 || atomic.LoadInt32(&st.mate[t]) != -1 {
+			continue
+		}
+		if w > bestW || (w == bestW && t > best) {
+			bestW = w
+			best = t
+		}
+	}
+	return best
+}
+
+func (st *gldState) setCandidate(v, c int32) { atomic.StoreInt32(&st.candidate[v], c) }
+
+func (st *gldState) candidateOf(v int32) int32 {
+	c := atomic.LoadInt32(&st.candidate[v])
+	if c == ldUnset {
+		c = st.findMate(v)
+		st.setCandidate(v, c)
+	}
+	return c
+}
+
+func (st *gldState) processVertex(v int32) {
+	for {
+		if atomic.LoadInt32(&st.mate[v]) != -1 {
+			return
+		}
+		c := st.findMate(v)
+		st.setCandidate(v, c)
+		if c < 0 {
+			return
+		}
+		if st.candidateOf(c) != v {
+			return
+		}
+		if st.tryMatch(v, c) {
+			st.enqueue(v)
+			st.enqueue(c)
+			return
+		}
+	}
+}
+
+func (st *gldState) tryMatch(v, c int32) bool {
+	lo, hi := v, c
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if !atomic.CompareAndSwapInt32(&st.mate[lo], -1, hi) {
+		return false
+	}
+	if !atomic.CompareAndSwapInt32(&st.mate[hi], -1, lo) {
+		atomic.StoreInt32(&st.mate[lo], -1)
+		return false
+	}
+	return true
+}
+
+func (st *gldState) enqueue(v int32) {
+	if !atomic.CompareAndSwapInt32(&st.queued[v], 0, 1) {
+		return
+	}
+	slot := st.qNextLen.Add(1) - 1
+	st.qNext[slot] = v
+}
+
+func (st *gldState) promote() {
+	nn := int(st.qNextLen.Load())
+	st.qCur = append(st.qCur[:0], st.qNext[:nn]...)
+	st.qNextLen.Store(0)
+}

@@ -1,0 +1,42 @@
+package matching
+
+import (
+	"sort"
+
+	"netalignmc/internal/bipartite"
+)
+
+// Greedy computes the classic serial half-approximate matching: visit
+// edges in order of decreasing weight (ties broken by edge index for
+// determinism) and take every edge whose endpoints are both free. Like
+// the locally-dominant algorithm it guarantees weight ≥ ½·optimum and
+// a maximal matching, but the global sort makes it inherently serial —
+// it serves as the sequential baseline for the parallel matcher.
+func Greedy(g *bipartite.Graph, threads int) *Result {
+	_ = threads
+	r := emptyResult(g)
+	m := g.NumEdges()
+	order := make([]int, 0, m)
+	for e := 0; e < m; e++ {
+		if g.W[e] > 0 {
+			order = append(order, e)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ei, ej := order[i], order[j]
+		if g.W[ei] != g.W[ej] {
+			return g.W[ei] > g.W[ej]
+		}
+		return ei < ej
+	})
+	for _, e := range order {
+		a, b := g.EdgeA[e], g.EdgeB[e]
+		if r.MateA[a] < 0 && r.MateB[b] < 0 {
+			r.MateA[a] = b
+			r.MateB[b] = a
+			r.Weight += g.W[e]
+			r.Card++
+		}
+	}
+	return r
+}

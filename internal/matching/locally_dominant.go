@@ -1,0 +1,406 @@
+package matching
+
+import (
+	"sync/atomic"
+
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/parallel"
+)
+
+// LocallyDominantOptions configures the parallel half-approximate
+// matcher.
+type LocallyDominantOptions struct {
+	// OneSidedInit enables the bipartite-tailored initialization from
+	// the end of Section V: Phase 1 spawns work only from the V_A
+	// vertex set; a V_A vertex determines local dominance by scanning
+	// the adjacency of its candidate V_B vertex directly. V_B
+	// candidates are initialized lazily during Phase 2. The paper
+	// found this "noticeably improved the speed of the algorithm".
+	OneSidedInit bool
+	// SortedAdjacency precomputes, per vertex, its incident edges in
+	// decreasing (weight, neighbor id) order so FINDMATE returns the
+	// first unmatched entry instead of scanning the whole list — the
+	// paper: "If the neighbor list is maintained in a sorted order,
+	// this step can be done in constant time." The sort costs
+	// O(E log d) once per call; it pays off when Phase 2 re-runs
+	// FINDMATE many times (dense or highly contended graphs).
+	SortedAdjacency bool
+	// Chunk is the dynamic-schedule chunk size for the parallel loops
+	// (0 means parallel.DefaultChunk).
+	Chunk int
+	// Stats, when non-nil, receives the run's queue dynamics.
+	Stats *LDStats
+}
+
+// LDStats records the Phase-2 queue dynamics of one LocallyDominant
+// run. The paper: "The size of Q_C determines the amount of work that
+// can be done in parallel... the size decreases roughly by half after
+// each iteration... The parallel time complexity of our implementation
+// is determined by the number of iterations of the while loop
+// (expected to be O(log |V|) if the size decreases by a constant in
+// each iteration)."
+type LDStats struct {
+	// QueueSizes[r] is |Q_C| entering round r of Phase 2 (the Phase-1
+	// output queue is round 0's input).
+	QueueSizes []int
+	// Rounds is the number of Phase-2 iterations executed.
+	Rounds int
+}
+
+// LocallyDominant computes a half-approximate maximum-weight matching
+// with the parallel locally-dominant algorithm (Preis; Manne and
+// Bisseling; multicore version of Halappanavar et al.) — Algorithms
+// 1–3 of the paper. The bipartite graph is treated as a general graph
+// over V = V_A ∪ V_B (the paper: "we provide a bipartite graph as a
+// general graph to the algorithm by not making a distinction between
+// the two sets of vertices").
+//
+// Phase 1 computes, for every vertex in parallel, a candidate: its
+// heaviest unmatched neighbor (FINDMATE), then matches every locally
+// dominant edge — one whose endpoints point at each other
+// (MATCHVERTEX). Matched vertices enter a queue. Phase 2 repeatedly
+// processes the queue: when u is matched, every neighbor v whose
+// candidate was u recomputes its candidate and re-tests dominance;
+// newly matched vertices enter the next round's queue. Queue appends
+// use an atomic fetch-and-add, the Go equivalent of the
+// __sync_fetch_and_add the paper uses; candidate/mate words are
+// accessed with sequentially consistent atomics and matches are
+// claimed with compare-and-swap so concurrent discoveries of
+// overlapping pairs resolve safely.
+func LocallyDominant(g *bipartite.Graph, threads int, opts LocallyDominantOptions) *Result {
+	n := g.NA + g.NB // combined vertex space: V_A then V_B
+	st := &ldState{
+		g:         g,
+		mate:      make([]int32, n),
+		candidate: make([]int32, n),
+		queued:    make([]int32, n),
+		qCur:      make([]int32, 0, n),
+		qNext:     make([]int32, n),
+	}
+	const unset = -2
+	for i := range st.mate {
+		st.mate[i] = -1
+		st.candidate[i] = unset
+	}
+	if opts.SortedAdjacency {
+		st.buildSortedAdjacency(threads)
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = parallel.DefaultChunk
+	}
+	// Small graphs: chunking at 1000 would serialize everything; let
+	// the scheduler split finer when there is little work per vertex.
+	if chunk > 1 && n/chunk < parallel.Threads(threads) {
+		chunk = n/(2*parallel.Threads(threads)) + 1
+	}
+
+	// Phase 1.
+	if opts.OneSidedInit {
+		// Spawn only from V_A: compute a's candidate and test
+		// dominance by scanning the candidate's adjacency directly.
+		parallel.ForDynamic(g.NA, threads, chunk, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				st.processVertex(int32(a))
+			}
+		})
+	} else {
+		parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				st.setCandidate(int32(v), st.findMate(int32(v)))
+			}
+		})
+		parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				st.processVertex(int32(v))
+			}
+		})
+	}
+
+	// Phase 1 enqueued the newly matched vertices into qNext; promote
+	// them to the current queue (the paper's Q_C ← Q_N pointer swap).
+	st.promoteQueue()
+
+	// Phase 2: drain rounds until no new matches occur.
+	for len(st.qCur) > 0 {
+		if opts.Stats != nil {
+			opts.Stats.QueueSizes = append(opts.Stats.QueueSizes, len(st.qCur))
+			opts.Stats.Rounds++
+		}
+		cur := st.qCur
+		st.qNextLen.Store(0)
+		parallel.ForDynamic(len(cur), threads, chunk, func(lo, hi int) {
+			for qi := lo; qi < hi; qi++ {
+				u := cur[qi]
+				st.forEachNeighbor(u, func(v int32) {
+					if atomic.LoadInt32(&st.mate[v]) != -1 {
+						return
+					}
+					c := atomic.LoadInt32(&st.candidate[v])
+					if c == u || c == unset {
+						st.processVertex(v)
+					}
+				})
+			}
+		})
+		st.promoteQueue()
+	}
+
+	r := emptyResult(g)
+	for a := 0; a < g.NA; a++ {
+		m := st.mate[a]
+		if m < 0 {
+			continue
+		}
+		b := int(m) - g.NA
+		e, ok := g.Find(a, b)
+		if !ok {
+			continue
+		}
+		r.MateA[a] = b
+		r.MateB[b] = a
+		r.Weight += g.W[e]
+		r.Card++
+	}
+	return r
+}
+
+// NewLocallyDominantMatcher adapts LocallyDominant to the Matcher
+// function type with fixed options.
+func NewLocallyDominantMatcher(opts LocallyDominantOptions) Matcher {
+	return func(g *bipartite.Graph, threads int) *Result {
+		return LocallyDominant(g, threads, opts)
+	}
+}
+
+// Approx is the default approximate Matcher: the locally-dominant
+// algorithm with one-sided initialization, the configuration the paper
+// settles on for its experiments.
+func Approx(g *bipartite.Graph, threads int) *Result {
+	return LocallyDominant(g, threads, LocallyDominantOptions{OneSidedInit: true})
+}
+
+// ldState is the shared state of one LocallyDominant run. Vertices are
+// numbered over the combined space: a ∈ V_A is vertex a; b ∈ V_B is
+// vertex NA+b.
+type ldState struct {
+	g         *bipartite.Graph
+	mate      []int32 // -1 unmatched, else partner vertex id
+	candidate []int32 // -2 unset, -1 no unmatched neighbor, else vertex id
+	queued    []int32 // 0/1 dedup flags for queue membership
+	qCur      []int32
+	qNext     []int32
+	qNextLen  atomic.Int64
+
+	// Sorted-adjacency acceleration (optional): per combined vertex,
+	// the incident (neighbor, weight) pairs in decreasing (weight, id)
+	// order, laid out contiguously with a pointer array.
+	sortedPtr []int
+	sortedNbr []int32
+	sortedW   []float64
+}
+
+// buildSortedAdjacency materializes the per-vertex sorted incidence
+// lists.
+func (st *ldState) buildSortedAdjacency(threads int) {
+	g := st.g
+	n := g.NA + g.NB
+	st.sortedPtr = make([]int, n+1)
+	for a := 0; a < g.NA; a++ {
+		st.sortedPtr[a+1] = st.sortedPtr[a] + g.DegreeA(a)
+	}
+	for b := 0; b < g.NB; b++ {
+		st.sortedPtr[g.NA+b+1] = st.sortedPtr[g.NA+b] + g.DegreeB(b)
+	}
+	total := st.sortedPtr[n]
+	st.sortedNbr = make([]int32, total)
+	st.sortedW = make([]float64, total)
+	parallel.ForDynamic(n, threads, 64, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := st.sortedPtr[v]
+			k := base
+			if v < g.NA {
+				elo, ehi := g.RowRange(v)
+				for e := elo; e < ehi; e++ {
+					st.sortedNbr[k] = int32(g.NA + g.EdgeB[e])
+					st.sortedW[k] = g.W[e]
+					k++
+				}
+			} else {
+				for _, e := range g.ColEdgesOf(v - g.NA) {
+					st.sortedNbr[k] = int32(g.EdgeA[e])
+					st.sortedW[k] = g.W[e]
+					k++
+				}
+			}
+			// Insertion sort by (weight desc, id desc): incidence
+			// lists are short in the sparse L graphs this is for.
+			for i := base + 1; i < k; i++ {
+				nb, w := st.sortedNbr[i], st.sortedW[i]
+				j := i - 1
+				for j >= base && (st.sortedW[j] < w || (st.sortedW[j] == w && st.sortedNbr[j] < nb)) {
+					st.sortedNbr[j+1], st.sortedW[j+1] = st.sortedNbr[j], st.sortedW[j]
+					j--
+				}
+				st.sortedNbr[j+1], st.sortedW[j+1] = nb, w
+			}
+		}
+	})
+}
+
+const ldUnset = int32(-2)
+
+// forEachNeighbor visits the combined-space neighbor ids of vertex v
+// without materializing a slice. For a V_A vertex these come from the
+// row view; for a V_B vertex from the column view.
+func (st *ldState) forEachNeighbor(v int32, fn func(int32)) {
+	g := st.g
+	if int(v) < g.NA {
+		lo, hi := g.RowRange(int(v))
+		for e := lo; e < hi; e++ {
+			fn(int32(g.NA + g.EdgeB[e]))
+		}
+		return
+	}
+	for _, e := range g.ColEdgesOf(int(v) - g.NA) {
+		fn(int32(g.EdgeA[e]))
+	}
+}
+
+// edgeWeightTo returns the weight of the edge between combined-space
+// vertices v and t, assuming it exists.
+func (st *ldState) edgeWeightTo(v, t int32) float64 {
+	g := st.g
+	a, b := int(v), int(t)-g.NA
+	if a >= g.NA {
+		a, b = int(t), int(v)-g.NA
+	}
+	e, _ := g.Find(a, b)
+	return g.W[e]
+}
+
+// findMate scans the neighborhood of s for its heaviest unmatched
+// neighbor with positive weight (Algorithm 2). Ties are broken by the
+// larger vertex id so all threads agree on dominance.
+func (st *ldState) findMate(s int32) int32 {
+	if st.sortedPtr != nil {
+		// Sorted incidence: the first unmatched entry is the answer.
+		for k := st.sortedPtr[s]; k < st.sortedPtr[s+1]; k++ {
+			if st.sortedW[k] <= 0 {
+				return -1 // remaining entries are no better
+			}
+			t := st.sortedNbr[k]
+			if atomic.LoadInt32(&st.mate[t]) == -1 {
+				return t
+			}
+		}
+		return -1
+	}
+	g := st.g
+	best := int32(-1)
+	bestW := 0.0
+	consider := func(t int32, w float64) {
+		if w <= 0 {
+			return
+		}
+		if atomic.LoadInt32(&st.mate[t]) != -1 {
+			return
+		}
+		if w > bestW || (w == bestW && t > best) {
+			bestW = w
+			best = t
+		}
+	}
+	if int(s) < g.NA {
+		lo, hi := g.RowRange(int(s))
+		for e := lo; e < hi; e++ {
+			consider(int32(g.NA+g.EdgeB[e]), g.W[e])
+		}
+	} else {
+		for _, e := range g.ColEdgesOf(int(s) - g.NA) {
+			consider(int32(g.EdgeA[e]), g.W[e])
+		}
+	}
+	return best
+}
+
+func (st *ldState) setCandidate(v, c int32) {
+	atomic.StoreInt32(&st.candidate[v], c)
+}
+
+// candidateOf returns v's candidate, computing it lazily if it is
+// still unset (one-sided initialization leaves V_B candidates unset
+// until first needed).
+func (st *ldState) candidateOf(v int32) int32 {
+	c := atomic.LoadInt32(&st.candidate[v])
+	if c == ldUnset {
+		c = st.findMate(v)
+		// Another thread may be doing the same; either result is a
+		// valid heaviest-unmatched snapshot, last write wins.
+		st.setCandidate(v, c)
+	}
+	return c
+}
+
+// processVertex recomputes v's candidate and matches the edge if it is
+// locally dominant (Algorithm 3 with CAS claiming). The retry loop
+// handles the race where v's chosen candidate is matched by another
+// thread between the dominance check and the claim.
+func (st *ldState) processVertex(v int32) {
+	for {
+		if atomic.LoadInt32(&st.mate[v]) != -1 {
+			return
+		}
+		c := st.findMate(v)
+		st.setCandidate(v, c)
+		if c < 0 {
+			return
+		}
+		if st.candidateOf(c) != v {
+			return
+		}
+		if st.tryMatch(v, c) {
+			st.enqueue(v)
+			st.enqueue(c)
+			return
+		}
+		// Claim failed: v or c was matched concurrently; re-examine.
+	}
+}
+
+// tryMatch atomically claims the pair (v, c), claiming the lower id
+// first so concurrent overlapping claims cannot both succeed.
+func (st *ldState) tryMatch(v, c int32) bool {
+	lo, hi := v, c
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if !atomic.CompareAndSwapInt32(&st.mate[lo], -1, hi) {
+		return false
+	}
+	if !atomic.CompareAndSwapInt32(&st.mate[hi], -1, lo) {
+		atomic.StoreInt32(&st.mate[lo], -1)
+		return false
+	}
+	return true
+}
+
+// promoteQueue makes the vertices queued since the last barrier the
+// current round's work list and resets the next-round queue.
+func (st *ldState) promoteQueue() {
+	nn := int(st.qNextLen.Load())
+	st.qCur = append(st.qCur[:0], st.qNext[:nn]...)
+	st.qNextLen.Store(0)
+}
+
+// enqueue adds v to the next-round queue once per run, using an atomic
+// fetch-and-add for the slot index (the paper's __sync_fetch_and_add)
+// and a CAS dedup flag so both discovering threads of a pair cannot
+// double-queue an endpoint.
+func (st *ldState) enqueue(v int32) {
+	if !atomic.CompareAndSwapInt32(&st.queued[v], 0, 1) {
+		return
+	}
+	slot := st.qNextLen.Add(1) - 1
+	st.qNext[slot] = v
+}

@@ -1,0 +1,179 @@
+// Package matching provides the bipartite matching algorithms at the
+// heart of the netalignmc reproduction:
+//
+//   - Exact maximum-weight bipartite matching via successive shortest
+//     augmenting paths with potentials (the rounding baseline and the
+//     solver for the small per-row problems in Klau's method).
+//   - A serial greedy half-approximation (sort edges by weight).
+//   - The parallel locally-dominant half-approximation of Preis /
+//     Manne–Bisseling as implemented for multicores by Halappanavar et
+//     al., which the paper substitutes for exact matching (Section V,
+//     Algorithms 1–3), including the bipartite one-sided
+//     initialization variant.
+//
+// All algorithms consume the bipartite candidate graph L
+// (internal/bipartite) and produce a Result in L's canonical edge
+// order, so alignment code can swap matchers freely — exactly the
+// substitution the paper studies.
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"netalignmc/internal/bipartite"
+)
+
+// Result describes a matching in a bipartite graph. MateA[a] is the
+// V_B vertex matched to a (or -1); MateB[b] is the V_A vertex matched
+// to b (or -1). Weight is the total weight of the matched edges and
+// Card their count.
+type Result struct {
+	MateA  []int
+	MateB  []int
+	Weight float64
+	Card   int
+}
+
+// NewResult builds a Result from per-side mate arrays, computing
+// weight and cardinality from the graph.
+func NewResult(g *bipartite.Graph, mateA, mateB []int) *Result {
+	r := &Result{MateA: mateA, MateB: mateB}
+	for a, b := range mateA {
+		if b < 0 {
+			continue
+		}
+		e, ok := g.Find(a, b)
+		if !ok {
+			continue
+		}
+		r.Weight += g.W[e]
+		r.Card++
+	}
+	return r
+}
+
+// Indicator returns the edge-indicator vector x over L's canonical
+// edge order: x[e] = 1 if edge e is matched.
+func (r *Result) Indicator(g *bipartite.Graph) []float64 {
+	x := make([]float64, g.NumEdges())
+	for a, b := range r.MateA {
+		if b < 0 {
+			continue
+		}
+		if e, ok := g.Find(a, b); ok {
+			x[e] = 1
+		}
+	}
+	return x
+}
+
+// Validate checks that the result is a consistent matching on g:
+// mates are mutual, in range, and every matched pair is an edge of g.
+func (r *Result) Validate(g *bipartite.Graph) error {
+	if len(r.MateA) != g.NA || len(r.MateB) != g.NB {
+		return fmt.Errorf("matching: mate array sizes %d,%d != %d,%d", len(r.MateA), len(r.MateB), g.NA, g.NB)
+	}
+	card := 0
+	weight := 0.0
+	for a, b := range r.MateA {
+		if b < 0 {
+			continue
+		}
+		if b >= g.NB {
+			return fmt.Errorf("matching: MateA[%d] = %d out of range", a, b)
+		}
+		if r.MateB[b] != a {
+			return fmt.Errorf("matching: MateA[%d]=%d but MateB[%d]=%d", a, b, b, r.MateB[b])
+		}
+		e, ok := g.Find(a, b)
+		if !ok {
+			return fmt.Errorf("matching: matched pair (%d,%d) is not an edge", a, b)
+		}
+		card++
+		weight += g.W[e]
+	}
+	for b, a := range r.MateB {
+		if a < 0 {
+			continue
+		}
+		if a >= g.NA || r.MateA[a] != b {
+			return fmt.Errorf("matching: MateB[%d]=%d not mutual", b, a)
+		}
+	}
+	if card != r.Card {
+		return fmt.Errorf("matching: cardinality %d recorded, %d actual", r.Card, card)
+	}
+	if math.Abs(weight-r.Weight) > 1e-9*(1+math.Abs(weight)) {
+		return fmt.Errorf("matching: weight %g recorded, %g actual", r.Weight, weight)
+	}
+	return nil
+}
+
+// IsMaximal reports whether no edge with positive weight has both
+// endpoints unmatched (the maximality guarantee of the
+// locally-dominant algorithm, restricted to positive weights since
+// non-positive edges are never candidates).
+func (r *Result) IsMaximal(g *bipartite.Graph) bool {
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.W[e] <= 0 {
+			continue
+		}
+		if r.MateA[g.EdgeA[e]] < 0 && r.MateB[g.EdgeB[e]] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStable reports whether the matching is 2-stable: no unmatched
+// edge outweighs both of its endpoints' matched edges. Stability is
+// the defining property of locally-dominant matchings (greedy, the
+// parallel locally-dominant algorithm and Suitor all produce stable
+// matchings, which is where their ½-approximation comes from), while
+// an optimal matching need not be stable — trading a locally heavy
+// edge for two lighter ones can raise total weight.
+func (r *Result) IsStable(g *bipartite.Graph) bool {
+	// matchedWeight[v] = weight of the edge covering v, 0 if free.
+	wA := make([]float64, g.NA)
+	wB := make([]float64, g.NB)
+	for a, b := range r.MateA {
+		if b < 0 {
+			continue
+		}
+		if e, ok := g.Find(a, b); ok {
+			wA[a] = g.W[e]
+			wB[b] = g.W[e]
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.W[e] <= 0 {
+			continue
+		}
+		a, b := g.EdgeA[e], g.EdgeB[e]
+		if r.MateA[a] == b {
+			continue
+		}
+		if g.W[e] > wA[a]+1e-12 && g.W[e] > wB[b]+1e-12 {
+			return false // blocking edge
+		}
+	}
+	return true
+}
+
+// Matcher computes a matching of g using at most threads workers
+// (threads <= 0 means GOMAXPROCS). The alignment methods accept any
+// Matcher, which is how exact and approximate rounding are swapped.
+type Matcher func(g *bipartite.Graph, threads int) *Result
+
+// emptyResult returns the all-unmatched result for g.
+func emptyResult(g *bipartite.Graph) *Result {
+	r := &Result{MateA: make([]int, g.NA), MateB: make([]int, g.NB)}
+	for i := range r.MateA {
+		r.MateA[i] = -1
+	}
+	for i := range r.MateB {
+		r.MateB[i] = -1
+	}
+	return r
+}

@@ -1,0 +1,394 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netalignmc/internal/bipartite"
+)
+
+func mustGraph(t testing.TB, na, nb int, edges []bipartite.WeightedEdge) *bipartite.Graph {
+	t.Helper()
+	g, err := bipartite.New(na, nb, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomGraph(rng *rand.Rand, na, nb int, density float64) *bipartite.Graph {
+	var edges []bipartite.WeightedEdge
+	for a := 0; a < na; a++ {
+		for b := 0; b < nb; b++ {
+			if rng.Float64() < density {
+				edges = append(edges, bipartite.WeightedEdge{A: a, B: b, W: rng.Float64()*10 + 0.01})
+			}
+		}
+	}
+	g, err := bipartite.New(na, nb, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestExactSimple(t *testing.T) {
+	// a0-b0 (1), a0-b1 (2), a1-b0 (3): optimum matches a0-b1 and a1-b0.
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 0, B: 1, W: 2}, {A: 1, B: 0, W: 3},
+	})
+	r := Exact(g, 1)
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 5 || r.Card != 2 {
+		t.Fatalf("Exact weight=%g card=%d, want 5,2", r.Weight, r.Card)
+	}
+	if r.MateA[0] != 1 || r.MateA[1] != 0 {
+		t.Fatalf("Exact mates %v", r.MateA)
+	}
+}
+
+func TestExactPrefersUnmatchedOverNegative(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 5}, {A: 1, B: 1, W: -3},
+	})
+	r := Exact(g, 1)
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if r.Weight != 5 || r.Card != 1 {
+		t.Fatalf("weight=%g card=%d; negative edge must be dropped", r.Weight, r.Card)
+	}
+	if r.MateA[1] != -1 {
+		t.Fatal("vertex with only a negative edge should stay unmatched")
+	}
+}
+
+func TestExactZeroWeightUnmatched(t *testing.T) {
+	g := mustGraph(t, 1, 1, []bipartite.WeightedEdge{{A: 0, B: 0, W: 0}})
+	r := Exact(g, 1)
+	if r.Card != 0 || r.Weight != 0 {
+		t.Fatalf("zero-weight edge matched: %+v", r)
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	for _, g := range []*bipartite.Graph{
+		mustGraph(t, 0, 0, nil),
+		mustGraph(t, 3, 4, nil),
+	} {
+		r := Exact(g, 1)
+		if err := r.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if r.Card != 0 {
+			t.Fatal("empty graph produced matches")
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		na := rng.Intn(6) + 1
+		nb := rng.Intn(6) + 1
+		g := randomGraph(rng, na, nb, 0.5)
+		r := Exact(g, 1)
+		if err := r.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		want := Brute(g)
+		if math.Abs(r.Weight-want) > 1e-9 {
+			t.Fatalf("trial %d: Exact=%g Brute=%g (na=%d nb=%d m=%d)", trial, r.Weight, want, na, nb, g.NumEdges())
+		}
+	}
+}
+
+func TestGreedyHalfApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.4)
+		gr := Greedy(g, 1)
+		if err := gr.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if !gr.IsMaximal(g) {
+			t.Fatal("greedy matching not maximal")
+		}
+		opt := Brute(g)
+		if gr.Weight < opt/2-1e-9 {
+			t.Fatalf("greedy %g below half of optimum %g", gr.Weight, opt)
+		}
+	}
+}
+
+func TestLocallyDominantBasic(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 0, B: 1, W: 2}, {A: 1, B: 0, W: 3},
+	})
+	for _, oneSided := range []bool{false, true} {
+		r := LocallyDominant(g, 2, LocallyDominantOptions{OneSidedInit: oneSided})
+		if err := r.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		// Locally dominant takes a1-b0 (heaviest), then a0-b1.
+		if r.Weight != 5 || r.Card != 2 {
+			t.Fatalf("oneSided=%v: weight=%g card=%d", oneSided, r.Weight, r.Card)
+		}
+	}
+}
+
+func TestLocallyDominantEqualsGreedyWeightOnDistinctWeights(t *testing.T) {
+	// With all-distinct weights, the locally-dominant matching equals
+	// the greedy matching (classic result).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, rng.Intn(10)+2, rng.Intn(10)+2, 0.4)
+		gr := Greedy(g, 1)
+		for _, oneSided := range []bool{false, true} {
+			ld := LocallyDominant(g, 4, LocallyDominantOptions{OneSidedInit: oneSided})
+			if err := ld.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ld.Weight-gr.Weight) > 1e-9 {
+				t.Fatalf("trial %d oneSided=%v: LD=%g greedy=%g", trial, oneSided, ld.Weight, gr.Weight)
+			}
+		}
+	}
+}
+
+// Property: the locally-dominant matching is a valid, maximal matching
+// with weight at least half the optimum — for both init variants,
+// sorted and scanned adjacency, and several thread counts.
+func TestQuickLocallyDominantGuarantees(t *testing.T) {
+	f := func(seed int64, naRaw, nbRaw, thrRaw uint8, oneSided, sorted bool) bool {
+		na := int(naRaw)%9 + 1
+		nb := int(nbRaw)%9 + 1
+		threads := int(thrRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, na, nb, 0.45)
+		r := LocallyDominant(g, threads, LocallyDominantOptions{
+			OneSidedInit: oneSided, SortedAdjacency: sorted, Chunk: 2,
+		})
+		if r.Validate(g) != nil || !r.IsMaximal(g) {
+			return false
+		}
+		opt := Brute(g)
+		return r.Weight >= opt/2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedAdjacencyMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, rng.Intn(15)+2, rng.Intn(15)+2, 0.4)
+		plain := LocallyDominant(g, 3, LocallyDominantOptions{})
+		sorted := LocallyDominant(g, 3, LocallyDominantOptions{SortedAdjacency: true})
+		if err := sorted.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain.Weight-sorted.Weight) > 1e-9 {
+			t.Fatalf("trial %d: sorted %g != scan %g", trial, sorted.Weight, plain.Weight)
+		}
+	}
+}
+
+func TestLocallyDominantManyThreadsLargeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(rng, 300, 280, 0.03)
+	serial := LocallyDominant(g, 1, LocallyDominantOptions{})
+	if err := serial.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 4, 8} {
+		for _, oneSided := range []bool{false, true} {
+			r := LocallyDominant(g, threads, LocallyDominantOptions{OneSidedInit: oneSided, Chunk: 16})
+			if err := r.Validate(g); err != nil {
+				t.Fatalf("threads=%d oneSided=%v: %v", threads, oneSided, err)
+			}
+			if !r.IsMaximal(g) {
+				t.Fatalf("threads=%d oneSided=%v: not maximal", threads, oneSided)
+			}
+			// Distinct random weights: result must equal the greedy
+			// weight regardless of threads.
+			if math.Abs(r.Weight-serial.Weight) > 1e-9 {
+				t.Fatalf("threads=%d oneSided=%v: weight %g != serial %g", threads, oneSided, r.Weight, serial.Weight)
+			}
+		}
+	}
+}
+
+func TestApproxMatcherIsHalfApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := randomGraph(rng, 40, 40, 0.15)
+	r := Approx(g, 4)
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	ex := Exact(g, 1)
+	if r.Weight < ex.Weight/2-1e-9 {
+		t.Fatalf("approx %g below half of exact %g", r.Weight, ex.Weight)
+	}
+	if r.Weight > ex.Weight+1e-9 {
+		t.Fatalf("approx %g exceeds exact %g", r.Weight, ex.Weight)
+	}
+}
+
+func TestExactSubset(t *testing.T) {
+	g := mustGraph(t, 3, 3, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 0, B: 1, W: 1}, {A: 1, B: 0, W: 1}, {A: 2, B: 2, W: 1},
+	})
+	// Subproblem over edges {(0,0),(0,1),(1,0)} with custom weights:
+	// picking (0,1)+(1,0) beats (0,0).
+	e00, _ := g.Find(0, 0)
+	e01, _ := g.Find(0, 1)
+	e10, _ := g.Find(1, 0)
+	sel, val := ExactSubset(g, []int{e00, e01, e10}, []float64{3, 2, 2})
+	if math.Abs(val-4) > 1e-9 {
+		t.Fatalf("subset value %g, want 4", val)
+	}
+	seen := map[int]bool{}
+	for _, s := range sel {
+		seen[s] = true
+	}
+	if !seen[1] || !seen[2] || seen[0] {
+		t.Fatalf("selected positions %v, want {1,2}", sel)
+	}
+}
+
+func TestExactSubsetEmptyAndNonPositive(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{{A: 0, B: 0, W: 1}})
+	if sel, val := ExactSubset(g, nil, nil); sel != nil || val != 0 {
+		t.Fatal("empty subset nonzero")
+	}
+	e, _ := g.Find(0, 0)
+	if sel, val := ExactSubset(g, []int{e}, []float64{-2}); len(sel) != 0 || val != 0 {
+		t.Fatal("non-positive weights must select nothing")
+	}
+}
+
+func TestExactSubsetMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, rng.Intn(6)+1, rng.Intn(6)+1, 0.6)
+		// Random sub-selection of edges with fresh weights.
+		var edges []int
+		var weights []float64
+		for e := 0; e < g.NumEdges(); e++ {
+			if rng.Float64() < 0.7 {
+				edges = append(edges, e)
+				weights = append(weights, rng.Float64()*4-0.5)
+			}
+		}
+		sel, val := ExactSubset(g, edges, weights)
+		// Verify selection is a matching and value matches.
+		usedA := map[int]bool{}
+		usedB := map[int]bool{}
+		sum := 0.0
+		for _, i := range sel {
+			e := edges[i]
+			a, b := g.EdgeA[e], g.EdgeB[e]
+			if usedA[a] || usedB[b] {
+				t.Fatal("subset selection is not a matching")
+			}
+			usedA[a], usedB[b] = true, true
+			sum += weights[i]
+		}
+		if math.Abs(sum-val) > 1e-9 {
+			t.Fatalf("reported %g, actual %g", val, sum)
+		}
+		// Compare against brute force on the subproblem.
+		var we []bipartite.WeightedEdge
+		for i, e := range edges {
+			if weights[i] > 0 {
+				we = append(we, bipartite.WeightedEdge{A: g.EdgeA[e], B: g.EdgeB[e], W: weights[i]})
+			}
+		}
+		sub, err := bipartite.New(g.NA, g.NB, we)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Brute(sub); math.Abs(val-want) > 1e-9 {
+			t.Fatalf("trial %d: subset=%g brute=%g", trial, val, want)
+		}
+	}
+}
+
+func TestResultIndicator(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1}, {A: 1, B: 1, W: 2},
+	})
+	r := Exact(g, 1)
+	x := r.Indicator(g)
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if int(sum) != r.Card {
+		t.Fatalf("indicator sum %g != card %d", sum, r.Card)
+	}
+}
+
+func TestValidateCatchesBadResults(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{{A: 0, B: 0, W: 1}})
+	r := Exact(g, 1)
+	bad := &Result{MateA: []int{0, -1}, MateB: []int{1, -1}, Weight: 1, Card: 1}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("non-mutual mates accepted")
+	}
+	bad2 := &Result{MateA: []int{1, -1}, MateB: []int{-1, 0}, Weight: 1, Card: 1}
+	if err := bad2.Validate(g); err == nil {
+		t.Fatal("non-edge pair accepted")
+	}
+	bad3 := &Result{MateA: r.MateA, MateB: r.MateB, Weight: r.Weight + 1, Card: r.Card}
+	if err := bad3.Validate(g); err == nil {
+		t.Fatal("wrong weight accepted")
+	}
+}
+
+func TestNewResultComputesWeight(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{{A: 0, B: 1, W: 3}, {A: 1, B: 0, W: 4}})
+	r := NewResult(g, []int{1, 0}, []int{1, 0})
+	if r.Weight != 7 || r.Card != 2 {
+		t.Fatalf("NewResult weight=%g card=%d", r.Weight, r.Card)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExactMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 500, 500, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g, 1)
+	}
+}
+
+func BenchmarkLocallyDominant(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 500, 500, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocallyDominant(g, 0, LocallyDominantOptions{OneSidedInit: true})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 500, 500, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g, 1)
+	}
+}

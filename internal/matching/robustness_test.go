@@ -1,0 +1,258 @@
+package matching
+
+// Robustness tests: adversarial graph structures and extreme weight
+// magnitudes that stress tie-breaking, potentials and bid increments.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netalignmc/internal/bipartite"
+)
+
+// allMatchers returns the weighted matchers with their approximation
+// floors (fraction of optimum they must reach).
+func allMatchers() map[string]struct {
+	m     Matcher
+	floor float64
+} {
+	return map[string]struct {
+		m     Matcher
+		floor float64
+	}{
+		"exact":        {Exact, 1},
+		"greedy":       {Greedy, 0.5},
+		"ld":           {NewLocallyDominantMatcher(LocallyDominantOptions{}), 0.5},
+		"ld-1side":     {NewLocallyDominantMatcher(LocallyDominantOptions{OneSidedInit: true}), 0.5},
+		"suitor":       {Suitor, 0.5},
+		"path-growing": {PathGrowing, 0.5},
+		"auction":      {NewAuctionMatcher(1e-9), 0.999},
+	}
+}
+
+func checkAll(t *testing.T, g *bipartite.Graph, opt float64, label string) {
+	t.Helper()
+	for name, entry := range allMatchers() {
+		r := entry.m(g, 2)
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("%s/%s: %v", label, name, err)
+		}
+		if r.Weight < opt*entry.floor-1e-6 {
+			t.Fatalf("%s/%s: weight %g below %g·%g", label, name, r.Weight, entry.floor, opt)
+		}
+		if r.Weight > opt+1e-6 {
+			t.Fatalf("%s/%s: weight %g exceeds optimum %g", label, name, r.Weight, opt)
+		}
+	}
+}
+
+// Property: every locally-dominant-family matcher produces a stable
+// matching; stability plus validity implies the ½ guarantee.
+func TestQuickStabilityOfHalfApproxFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	family := map[string]Matcher{
+		"greedy":   Greedy,
+		"ld":       NewLocallyDominantMatcher(LocallyDominantOptions{}),
+		"ld-1side": NewLocallyDominantMatcher(LocallyDominantOptions{OneSidedInit: true}),
+		"suitor":   Suitor,
+	}
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, rng.Intn(10)+2, rng.Intn(10)+2, 0.4)
+		for name, m := range family {
+			r := m(g, 2)
+			if !r.IsStable(g) {
+				t.Fatalf("trial %d: %s produced an unstable matching", trial, name)
+			}
+		}
+	}
+}
+
+// TestLDQueueDynamics reproduces the §V observation that the Phase-2
+// work queue shrinks rapidly, bounding the round count near O(log V).
+func TestLDQueueDynamics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 3000
+	g := randomGraph(rng, n, n, 4.0/float64(n))
+	stats := &LDStats{}
+	r := LocallyDominant(g, 2, LocallyDominantOptions{Stats: stats})
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 || len(stats.QueueSizes) != stats.Rounds {
+		t.Fatalf("stats not recorded: %+v", stats)
+	}
+	// Round count should be logarithmic-ish in |V|: allow a generous
+	// constant (log2(6000) ≈ 12.6; 4x slack).
+	if maxRounds := 4 * 13; stats.Rounds > maxRounds {
+		t.Fatalf("Phase 2 took %d rounds on %d vertices", stats.Rounds, 2*n)
+	}
+	// Queue sizes should shrink substantially over the run: the last
+	// round's queue must be far below the first's.
+	first := stats.QueueSizes[0]
+	last := stats.QueueSizes[len(stats.QueueSizes)-1]
+	if first > 20 && last > first/2 {
+		t.Fatalf("queue did not shrink: first %d, last %d (%v)", first, last, stats.QueueSizes)
+	}
+}
+
+// The classic stability-vs-optimality separation: on the 3-edge gadget
+// the optimal matching is unstable and the stable matching is ¾ of it.
+func TestStabilityOptimalitySeparation(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 3}, {A: 0, B: 1, W: 2}, {A: 1, B: 0, W: 2},
+	})
+	ex := Exact(g, 1)
+	if ex.Weight != 4 {
+		t.Fatalf("exact weight %g, want 4", ex.Weight)
+	}
+	if ex.IsStable(g) {
+		t.Fatal("the optimal matching here should be blocked by the weight-3 edge")
+	}
+	ld := Approx(g, 1)
+	if ld.Weight != 3 || !ld.IsStable(g) {
+		t.Fatalf("locally-dominant should pick the stable weight-3 edge, got %g (stable=%v)", ld.Weight, ld.IsStable(g))
+	}
+}
+
+func TestMatchersOnStar(t *testing.T) {
+	// One A vertex with many B options: optimum is the single best edge.
+	var edges []bipartite.WeightedEdge
+	for b := 0; b < 20; b++ {
+		edges = append(edges, bipartite.WeightedEdge{A: 0, B: b, W: float64(b + 1)})
+	}
+	g := mustGraph(t, 1, 20, edges)
+	checkAll(t, g, 20, "starA")
+
+	// The mirror: many A vertices, one B vertex.
+	edges = edges[:0]
+	for a := 0; a < 20; a++ {
+		edges = append(edges, bipartite.WeightedEdge{A: a, B: 0, W: float64(a + 1)})
+	}
+	g = mustGraph(t, 20, 1, edges)
+	checkAll(t, g, 20, "starB")
+}
+
+func TestMatchersOnAllEqualWeights(t *testing.T) {
+	// Complete 6x6 with all weights equal: optimum is 6 edges of
+	// weight 1; every matcher must produce a perfect matching (ties
+	// must not deadlock or drop vertices).
+	var edges []bipartite.WeightedEdge
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			edges = append(edges, bipartite.WeightedEdge{A: a, B: b, W: 1})
+		}
+	}
+	g := mustGraph(t, 6, 6, edges)
+	for name, entry := range allMatchers() {
+		r := entry.m(g, 3)
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Card != 6 {
+			t.Fatalf("%s: matched %d of 6 under uniform ties", name, r.Card)
+		}
+	}
+}
+
+func TestMatchersOnLongPath(t *testing.T) {
+	// Alternating path with increasing weights; exact optimum computed
+	// by brute force.
+	var edges []bipartite.WeightedEdge
+	n := 9
+	for i := 0; i < n; i++ {
+		edges = append(edges, bipartite.WeightedEdge{A: i, B: i, W: float64(2*i + 1)})
+		if i+1 < n {
+			edges = append(edges, bipartite.WeightedEdge{A: i + 1, B: i, W: float64(2*i + 2)})
+		}
+	}
+	g := mustGraph(t, n, n, edges)
+	opt := Brute(g)
+	checkAll(t, g, opt, "path")
+}
+
+func TestMatchersExtremeMagnitudes(t *testing.T) {
+	// Weights spanning ~300 orders of magnitude: potentials and bid
+	// arithmetic must not produce NaN or invalid matchings.
+	g := mustGraph(t, 3, 3, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: 1e-300}, {A: 0, B: 1, W: 1},
+		{A: 1, B: 1, W: 1e300}, {A: 1, B: 2, W: 1e-12},
+		{A: 2, B: 2, W: 42},
+	})
+	for name, entry := range allMatchers() {
+		if name == "auction" {
+			continue // auction's additive eps is meaningless at 1e300 scale
+		}
+		r := entry.m(g, 1)
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(r.Weight) || math.IsInf(r.Weight, 0) {
+			t.Fatalf("%s: non-finite weight", name)
+		}
+		// All must take the dominant 1e300 edge.
+		if r.MateA[1] != 1 {
+			t.Fatalf("%s: missed the dominant edge", name)
+		}
+	}
+}
+
+func TestMatchersDuplicateWeightsStress(t *testing.T) {
+	// Random graphs with only 3 distinct weight values: heavy ties.
+	rng := rand.New(rand.NewSource(3))
+	vals := []float64{1, 2, 3}
+	for trial := 0; trial < 25; trial++ {
+		na, nb := rng.Intn(8)+2, rng.Intn(8)+2
+		var edges []bipartite.WeightedEdge
+		for a := 0; a < na; a++ {
+			for b := 0; b < nb; b++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, bipartite.WeightedEdge{A: a, B: b, W: vals[rng.Intn(3)]})
+				}
+			}
+		}
+		g := mustGraph(t, na, nb, edges)
+		opt := Brute(g)
+		checkAll(t, g, opt, "ties")
+	}
+}
+
+func TestMatchersAllNegative(t *testing.T) {
+	g := mustGraph(t, 2, 2, []bipartite.WeightedEdge{
+		{A: 0, B: 0, W: -1}, {A: 0, B: 1, W: -5}, {A: 1, B: 0, W: -0.1},
+	})
+	for name, entry := range allMatchers() {
+		r := entry.m(g, 1)
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Card != 0 || r.Weight != 0 {
+			t.Fatalf("%s: matched negative edges: %+v", name, r)
+		}
+	}
+}
+
+func TestMatchersHugeDegreeImbalance(t *testing.T) {
+	// A few hub A vertices with hundreds of edges, many degree-1 A
+	// vertices: exercises the queue dynamics and suitor dethroning.
+	rng := rand.New(rand.NewSource(9))
+	var edges []bipartite.WeightedEdge
+	nb := 300
+	for b := 0; b < nb; b++ {
+		edges = append(edges, bipartite.WeightedEdge{A: b % 3, B: b, W: rng.Float64() + 0.01})
+	}
+	for a := 3; a < 100; a++ {
+		edges = append(edges, bipartite.WeightedEdge{A: a, B: rng.Intn(nb), W: rng.Float64() + 0.01})
+	}
+	g := mustGraph(t, 100, nb, edges)
+	ex := Exact(g, 1)
+	for name, entry := range allMatchers() {
+		r := entry.m(g, 4)
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Weight < ex.Weight*entry.floor-1e-9 {
+			t.Fatalf("%s: %g below floor of %g", name, r.Weight, ex.Weight)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package matching
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/parallel"
+)
+
+// Suitor computes a half-approximate maximum-weight matching with the
+// Suitor algorithm (Manne and Halappanavar), the successor to the
+// locally-dominant algorithm from the same research program as the
+// paper. Specialized to bipartite graphs, only V_A vertices propose:
+// each proposes to the heaviest neighbor whose standing offer it can
+// beat; a dethroned suitor immediately re-proposes elsewhere. This is
+// weighted deferred acceptance; with the strict (weight, proposer id)
+// order it computes exactly the greedy matching, hence weight ≥
+// ½·optimum and maximality over positive-weight edges.
+//
+// Concurrency: each V_B vertex's (suitor, offer) pair is guarded by a
+// per-vertex spinlock; the racy pre-scan is re-verified under the
+// lock. Offers strictly increase in the (weight, proposer) order, so
+// the number of successful proposals is bounded and the algorithm
+// terminates.
+func Suitor(g *bipartite.Graph, threads int) *Result {
+	st := &suitorState{
+		g:      g,
+		suitor: make([]int32, g.NB),
+		offerW: make([]uint64, g.NB),
+		lock:   make([]int32, g.NB),
+	}
+	for i := range st.suitor {
+		st.suitor[i] = -1
+	}
+	threads = parallel.Threads(threads)
+	chunk := g.NA/(4*threads) + 1
+	parallel.ForDynamic(g.NA, threads, chunk, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			st.propose(int32(a))
+		}
+	})
+
+	r := emptyResult(g)
+	for b := 0; b < g.NB; b++ {
+		a := st.suitor[b]
+		if a < 0 {
+			continue
+		}
+		// Each V_A vertex stands as suitor of at most one V_B vertex,
+		// so reading suitor[b] directly yields a matching.
+		if e, ok := g.Find(int(a), b); ok {
+			r.MateA[a] = b
+			r.MateB[b] = int(a)
+			r.Weight += g.W[e]
+			r.Card++
+		}
+	}
+	return r
+}
+
+type suitorState struct {
+	g      *bipartite.Graph
+	suitor []int32  // standing proposer of each V_B vertex, -1 none
+	offerW []uint64 // float64 bits of that proposal's weight
+	lock   []int32  // per-vertex spinlocks
+}
+
+func (st *suitorState) lockVertex(b int32) {
+	for !atomic.CompareAndSwapInt32(&st.lock[b], 0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (st *suitorState) unlockVertex(b int32) {
+	atomic.StoreInt32(&st.lock[b], 0)
+}
+
+func (st *suitorState) offer(b int32) (float64, int32) {
+	w := math.Float64frombits(atomic.LoadUint64(&st.offerW[b]))
+	s := atomic.LoadInt32(&st.suitor[b])
+	return w, s
+}
+
+// beats reports whether a proposal (w, proposer) beats the standing
+// proposal (curW, curSuitor), with proposer id breaking weight ties so
+// the order is strict and the algorithm terminates.
+func beats(w float64, proposer int32, curW float64, curSuitor int32) bool {
+	if w != curW {
+		return w > curW
+	}
+	return proposer > curSuitor
+}
+
+// propose runs the suitor chain starting at V_A vertex a: a proposes
+// to the best V_B neighbor it can beat; if that dethrones a previous
+// suitor the chain continues from the dethroned vertex.
+func (st *suitorState) propose(a int32) {
+	g := st.g
+	current := a
+	for {
+		var best int32 = -1
+		bestW := 0.0
+		lo, hi := g.RowRange(int(current))
+		for e := lo; e < hi; e++ {
+			w := g.W[e]
+			if w <= 0 {
+				continue
+			}
+			b := int32(g.EdgeB[e])
+			curW, curS := st.offer(b)
+			if !beats(w, current, curW, curS) {
+				continue
+			}
+			if w > bestW || (w == bestW && b > best) {
+				bestW = w
+				best = b
+			}
+		}
+		if best < 0 {
+			return // nobody left to propose to
+		}
+		st.lockVertex(best)
+		curW, curS := st.offer(best)
+		if beats(bestW, current, curW, curS) {
+			atomic.StoreInt32(&st.suitor[best], current)
+			atomic.StoreUint64(&st.offerW[best], math.Float64bits(bestW))
+			st.unlockVertex(best)
+			if curS < 0 {
+				return
+			}
+			current = curS // the dethroned suitor re-proposes
+		} else {
+			// Lost the race for this partner; rescan for another.
+			st.unlockVertex(best)
+		}
+	}
+}

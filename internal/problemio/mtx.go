@@ -1,0 +1,169 @@
+package problemio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/graph"
+)
+
+// Matrix Market coordinate format support (the other lingua franca of
+// sparse data alongside SMAT): 1-indexed "row col value" entries after
+// a "%%MatrixMarket matrix coordinate real general|symmetric" banner
+// and a "rows cols nnz" size line. Graphs are symmetric patterns;
+// candidate graphs are general real matrices.
+
+// WriteGraphMTX writes a graph as a symmetric Matrix Market pattern
+// (lower triangle stored once, as the format prescribes).
+func WriteGraphMTX(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern symmetric")
+	edges := g.Edges()
+	fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumVertices(), len(edges))
+	for _, e := range edges {
+		// Symmetric MM stores entries on or below the diagonal.
+		fmt.Fprintf(bw, "%d %d\n", e.V+1, e.U+1)
+	}
+	return bw.Flush()
+}
+
+// ReadGraphMTX reads a graph from a symmetric (or general, which is
+// symmetrized) Matrix Market file; values, if present, are ignored.
+func ReadGraphMTX(r io.Reader) (*graph.Graph, error) {
+	rows, cols, entries, pattern, err := readMTX(r)
+	if err != nil {
+		return nil, err
+	}
+	_ = pattern
+	if rows != cols {
+		return nil, fmt.Errorf("problemio: mtx graph must be square, got %dx%d", rows, cols)
+	}
+	b := graph.NewBuilder(rows)
+	for _, t := range entries {
+		if t.row != t.col {
+			b.AddEdge(t.row, t.col)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteLMTX writes the candidate graph L as a general real Matrix
+// Market matrix.
+func WriteLMTX(w io.Writer, l *bipartite.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", l.NA, l.NB, l.NumEdges())
+	for e := 0; e < l.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d %d %g\n", l.EdgeA[e]+1, l.EdgeB[e]+1, l.W[e])
+	}
+	return bw.Flush()
+}
+
+// ReadLMTX reads a candidate graph from a general real Matrix Market
+// matrix; pattern matrices get unit weights.
+func ReadLMTX(r io.Reader) (*bipartite.Graph, error) {
+	rows, cols, entries, _, err := readMTX(r)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]bipartite.WeightedEdge, len(entries))
+	for i, t := range entries {
+		edges[i] = bipartite.WeightedEdge{A: t.row, B: t.col, W: t.val}
+	}
+	return bipartite.New(rows, cols, edges)
+}
+
+// readMTX parses the coordinate format; symmetric inputs are expanded
+// to both triangles. Returned indices are 0-based.
+func readMTX(r io.Reader) (rows, cols int, entries []smatEntry, pattern bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: empty input (%v)", sc.Err())
+	}
+	banner := strings.Fields(strings.ToLower(strings.TrimSpace(sc.Text())))
+	if len(banner) < 4 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" || banner[2] != "coordinate" {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: unsupported banner %q", sc.Text())
+	}
+	field := banner[3] // real | integer | pattern
+	pattern = field == "pattern"
+	if field != "real" && field != "integer" && field != "pattern" {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: unsupported field %q", field)
+	}
+	symmetric := false
+	if len(banner) >= 5 {
+		switch banner[4] {
+		case "general":
+		case "symmetric":
+			symmetric = true
+		default:
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: unsupported symmetry %q", banner[4])
+		}
+	}
+	line := 1
+	next := func() ([]string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "%") {
+				continue
+			}
+			return strings.Fields(s), true
+		}
+		return nil, false
+	}
+	size, ok := next()
+	if !ok || len(size) != 3 {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: missing size line")
+	}
+	var nnz int
+	var e1, e2, e3 error
+	rows, e1 = strconv.Atoi(size[0])
+	cols, e2 = strconv.Atoi(size[1])
+	nnz, e3 = strconv.Atoi(size[2])
+	if e1 != nil || e2 != nil || e3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: bad size line %v", size)
+	}
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	entries = make([]smatEntry, 0, prealloc)
+	for i := 0; i < nnz; i++ {
+		f, ok := next()
+		if !ok {
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: expected entry %d of %d", line, i, nnz)
+		}
+		wantFields := 3
+		if pattern {
+			wantFields = 2
+		}
+		if len(f) != wantFields {
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: want %d fields", line, wantFields)
+		}
+		rr, e1 := strconv.Atoi(f[0])
+		cc, e2 := strconv.Atoi(f[1])
+		val := 1.0
+		var e3 error
+		if !pattern {
+			val, e3 = strconv.ParseFloat(f[2], 64)
+		}
+		if e1 != nil || e2 != nil || e3 != nil {
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: malformed entry", line)
+		}
+		rr--
+		cc--
+		if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: entry (%d,%d) out of %dx%d", line, rr+1, cc+1, rows, cols)
+		}
+		entries = append(entries, smatEntry{rr, cc, val})
+		if symmetric && rr != cc {
+			entries = append(entries, smatEntry{cc, rr, val})
+		}
+	}
+	return rows, cols, entries, pattern, nil
+}

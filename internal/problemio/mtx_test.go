@@ -1,0 +1,126 @@
+package problemio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netalignmc/internal/gen"
+)
+
+func TestGraphMTXRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(2, 51)
+	o.N = 30
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraphMTX(&buf, p.A); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraphMTX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != p.A.NumVertices() || g.NumEdges() != p.A.NumEdges() {
+		t.Fatalf("round trip %d/%d vs %d/%d", g.NumVertices(), g.NumEdges(), p.A.NumVertices(), p.A.NumEdges())
+	}
+	for _, e := range p.A.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("lost edge %+v", e)
+		}
+	}
+}
+
+func TestLMTXRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(3, 53)
+	o.N = 20
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLMTX(&buf, p.L); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadLMTX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEdges() != p.L.NumEdges() {
+		t.Fatalf("edges %d vs %d", l.NumEdges(), p.L.NumEdges())
+	}
+	for e := 0; e < l.NumEdges(); e++ {
+		if l.EdgeA[e] != p.L.EdgeA[e] || l.EdgeB[e] != p.L.EdgeB[e] || l.W[e] != p.L.W[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+}
+
+func TestReadMTXVariants(t *testing.T) {
+	// General real.
+	doc := "%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 0.5\n2 3 1.5\n"
+	l, err := ReadLMTX(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NA != 2 || l.NB != 3 || l.NumEdges() != 2 || !l.HasEdge(1, 2) {
+		t.Fatal("general real parsed wrong")
+	}
+	// Pattern symmetric graph.
+	gdoc := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n"
+	g, err := ReadGraphMTX(strings.NewReader(gdoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("pattern symmetric parsed wrong")
+	}
+	// Integer field.
+	idoc := "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+	l2, err := ReadLMTX(strings.NewReader(idoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.W[0] != 7 {
+		t.Fatal("integer values parsed wrong")
+	}
+}
+
+func TestReadMTXErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad banner":   "%%MatrixMarket tensor coordinate real general\n1 1 0\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n",
+		"no size":      "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":     "%%MatrixMarket matrix coordinate real general\nx 1 0\n",
+		"missing":      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"bad entry":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"zero index":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"pattern+val":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadLMTX(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadGraphMTX(strings.NewReader("%%MatrixMarket matrix coordinate real general\n2 3 0\n")); err == nil {
+		t.Error("non-square graph accepted")
+	}
+}
+
+func FuzzReadLMTX(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		l, err := ReadLMTX(strings.NewReader(doc))
+		if err == nil && l != nil {
+			if vErr := l.Validate(); vErr != nil {
+				t.Fatalf("accepted document produced invalid graph: %v", vErr)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+// Package problemio reads and writes network alignment problems in a
+// simple SMAT-like text format, so instances can be generated once,
+// saved, and re-run by the CLI tools — mirroring how the paper's
+// released code distributes its problem files.
+//
+// Format (whitespace separated, '#' starts a comment line):
+//
+//	netalign 1            header and version
+//	alpha <float>
+//	beta <float>
+//	graph A <n> <m>       followed by m lines "u v"
+//	graph B <n> <m>       followed by m lines "u v"
+//	graph L <na> <nb> <m> followed by m lines "a b w"
+//
+// Sections may appear in any order; all three graphs are required.
+package problemio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/core"
+	"netalignmc/internal/graph"
+)
+
+// Write serializes a problem.
+func Write(w io.Writer, p *core.Problem) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "netalign 1")
+	fmt.Fprintf(bw, "alpha %g\n", p.Alpha)
+	fmt.Fprintf(bw, "beta %g\n", p.Beta)
+	writeGraph := func(name string, g *graph.Graph) {
+		edges := g.Edges()
+		fmt.Fprintf(bw, "graph %s %d %d\n", name, g.NumVertices(), len(edges))
+		for _, e := range edges {
+			fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+	}
+	writeGraph("A", p.A)
+	writeGraph("B", p.B)
+	fmt.Fprintf(bw, "graph L %d %d %d\n", p.L.NA, p.L.NB, p.L.NumEdges())
+	for e := 0; e < p.L.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d %d %g\n", p.L.EdgeA[e], p.L.EdgeB[e], p.L.W[e])
+	}
+	return bw.Flush()
+}
+
+// Read parses a problem and rebuilds S (threads <= 0: GOMAXPROCS).
+func Read(r io.Reader, threads int) (*core.Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		alpha, beta = 1.0, 1.0
+		gotHeader   bool
+		a, b        *graph.Graph
+		l           *bipartite.Graph
+		lineNum     int
+	)
+	nextLine := func() ([]string, bool, error) {
+		for sc.Scan() {
+			lineNum++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return strings.Fields(line), true, nil
+		}
+		return nil, false, sc.Err()
+	}
+	for {
+		fields, ok, err := nextLine()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch fields[0] {
+		case "netalign":
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, fmt.Errorf("problemio: line %d: unsupported header %v", lineNum, fields)
+			}
+			gotHeader = true
+		case "alpha", "beta":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("problemio: line %d: malformed %s", lineNum, fields[0])
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("problemio: line %d: %v", lineNum, err)
+			}
+			if fields[0] == "alpha" {
+				alpha = v
+			} else {
+				beta = v
+			}
+		case "graph":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("problemio: line %d: malformed graph header", lineNum)
+			}
+			switch fields[1] {
+			case "A", "B":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("problemio: line %d: graph %s header needs n and m", lineNum, fields[1])
+				}
+				n, err1 := strconv.Atoi(fields[2])
+				m, err2 := strconv.Atoi(fields[3])
+				if err1 != nil || err2 != nil || n < 0 || m < 0 {
+					return nil, fmt.Errorf("problemio: line %d: bad graph sizes", lineNum)
+				}
+				builder := graph.NewBuilder(n)
+				for i := 0; i < m; i++ {
+					ef, ok, err := nextLine()
+					if err != nil || !ok || len(ef) != 2 {
+						return nil, fmt.Errorf("problemio: line %d: expected edge %d of graph %s", lineNum, i, fields[1])
+					}
+					u, err1 := strconv.Atoi(ef[0])
+					v, err2 := strconv.Atoi(ef[1])
+					if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= n || v >= n {
+						return nil, fmt.Errorf("problemio: line %d: bad edge", lineNum)
+					}
+					builder.AddEdge(u, v)
+				}
+				if fields[1] == "A" {
+					a = builder.Build()
+				} else {
+					b = builder.Build()
+				}
+			case "L":
+				if len(fields) != 5 {
+					return nil, fmt.Errorf("problemio: line %d: graph L header needs na nb m", lineNum)
+				}
+				na, err1 := strconv.Atoi(fields[2])
+				nb, err2 := strconv.Atoi(fields[3])
+				m, err3 := strconv.Atoi(fields[4])
+				if err1 != nil || err2 != nil || err3 != nil || na < 0 || nb < 0 || m < 0 {
+					return nil, fmt.Errorf("problemio: line %d: bad L sizes", lineNum)
+				}
+				prealloc := m
+				if prealloc > 1<<20 {
+					prealloc = 1 << 20 // do not trust huge headers before parsing
+				}
+				edges := make([]bipartite.WeightedEdge, 0, prealloc)
+				for i := 0; i < m; i++ {
+					ef, ok, err := nextLine()
+					if err != nil || !ok || len(ef) != 3 {
+						return nil, fmt.Errorf("problemio: line %d: expected L edge %d", lineNum, i)
+					}
+					va, err1 := strconv.Atoi(ef[0])
+					vb, err2 := strconv.Atoi(ef[1])
+					w, err3 := strconv.ParseFloat(ef[2], 64)
+					if err1 != nil || err2 != nil || err3 != nil {
+						return nil, fmt.Errorf("problemio: line %d: bad L edge", lineNum)
+					}
+					edges = append(edges, bipartite.WeightedEdge{A: va, B: vb, W: w})
+				}
+				var err error
+				l, err = bipartite.New(na, nb, edges)
+				if err != nil {
+					return nil, fmt.Errorf("problemio: line %d: %v", lineNum, err)
+				}
+			default:
+				return nil, fmt.Errorf("problemio: line %d: unknown graph %q", lineNum, fields[1])
+			}
+		default:
+			return nil, fmt.Errorf("problemio: line %d: unknown directive %q", lineNum, fields[0])
+		}
+	}
+	if !gotHeader {
+		return nil, fmt.Errorf("problemio: missing 'netalign 1' header")
+	}
+	if a == nil || b == nil || l == nil {
+		return nil, fmt.Errorf("problemio: missing graph sections (A:%v B:%v L:%v)", a != nil, b != nil, l != nil)
+	}
+	return core.NewProblem(a, b, l, alpha, beta, threads)
+}

@@ -1,0 +1,108 @@
+package problemio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netalignmc/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(3, 42)
+	o.N = 40
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alpha != p.Alpha || q.Beta != p.Beta {
+		t.Fatalf("objective weights differ: %g/%g vs %g/%g", q.Alpha, q.Beta, p.Alpha, p.Beta)
+	}
+	if q.A.NumEdges() != p.A.NumEdges() || q.B.NumEdges() != p.B.NumEdges() {
+		t.Fatal("graph edges differ after round trip")
+	}
+	if q.L.NumEdges() != p.L.NumEdges() {
+		t.Fatal("L edges differ after round trip")
+	}
+	for e := 0; e < p.L.NumEdges(); e++ {
+		if q.L.EdgeA[e] != p.L.EdgeA[e] || q.L.EdgeB[e] != p.L.EdgeB[e] || q.L.W[e] != p.L.W[e] {
+			t.Fatalf("L edge %d differs", e)
+		}
+	}
+	if q.NNZS() != p.NNZS() {
+		t.Fatalf("nnz(S) differs: %d vs %d", q.NNZS(), p.NNZS())
+	}
+}
+
+const validDoc = `# a comment
+netalign 1
+alpha 1.5
+beta 2
+
+graph A 2 1
+0 1
+graph B 2 1
+0 1
+graph L 2 2 3
+0 0 1.0
+0 1 0.5
+1 1 2.0
+`
+
+func TestReadValidDocument(t *testing.T) {
+	p, err := Read(strings.NewReader(validDoc), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha != 1.5 || p.Beta != 2 {
+		t.Fatalf("alpha/beta = %g/%g", p.Alpha, p.Beta)
+	}
+	if p.L.NumEdges() != 3 || !p.L.HasEdge(1, 1) {
+		t.Fatal("L parsed wrong")
+	}
+	if !p.A.HasEdge(0, 1) || !p.B.HasEdge(0, 1) {
+		t.Fatal("graphs parsed wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":  "alpha 1\n",
+		"bad version":     "netalign 2\n",
+		"bad alpha":       "netalign 1\nalpha x\n",
+		"short alpha":     "netalign 1\nalpha\n",
+		"unknown":         "netalign 1\nfoo bar\n",
+		"unknown graph":   "netalign 1\ngraph Q 1 0\n",
+		"missing L":       "netalign 1\ngraph A 1 0\ngraph B 1 0\n",
+		"bad graph size":  "netalign 1\ngraph A x 0\n",
+		"truncated edges": "netalign 1\ngraph A 3 2\n0 1\n",
+		"edge range":      "netalign 1\ngraph A 2 1\n0 5\n",
+		"bad L header":    "netalign 1\ngraph L 2 2\n",
+		"bad L edge":      "netalign 1\ngraph L 2 2 1\n0 0 x\n",
+		"L out of range":  "netalign 1\ngraph A 2 0\ngraph B 2 0\ngraph L 2 2 1\n0 9 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc), 1); err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+func TestReadDefaultsAlphaBeta(t *testing.T) {
+	doc := "netalign 1\ngraph A 2 0\ngraph B 2 0\ngraph L 2 2 1\n0 0 1\n"
+	p, err := Read(strings.NewReader(doc), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha != 1 || p.Beta != 1 {
+		t.Fatalf("defaults %g/%g, want 1/1", p.Alpha, p.Beta)
+	}
+}

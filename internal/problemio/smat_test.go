@@ -1,0 +1,206 @@
+package problemio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netalignmc/internal/gen"
+	"netalignmc/internal/matching"
+)
+
+func TestGraphSMATRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(2, 31)
+	o.N = 30
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraphSMAT(&buf, p.A); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraphSMAT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != p.A.NumVertices() || g.NumEdges() != p.A.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", g.NumVertices(), g.NumEdges(), p.A.NumVertices(), p.A.NumEdges())
+	}
+	for _, e := range p.A.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("lost edge %+v", e)
+		}
+	}
+}
+
+func TestLSMATRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(3, 37)
+	o.N = 25
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLSMAT(&buf, p.L); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadLSMAT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEdges() != p.L.NumEdges() || l.NA != p.L.NA || l.NB != p.L.NB {
+		t.Fatal("L round trip size mismatch")
+	}
+	for e := 0; e < l.NumEdges(); e++ {
+		if l.EdgeA[e] != p.L.EdgeA[e] || l.EdgeB[e] != p.L.EdgeB[e] || l.W[e] != p.L.W[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+}
+
+func TestReadSMATProblem(t *testing.T) {
+	aDoc := "2 2 2\n0 1 1\n1 0 1\n"
+	bDoc := "2 2 2\n0 1 1\n1 0 1\n"
+	lDoc := "2 2 4\n0 0 1\n0 1 1\n1 0 1\n1 1 1\n"
+	p, err := ReadSMATProblem(strings.NewReader(aDoc), strings.NewReader(bDoc), strings.NewReader(lDoc), 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NNZS() != 4 {
+		t.Fatalf("nnz(S) = %d, want 4", p.NNZS())
+	}
+	if p.Alpha != 1 || p.Beta != 2 {
+		t.Fatal("weights wrong")
+	}
+}
+
+func TestSMATComments(t *testing.T) {
+	doc := "# comment\n% matlab-style comment\n2 2 1\n\n0 1 0.5\n"
+	l, err := ReadLSMAT(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEdges() != 1 || l.W[0] != 0.5 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestSMATErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"short header":  "2 2\n",
+		"bad header":    "x 2 1\n0 0 1\n",
+		"neg header":    "-1 2 0\n",
+		"missing entry": "2 2 2\n0 0 1\n",
+		"bad entry":     "2 2 1\n0 x 1\n",
+		"short entry":   "2 2 1\n0 0\n",
+		"range entry":   "2 2 1\n0 5 1\n",
+		"trailing":      "2 2 1\n0 0 1\n1 1 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadLSMAT(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadGraphSMAT(strings.NewReader("2 3 0\n")); err == nil {
+		t.Error("non-square graph smat accepted")
+	}
+}
+
+func TestReadSMATProblemPropagatesErrors(t *testing.T) {
+	good := "2 2 0\n"
+	bad := "x\n"
+	if _, err := ReadSMATProblem(strings.NewReader(bad), strings.NewReader(good), strings.NewReader(good), 1, 1, 1); err == nil {
+		t.Fatal("bad A accepted")
+	}
+	if _, err := ReadSMATProblem(strings.NewReader(good), strings.NewReader(bad), strings.NewReader(good), 1, 1, 1); err == nil {
+		t.Fatal("bad B accepted")
+	}
+	if _, err := ReadSMATProblem(strings.NewReader(good), strings.NewReader(good), strings.NewReader(bad), 1, 1, 1); err == nil {
+		t.Fatal("bad L accepted")
+	}
+}
+
+func TestMatchingRoundTrip(t *testing.T) {
+	o := gen.DefaultSynthetic(3, 41)
+	o.N = 30
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := matching.Exact(p.L, 1)
+	var buf bytes.Buffer
+	if err := WriteMatching(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatching(&buf, p.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card != r.Card || got.Weight != r.Weight {
+		t.Fatalf("round trip: card %d/%d weight %g/%g", got.Card, r.Card, got.Weight, r.Weight)
+	}
+	for a := range r.MateA {
+		if got.MateA[a] != r.MateA[a] {
+			t.Fatalf("mate of %d differs", a)
+		}
+	}
+}
+
+func TestReadMatchingErrors(t *testing.T) {
+	o := gen.DefaultSynthetic(0, 1)
+	o.N = 3
+	p, err := gen.Synthetic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"short line":  "0\n",
+		"bad int":     "0 x\n",
+		"range":       "0 99\n",
+		"reuse":       "0 0\n1 0\n",
+		"not an edge": "0 1\n", // identity-only L lacks (0,1)
+	}
+	for name, doc := range cases {
+		if _, err := ReadMatching(strings.NewReader(doc), p.L); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Valid: empty matching.
+	if r, err := ReadMatching(strings.NewReader("# empty\n"), p.L); err != nil || r.Card != 0 {
+		t.Fatalf("empty matching rejected: %v", err)
+	}
+}
+
+func FuzzReadLSMAT(f *testing.F) {
+	f.Add("2 2 1\n0 1 0.5\n")
+	f.Add("0 0 0\n")
+	f.Add("# c\n3 4 2\n0 0 1\n2 3 -1\n")
+	f.Add("2 2 9999999\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		l, err := ReadLSMAT(strings.NewReader(doc))
+		if err == nil && l != nil {
+			if vErr := l.Validate(); vErr != nil {
+				t.Fatalf("accepted document produced invalid graph: %v", vErr)
+			}
+		}
+	})
+}
+
+func FuzzReadProblem(f *testing.F) {
+	f.Add(validDoc)
+	f.Add("netalign 1\ngraph A 1 0\ngraph B 1 0\ngraph L 1 1 0\n")
+	f.Add("netalign 1\nalpha -3\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := Read(strings.NewReader(doc), 1)
+		if err == nil && p != nil {
+			if vErr := p.L.Validate(); vErr != nil {
+				t.Fatalf("accepted document produced invalid L: %v", vErr)
+			}
+			if vErr := p.A.Validate(); vErr != nil {
+				t.Fatalf("accepted document produced invalid A: %v", vErr)
+			}
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package sparse_test
+
+import (
+	"fmt"
+
+	"netalignmc/internal/sparse"
+)
+
+// ExampleCSR_TransposePerm demonstrates the paper's transpose trick:
+// a structurally symmetric matrix is transposed by permuting its value
+// array, never touching the pattern.
+func ExampleCSR_TransposePerm() {
+	m, err := sparse.NewFromTriplets(2, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 5},
+		{Row: 1, Col: 0, Val: 7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	perm, err := m.TransposePerm()
+	if err != nil {
+		panic(err)
+	}
+	transposed := make([]float64, m.NNZ())
+	sparse.GatherPerm(transposed, m.Val, perm, 0, m.NNZ())
+	fmt.Println(m.Val, "->", transposed)
+	// Output:
+	// [5 7] -> [7 5]
+}
+
+func ExampleBound() {
+	fmt.Println(sparse.Bound(-3, 0, 2), sparse.Bound(1, 0, 2), sparse.Bound(9, 0, 2))
+	// Output:
+	// 0 1 2
+}

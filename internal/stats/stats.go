@@ -1,0 +1,315 @@
+// Package stats provides the per-step timing instrumentation and small
+// reporting helpers used to regenerate the paper's scaling figures.
+//
+// Figures 6 and 7 of the paper break the strong scaling of Klau's
+// method and BP(batch=20) down by pseudo-code step (row match, daxpy,
+// matching, objective, update U for MR; bound F, compute d, othermax,
+// update S, damping, matching for BP). StepTimer accumulates wall time
+// per named step across iterations so the experiment harness can
+// report exactly those series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StepTimer accumulates elapsed wall time per named step. It is safe
+// for concurrent use; batched rounding tasks record their matching
+// time from multiple goroutines.
+type StepTimer struct {
+	mu    sync.Mutex
+	total map[string]time.Duration
+	count map[string]int
+	order []string
+}
+
+// NewStepTimer returns an empty timer.
+func NewStepTimer() *StepTimer {
+	return &StepTimer{
+		total: make(map[string]time.Duration),
+		count: make(map[string]int),
+	}
+}
+
+// Time runs fn and charges its wall time to step. A nil *StepTimer is
+// valid and simply runs fn, so instrumentation can stay in place
+// unconditionally.
+func (t *StepTimer) Time(step string, fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	t.Add(step, time.Since(start))
+}
+
+// Add charges d to step directly.
+func (t *StepTimer) Add(step string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.total[step]; !ok {
+		t.order = append(t.order, step)
+	}
+	t.total[step] += d
+	t.count[step]++
+}
+
+// Total returns the accumulated time of a step.
+func (t *StepTimer) Total(step string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total[step]
+}
+
+// Count returns how many times a step was recorded.
+func (t *StepTimer) Count(step string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count[step]
+}
+
+// Steps returns the step names in first-recorded order.
+func (t *StepTimer) Steps() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Snapshot returns a copy of the per-step totals.
+func (t *StepTimer) Snapshot() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.total))
+	for k, v := range t.total {
+		out[k] = v
+	}
+	return out
+}
+
+// GrandTotal returns the sum over all steps.
+func (t *StepTimer) GrandTotal() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, v := range t.total {
+		sum += v
+	}
+	return sum
+}
+
+// Fractions returns each step's share of the grand total, which is how
+// the paper reports the step breakdown ("the row match step took 40%
+// of the runtime...").
+func (t *StepTimer) Fractions() map[string]float64 {
+	snap := t.Snapshot()
+	var sum time.Duration
+	for _, v := range snap {
+		sum += v
+	}
+	out := make(map[string]float64, len(snap))
+	if sum == 0 {
+		return out
+	}
+	for k, v := range snap {
+		out[k] = float64(v) / float64(sum)
+	}
+	return out
+}
+
+// String formats the timer as a small table, steps in recorded order.
+func (t *StepTimer) String() string {
+	if t == nil {
+		return "(no timing)"
+	}
+	var b strings.Builder
+	fr := t.Fractions()
+	for _, s := range t.Steps() {
+		fmt.Fprintf(&b, "%-12s %12v  %5.1f%%\n", s, t.Total(s).Round(time.Microsecond), 100*fr[s])
+	}
+	return b.String()
+}
+
+// Summary holds the moments of a sample, for multi-seed experiment
+// aggregation.
+type Summary struct {
+	N                   int
+	Min, Max, Mean, Std float64
+}
+
+// Summarize computes min/max/mean/stddev (population) of the sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.Std = math.Sqrt(varsum / float64(len(xs)))
+	return s
+}
+
+// Table is a minimal fixed-column text table for experiment output.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; the
+// experiment harness only emits numeric and identifier cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, the unit of figure
+// reproduction: one Series per curve in a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as "name: (x,y) (x,y) ...".
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, " (%g, %.4g)", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// FormatSeriesTable renders several series sharing an x-axis as one
+// table with a column per series, sorted by x.
+func FormatSeriesTable(xLabel string, series ...*Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	headers := []string{xLabel}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	tbl := NewTable(headers...)
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmt.Sprintf("%.4g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}

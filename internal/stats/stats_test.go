@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStepTimerBasics(t *testing.T) {
+	st := NewStepTimer()
+	st.Add("a", 10*time.Millisecond)
+	st.Add("b", 30*time.Millisecond)
+	st.Add("a", 10*time.Millisecond)
+	if st.Total("a") != 20*time.Millisecond {
+		t.Fatalf("Total(a) = %v", st.Total("a"))
+	}
+	if st.Count("a") != 2 || st.Count("b") != 1 {
+		t.Fatalf("counts wrong: %d %d", st.Count("a"), st.Count("b"))
+	}
+	if st.GrandTotal() != 50*time.Millisecond {
+		t.Fatalf("GrandTotal = %v", st.GrandTotal())
+	}
+	fr := st.Fractions()
+	if fr["a"] != 0.4 || fr["b"] != 0.6 {
+		t.Fatalf("fractions = %v", fr)
+	}
+	steps := st.Steps()
+	if len(steps) != 2 || steps[0] != "a" || steps[1] != "b" {
+		t.Fatalf("steps = %v", steps)
+	}
+}
+
+func TestStepTimerTimeRunsFn(t *testing.T) {
+	st := NewStepTimer()
+	ran := false
+	st.Time("x", func() { ran = true })
+	if !ran {
+		t.Fatal("fn not run")
+	}
+	if st.Count("x") != 1 {
+		t.Fatal("step not recorded")
+	}
+}
+
+func TestNilStepTimer(t *testing.T) {
+	var st *StepTimer
+	ran := false
+	st.Time("x", func() { ran = true })
+	if !ran {
+		t.Fatal("nil timer must still run fn")
+	}
+	st.Add("x", time.Second)
+	if st.Total("x") != 0 || st.Count("x") != 0 || st.GrandTotal() != 0 {
+		t.Fatal("nil timer must report zeros")
+	}
+	if st.Steps() != nil || st.Snapshot() != nil {
+		t.Fatal("nil timer must report empty collections")
+	}
+	if st.String() == "" {
+		t.Fatal("nil timer String empty")
+	}
+}
+
+func TestStepTimerConcurrent(t *testing.T) {
+	st := NewStepTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				st.Add("m", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Count("m") != 1600 {
+		t.Fatalf("Count = %d, want 1600", st.Count("m"))
+	}
+	if st.Total("m") != 1600*time.Microsecond {
+		t.Fatalf("Total = %v", st.Total("m"))
+	}
+}
+
+func TestFractionsEmpty(t *testing.T) {
+	st := NewStepTimer()
+	if len(st.Fractions()) != 0 {
+		t.Fatal("empty timer has fractions")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Population stddev of {1,2,3,4} is sqrt(1.25).
+	if diff := s.Std*s.Std - 1.25; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("std = %g", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Std != 0 {
+		t.Fatalf("singleton summary %+v", one)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta") // short row padded
+	s := tbl.String()
+	if !strings.Contains(s, "name") || !strings.Contains(s, "alpha") {
+		t.Fatalf("table output missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "alpha,1\n") {
+		t.Fatalf("csv row wrong:\n%s", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "speedup"}
+	s.Add(1, 1.0)
+	s.Add(2, 1.9)
+	if len(s.X) != 2 || s.Y[1] != 1.9 {
+		t.Fatal("Add failed")
+	}
+	if !strings.Contains(s.String(), "speedup:") {
+		t.Fatal("String missing name")
+	}
+}
+
+func TestFormatSeriesTable(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &Series{Name: "b"}
+	b.Add(2, 200)
+	b.Add(4, 400)
+	out := FormatSeriesTable("threads", a, b)
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "400") {
+		t.Fatalf("series table wrong:\n%s", out)
+	}
+	// x=1 row must have an empty b cell, x=4 an empty a cell.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
