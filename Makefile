@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover vet examples reproduce clean
+.PHONY: all build test race bench cover vet faults fuzz examples reproduce clean
 
 all: build test
 
@@ -17,6 +17,19 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection and resilience suite under the race detector:
+# worker panics, cancellation, NaN injection at every solver step,
+# malformed inputs.
+faults:
+	$(GO) test -race -run Fault ./...
+
+# Brief fuzzing of the three file-format readers (the seed corpora
+# also run as part of every plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzReadSMAT -fuzztime=10s ./internal/problemio/
+	$(GO) test -fuzz=FuzzReadMTX -fuzztime=10s ./internal/problemio/
+	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=10s ./internal/problemio/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

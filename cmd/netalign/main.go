@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"netalignmc/internal/cli"
 	"netalignmc/internal/core"
@@ -37,6 +39,11 @@ func main() {
 		timing  = flag.Bool("timing", false, "print the per-step time breakdown")
 		trace   = flag.Bool("trace", false, "print the per-evaluation objective trace")
 		outFile = flag.String("out", "", "write the matching as 'a b' pairs to this file")
+
+		timeout    = flag.Duration("timeout", 0*time.Second, "stop after this wall time and report the best matching found (0 = unbounded)")
+		checkpoint = flag.String("checkpoint", "", "periodically write a resumable checkpoint to this file (atomic rename)")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "iterations between checkpoints (with -checkpoint)")
+		resume     = flag.String("resume", "", "resume from a checkpoint written by a previous run on the same problem")
 	)
 	flag.Parse()
 
@@ -55,8 +62,11 @@ func main() {
 		Method: *method, Iters: *iters, Batch: *batch, Gamma: *gamma,
 		MStep: *mstep, Approx: *approx, Threads: *threads,
 		Timing: *timing, Trace: *trace,
+		Timeout: *timeout, CheckpointPath: *checkpoint,
+		CheckpointEvery: *ckptEvery, ResumePath: *resume,
 	}, os.Stdout)
-	if err != nil {
+	numericStop := errors.Is(err, cli.ErrNumerics)
+	if err != nil && !numericStop {
 		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
 		os.Exit(2)
 	}
@@ -74,6 +84,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("matching written to %s\n", *outFile)
+	}
+	if numericStop {
+		// The run ended because of a recurring numerical failure. The
+		// best valid matching found before the failure was reported
+		// (and written, with -out), but the run did not complete: make
+		// that visible to scripts via the exit code.
+		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
+		os.Exit(3)
 	}
 }
 

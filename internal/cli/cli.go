@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -85,7 +86,26 @@ type AlignOptions struct {
 	Threads int
 	Timing  bool
 	Trace   bool
+
+	// Timeout bounds the run's wall time (0 = unbounded); on expiry the
+	// best matching found so far is reported with stop reason
+	// "deadline".
+	Timeout time.Duration
+	// CheckpointPath, when set, periodically writes a resumable
+	// checkpoint (atomically: temp file + rename) every CheckpointEvery
+	// iterations (default 10).
+	CheckpointPath  string
+	CheckpointEvery int
+	// ResumePath, when set, resumes the run from a checkpoint written
+	// by a previous invocation with the same problem and method.
+	ResumePath string
 }
+
+// ErrNumerics is returned (wrapped) by Align when the run stopped
+// because the numeric guard hit a recurring NaN/Inf or message
+// explosion; the accompanying result still holds the best valid
+// matching found before the failure.
+var ErrNumerics = fmt.Errorf("numeric guard stopped the run")
 
 // Align runs the requested method on a problem and writes the summary
 // to out. It returns the alignment result.
@@ -100,35 +120,77 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	if o.Timing {
 		timer = stats.NewStepTimer()
 	}
+
+	method := o.Method
+	if method == "" {
+		method = "bp"
+	}
+	var resume *core.Checkpoint
+	if o.ResumePath != "" {
+		var err error
+		resume, err = problemio.ReadCheckpointFile(o.ResumePath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: resume: %w", err)
+		}
+	}
+	var ckptEvery int
+	var ckptFunc func(*core.Checkpoint) error
+	if o.CheckpointPath != "" {
+		ckptEvery = o.CheckpointEvery
+		if ckptEvery <= 0 {
+			ckptEvery = 10
+		}
+		path := o.CheckpointPath
+		ckptFunc = func(c *core.Checkpoint) error {
+			return problemio.WriteCheckpointFile(path, c)
+		}
+	}
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	var res *core.AlignResult
-	switch o.Method {
-	case "bp", "":
-		res = p.BPAlign(core.BPOptions{
+	var runErr error
+	switch method {
+	case "bp":
+		res, runErr = p.BPAlignCtx(ctx, core.BPOptions{
 			Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
 			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+			Resume: resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		})
 	case "mr":
-		res = p.KlauAlign(core.MROptions{
+		res, runErr = p.MRAlignCtx(ctx, core.MROptions{
 			Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
 			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+			Resume: resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		})
 	default:
 		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
 	}
 	elapsed := time.Since(start)
+	if runErr != nil {
+		return res, fmt.Errorf("cli: %s run: %w", method, runErr)
+	}
 
 	threads := o.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(out, "method: %s  rounding: %s  threads: %d  iterations: %d\n",
-		o.Method, roundingName, threads, res.Iterations)
+		method, roundingName, threads, res.Iterations)
 	fmt.Fprintf(out, "objective:    %.4f\n", res.Objective)
 	fmt.Fprintf(out, "match weight: %.4f\n", res.MatchWeight)
 	fmt.Fprintf(out, "overlap:      %.1f\n", res.Overlap)
 	fmt.Fprintf(out, "matched:      %d pairs (best found at iteration %d of %d evaluations)\n",
 		res.Matching.Card, res.BestIter, res.Evaluations)
+	fmt.Fprintf(out, "stopped:      %s\n", res.Stopped)
+	if res.NumericFailures > 0 {
+		fmt.Fprintf(out, "numeric guard tripped %d time(s)\n", res.NumericFailures)
+	}
 	fmt.Fprintf(out, "elapsed:      %v\n", elapsed.Round(time.Millisecond))
 	if timer != nil {
 		fmt.Fprintf(out, "\nstep breakdown:\n%s", timer)
@@ -138,6 +200,9 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 		for i, obj := range res.ObjectiveTrace {
 			fmt.Fprintf(out, "  eval %4d: %.4f\n", i+1, obj)
 		}
+	}
+	if res.Stopped == core.StopNumerics {
+		return res, fmt.Errorf("cli: %w after %d failure(s); best matching before the failure is reported above", ErrNumerics, res.NumericFailures)
 	}
 	return res, nil
 }

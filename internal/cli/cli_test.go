@@ -2,9 +2,17 @@ package cli
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"netalignmc/internal/core"
+	"netalignmc/internal/faults"
 	"netalignmc/internal/problemio"
 )
 
@@ -134,5 +142,91 @@ func TestDescribeProblem(t *testing.T) {
 	DescribeProblem(p, "x", &buf)
 	if !strings.Contains(buf.String(), "|V_A|=20") {
 		t.Fatalf("describe output: %s", buf.String())
+	}
+}
+
+func TestAlignCheckpointAndResume(t *testing.T) {
+	p, err := Generate(GenerateOptions{Type: "synthetic", N: 40, DBar: 3, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	var buf bytes.Buffer
+	if _, err := Align(p, AlignOptions{
+		Method: "bp", Iters: 8, Threads: 1,
+		CheckpointPath: ckpt, CheckpointEvery: 4,
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stopped:      max-iterations") {
+		t.Fatalf("missing stop reason:\n%s", buf.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// Resume continues past the checkpointed iteration.
+	buf.Reset()
+	res, err := Align(p, AlignOptions{
+		Method: "bp", Iters: 12, Threads: 1, ResumePath: ckpt,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 12 {
+		t.Fatalf("resumed run stopped at iteration %d", res.Iterations)
+	}
+	// A missing resume file is a clean error.
+	if _, err := Align(p, AlignOptions{ResumePath: filepath.Join(dir, "nope")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing resume file accepted")
+	}
+	// A checkpoint for the wrong method is a clean error.
+	if _, err := Align(p, AlignOptions{Method: "mr", Iters: 4, ResumePath: ckpt}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bp checkpoint accepted by mr")
+	}
+}
+
+func TestAlignTimeout(t *testing.T) {
+	p, err := Generate(GenerateOptions{Type: "synthetic", N: 300, DBar: 4, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	res, err := Align(p, AlignOptions{Method: "bp", Iters: 1_000_000, Timeout: 100 * time.Millisecond}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) >= 2*time.Second {
+		t.Fatal("timeout did not bound the run")
+	}
+	if res.Stopped != core.StopDeadline {
+		t.Fatalf("stopped = %v", res.Stopped)
+	}
+	if !strings.Contains(buf.String(), "stopped:      deadline") {
+		t.Fatalf("missing deadline stop reason:\n%s", buf.String())
+	}
+}
+
+func TestFaultAlignNumericStop(t *testing.T) {
+	p, err := Generate(GenerateOptions{Type: "synthetic", N: 40, DBar: 3, Seed: 13}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the solver into a persistent numerical failure through the
+	// same path main() uses, and check the distinguishable error.
+	plan := faults.NewPlan(3).WithNaN(faults.NaNInjection{Step: core.BPStepDamping, Iter: 2})
+	res, runErr := p.BPAlignCtx(context.Background(), core.BPOptions{Iterations: 6, Faults: plan})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.Stopped != core.StopNumerics {
+		t.Fatalf("stopped = %v", res.Stopped)
+	}
+	// The CLI wraps that outcome in ErrNumerics; emulate the check
+	// main() performs.
+	wrapped := fmt.Errorf("cli: %w after %d failure(s)", ErrNumerics, res.NumericFailures)
+	if !errors.Is(wrapped, ErrNumerics) {
+		t.Fatal("ErrNumerics not matchable with errors.Is")
 	}
 }

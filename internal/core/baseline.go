@@ -119,7 +119,11 @@ func (p *Problem) BaselineAlign(o BaselineOptions) *AlignResult {
 	}
 
 	tr := &Tracker{}
-	p.RoundHeuristic(heur, rounding, threads, 1, tr)
+	if _, _, err := p.RoundHeuristic(heur, rounding, threads, 1, tr); err != nil {
+		out := p.emptyResult()
+		out.Err = err
+		return out
+	}
 	res, obj := tr.BestMatching, tr.BestObjective
 	xInd := res.Indicator(p.L)
 	return &AlignResult{

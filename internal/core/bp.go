@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"netalignmc/internal/matching"
 	"netalignmc/internal/parallel"
@@ -92,7 +95,7 @@ type BPOptions struct {
 	// instead of zeros. The steering workflow re-solves a problem
 	// after editing L; transferring the previous solve's messages (see
 	// TransferEdgeVector) lets the new run start near the old fixed
-	// point. Lengths must equal |E_L|.
+	// point. Lengths must equal |E_L|. Ignored when Resume is set.
 	WarmY, WarmZ []float64
 	// Observer, when non-nil, is called after each iteration's damping
 	// with the iteration number and the damped message vectors (which
@@ -100,6 +103,27 @@ type BPOptions struct {
 	// message inspection and for the golden tests that pin the
 	// listing's arithmetic.
 	Observer func(iter int, y, z []float64)
+
+	// Resume, when non-nil, restores the solver state from a
+	// checkpoint of a previous run on the same problem with the same
+	// options; the run continues at iteration Resume.Iter+1 and is bit
+	// identical to the uninterrupted run. The checkpoint is validated
+	// against the problem before any state is copied.
+	Resume *Checkpoint
+	// CheckpointEvery, when positive with CheckpointFunc set, snapshots
+	// the run every that many iterations (pending batched roundings are
+	// flushed first so the snapshot's tracker is complete).
+	CheckpointEvery int
+	// CheckpointFunc receives each snapshot; returning an error stops
+	// the run and surfaces through AlignResult.Err.
+	CheckpointFunc func(*Checkpoint) error
+	// GuardLimit is the numeric guard's message-magnitude explosion
+	// threshold: 0 selects the default (1e100), negative disables the
+	// guard entirely.
+	GuardLimit float64
+	// Faults, when non-nil, corrupts step outputs for robustness tests
+	// (see internal/faults). Production runs leave it nil.
+	Faults FaultInjector
 }
 
 func (o *BPOptions) defaults() BPOptions {
@@ -123,14 +147,37 @@ func (o *BPOptions) defaults() BPOptions {
 }
 
 // BPAlign runs the belief-propagation message-passing method
-// (Listing 2). Messages y, z live on the edges of L; the message
-// matrix S^(k) lives on the nonzeros of S. Each iteration bounds the
-// overlap messages into F, folds them into the edge likelihoods d,
-// applies the othermax exclusion updates, rescales S^(k), damps all
-// three with weight γ^k, and rounds the damped y and z iterates to
-// matchings whose objectives are tracked; the best heuristic is
-// exact-rounded at the end.
+// (Listing 2) to completion; it is BPAlignCtx without cancellation.
+// Errors from the resilience options (a mismatched Resume checkpoint,
+// a failing CheckpointFunc) are reported via AlignResult.Err.
 func (p *Problem) BPAlign(o BPOptions) *AlignResult {
+	res, _ := p.BPAlignCtx(context.Background(), o)
+	return res
+}
+
+// BPAlignCtx runs the belief-propagation message-passing method
+// (Listing 2) under a context. Messages y, z live on the edges of L;
+// the message matrix S^(k) lives on the nonzeros of S. Each iteration
+// bounds the overlap messages into F, folds them into the edge
+// likelihoods d, applies the othermax exclusion updates, rescales
+// S^(k), damps all three with weight γ^k, and rounds the damped y and
+// z iterates to matchings whose objectives are tracked; the best
+// heuristic is exact-rounded at the end.
+//
+// Cancelling the context (or hitting its deadline) stops the run
+// mid-iteration in bounded time and returns the best matching found so
+// far with AlignResult.Stopped set to StopCancelled or StopDeadline.
+// The numeric guard checks every iteration's damped messages for
+// NaN/Inf and magnitude explosion; a failing iteration is rolled back
+// to the last good state with tightened damping, and a recurring
+// failure stops the run with StopNumerics and the best valid matching.
+// The returned error (also recorded on AlignResult.Err) reports
+// resilience-option failures; a cancelled or numerics-stopped run is
+// not an error.
+func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := o.defaults()
 	threads, chunk := opts.Threads, opts.Chunk
 	sched := opts.Sched
@@ -138,22 +185,52 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 	nnz := p.S.NNZ()
 	mEL := p.L.NumEdges()
 
+	tr := &Tracker{Trace: opts.Trace}
+	guard := newNumericGuard(opts.GuardLimit)
+
 	y := make([]float64, mEL)
 	z := make([]float64, mEL)
 	yPrev := make([]float64, mEL)
 	zPrev := make([]float64, mEL)
-	if len(opts.WarmY) == mEL {
-		copy(yPrev, opts.WarmY)
-	}
-	if len(opts.WarmZ) == mEL {
-		copy(zPrev, opts.WarmZ)
+	sk := make([]float64, nnz)
+	skPrev := make([]float64, nnz)
+	gammaK := 1.0
+	startIter := 1
+	if opts.Resume != nil {
+		if err := opts.Resume.Validate(p, "bp"); err != nil {
+			res := p.emptyResult()
+			res.Err = err
+			return res, err
+		}
+		copy(yPrev, opts.Resume.Y)
+		copy(zPrev, opts.Resume.Z)
+		copy(skPrev, opts.Resume.SK)
+		gammaK = opts.Resume.GammaK
+		guard.tighten = opts.Resume.Tighten
+		if guard.tighten == 0 {
+			guard.tighten = 1
+		}
+		guard.failures = opts.Resume.Failures
+		opts.Resume.restoreTracker(p, tr)
+		startIter = opts.Resume.Iter + 1
+	} else {
+		if len(opts.WarmY) == mEL {
+			copy(yPrev, opts.WarmY)
+		}
+		if len(opts.WarmZ) == mEL {
+			copy(zPrev, opts.WarmZ)
+		}
 	}
 	d := make([]float64, mEL)
 	om := make([]float64, mEL)  // othermax scratch (row)
 	om2 := make([]float64, mEL) // othermax scratch (col)
-	sk := make([]float64, nnz)
-	skPrev := make([]float64, nnz)
 	f := make([]float64, nnz)
+
+	// Last-good snapshots for the numeric guard's rollback.
+	goodY := append([]float64(nil), yPrev...)
+	goodZ := append([]float64(nil), zPrev...)
+	goodSK := append([]float64(nil), skPrev...)
+	goodGammaK := gammaK
 
 	sVal := p.S.Val
 	perm := p.SPerm
@@ -161,14 +238,15 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 	beta := p.Beta
 	w := p.L.W
 
-	tr := &Tracker{Trace: opts.Trace}
-
 	// batch holds pending iterate copies awaiting rounding.
 	type pending struct {
 		iter int
 		heur []float64
 	}
 	var batch []pending
+	var numericEvents atomic.Int64
+	var roundErrMu sync.Mutex
+	var roundErr error
 	flush := func() {
 		if len(batch) == 0 {
 			return
@@ -180,34 +258,60 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 			for i := range items {
 				it := items[i]
 				tasks[i] = func(taskThreads int) {
-					p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, tr)
+					// A corrupted (non-finite) heuristic copy is a
+					// numeric fault: skip the rounding — the matcher
+					// and objective would only launder the NaN — and
+					// let the guard account for it after the flush.
+					if !finiteVector(it.heur) {
+						numericEvents.Add(1)
+						return
+					}
+					if _, _, err := p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, tr); err != nil {
+						roundErrMu.Lock()
+						if roundErr == nil {
+							roundErr = err
+						}
+						roundErrMu.Unlock()
+					}
 				}
 			}
 			// Each task is one matching problem; with T threads and r
 			// tasks each matching gets max(1, T/r) threads, the
 			// paper's nested-parallelism scheme.
-			parallel.Tasks(threads, tasks)
+			parallel.TasksCtx(ctx, threads, tasks)
 		})
 	}
 
-	gammaK := 1.0
-	for iter := 1; iter <= opts.Iterations; iter++ {
+	stopped := StopMaxIter
+	var runErr error
+	lastIter := startIter - 1
+
+	iter := startIter
+loop:
+	for iter <= opts.Iterations {
+		if err := ctx.Err(); err != nil {
+			stopped = stopReasonForCtx(err)
+			break
+		}
 		// Step 1: F = bound_{0,β}(β·S + S^(k−1)ᵀ). The transpose is
 		// realized by pulling through the permutation with no
 		// intermediate write.
 		timer.Time(BPStepBoundF, func() {
-			sched.For(nnz, threads, chunk, func(lo, hi int) {
+			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					f[k] = sparse.Bound(beta*sVal[k]+skPrev[perm[k]], 0, beta)
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepBoundF, iter, f)
+		}
 
 		// Step 2: d = αw + F·e (row sums of F over S's pattern).
 		timer.Time(BPStepComputeD, func() {
 			ptr := p.S.Ptr
 			alpha := p.Alpha
-			sched.For(mEL, threads, chunk, func(lo, hi int) {
+			sched.ForCtx(ctx, mEL, threads, chunk, func(lo, hi int) {
 				for e := lo; e < hi; e++ {
 					s := 0.0
 					for k := ptr[e]; k < ptr[e+1]; k++ {
@@ -217,6 +321,9 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepComputeD, iter, d)
+		}
 
 		// Step 3: othermax. y = d − othermaxcol(z⁽ᵏ⁻¹⁾),
 		// z = d − othermaxrow(y⁽ᵏ⁻¹⁾).
@@ -237,20 +344,28 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepOthermax, iter, y)
+		}
 
 		// Step 4: S^(k) = diag(y + z − d)·S − F (row rescale minus F).
 		timer.Time(BPStepUpdateS, func() {
-			sched.For(nnz, threads, chunk, func(lo, hi int) {
+			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					r := sRow[k]
 					sk[k] = (y[r]+z[r]-d[r])*sVal[k] - f[k]
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepUpdateS, iter, sk)
+		}
 
 		// Step 5: damping against the previous iterates; the damped
 		// values become both the output of this iteration and the next
-		// iteration's "previous" state.
+		// iteration's "previous" state. The guard's tighten factor
+		// (< 1 after a numeric rollback) shrinks the blend weight so a
+		// diverging message sequence moves more slowly.
 		gammaK *= opts.Gamma
 		timer.Time(BPStepDamping, func() {
 			var g float64
@@ -262,13 +377,14 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 			default:
 				g = gammaK
 			}
+			g *= guard.tighten
 			parallel.ForStatic(mEL, threads, func(lo, hi int) {
 				for e := lo; e < hi; e++ {
 					y[e] = g*y[e] + (1-g)*yPrev[e]
 					z[e] = g*z[e] + (1-g)*zPrev[e]
 				}
 			})
-			sched.For(nnz, threads, chunk, func(lo, hi int) {
+			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					sk[k] = g*sk[k] + (1-g)*skPrev[k]
 				}
@@ -278,28 +394,119 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 			sk, skPrev = skPrev, sk
 			// After the swaps, *Prev hold iteration k's damped state.
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepDamping, iter, yPrev)
+		}
+
+		// A cancelled step leaves partially written vectors; bail out
+		// before the guard or the tracker can look at them.
+		if err := ctx.Err(); err != nil {
+			stopped = stopReasonForCtx(err)
+			break
+		}
+
+		// Numeric guard: one scan over the damped state catches NaN/Inf
+		// or explosion introduced by any of steps 1–5 (a bad F entry
+		// propagates through d, y/z and S^(k)). On failure, roll back
+		// to the last good iterate and retry with tightened damping;
+		// stop with StopNumerics when the failure recurs.
+		if !guard.ok(threads, yPrev, zPrev, skPrev) {
+			if guard.trip() {
+				copy(yPrev, goodY)
+				copy(zPrev, goodZ)
+				copy(skPrev, goodSK)
+				gammaK = goodGammaK
+				continue
+			}
+			copy(yPrev, goodY)
+			copy(zPrev, goodZ)
+			copy(skPrev, goodSK)
+			stopped = StopNumerics
+			break
+		}
+		guard.clean()
+		copy(goodY, yPrev)
+		copy(goodZ, zPrev)
+		copy(goodSK, skPrev)
+		goodGammaK = gammaK
 
 		if opts.Observer != nil {
 			opts.Observer(iter, yPrev, zPrev)
 		}
 
 		// Step 6: round y and z (batched).
-		batch = append(batch,
-			pending{iter, append([]float64(nil), yPrev...)},
-			pending{iter, append([]float64(nil), zPrev...)},
-		)
+		heurY := append([]float64(nil), yPrev...)
+		heurZ := append([]float64(nil), zPrev...)
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(BPStepMatch, iter, heurY)
+			opts.Faults.CorruptVector(BPStepMatch, iter, heurZ)
+		}
+		batch = append(batch, pending{iter, heurY}, pending{iter, heurZ})
 		if len(batch) >= opts.Batch {
 			flush()
+			// Corrupted heuristics skipped during the flush count as
+			// guard failures so a recurring match-step fault escalates
+			// to StopNumerics instead of silently dropping roundings.
+			for n := numericEvents.Swap(0); n > 0; n-- {
+				if !guard.trip() {
+					stopped = StopNumerics
+					lastIter = iter
+					break loop
+				}
+			}
+		}
+		lastIter = iter
+
+		if opts.CheckpointEvery > 0 && opts.CheckpointFunc != nil && iter%opts.CheckpointEvery == 0 {
+			flush() // the snapshot's tracker must cover every iterate so far
+			ck := &Checkpoint{
+				Method:   "bp",
+				Iter:     iter,
+				GammaK:   gammaK,
+				Tighten:  guard.tighten,
+				Failures: guard.failures,
+				Y:        append([]float64(nil), yPrev...),
+				Z:        append([]float64(nil), zPrev...),
+				SK:       append([]float64(nil), skPrev...),
+			}
+			ck.fingerprint(p)
+			ck.captureTracker(tr)
+			if err := opts.CheckpointFunc(ck); err != nil {
+				runErr = err
+				break
+			}
+		}
+		iter++
+	}
+
+	cancelled := stopped == StopCancelled || stopped == StopDeadline
+	if !cancelled {
+		flush()
+	}
+	if roundErr != nil && runErr == nil {
+		runErr = roundErr
+	}
+
+	var out *AlignResult
+	if cancelled && !tr.HasBest() {
+		// Cancelled before any rounding completed: return an empty
+		// matching rather than paying for an exact solve now.
+		out = p.emptyResult()
+	} else {
+		var err error
+		out, err = p.finishResult(tr, threads, opts.SkipFinalExact || cancelled)
+		if err != nil && runErr == nil {
+			runErr = err
 		}
 	}
-	flush()
-
-	out := p.finishResult(tr, threads, opts.SkipFinalExact)
-	out.Iterations = opts.Iterations
+	out.Iterations = lastIter
+	out.Stopped = stopped
+	out.NumericFailures = guard.failures
+	out.Err = runErr
 	if opts.Trace {
 		out.ObjectiveTrace = append([]float64(nil), tr.Objective...)
 	}
-	return out
+	return out, runErr
 }
 
 // bpSanityCheck verifies finite messages; used in tests via export.

@@ -82,14 +82,13 @@ func TestRectangularSidesIdentityIndicator(t *testing.T) {
 	}
 }
 
-func TestRoundHeuristicPanicsOnBadLength(t *testing.T) {
+func TestRoundHeuristicErrorsOnBadLength(t *testing.T) {
 	p := emptyOverlapProblem(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("short heuristic vector accepted")
-		}
-	}()
-	p.RoundHeuristic([]float64{1}, matching.Exact, 1, 1, &core.Tracker{})
+	// A short heuristic vector is an API-reachable mistake and must
+	// come back as a structured error, not a panic.
+	if _, _, err := p.RoundHeuristic([]float64{1}, matching.Exact, 1, 1, &core.Tracker{}); err == nil {
+		t.Fatal("short heuristic vector accepted")
+	}
 }
 
 func TestBPZeroIterationsDefaults(t *testing.T) {

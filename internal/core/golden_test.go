@@ -137,7 +137,10 @@ func TestGoldenObjectiveAgainstMatchers(t *testing.T) {
 		"auction": matching.NewAuctionMatcher(1e-9),
 	} {
 		tr := &Tracker{}
-		obj, res := p.RoundHeuristic(p.L.W, m, 1, 1, tr)
+		obj, res, err := p.RoundHeuristic(p.L.W, m, 1, 1, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if res.Card != 2 {
 			t.Fatalf("%s: matched %d edges", name, res.Card)
 		}

@@ -108,7 +108,9 @@ func (p *Problem) LPRelaxation(maxVars int, threads int) (*LPRelaxationResult, e
 	}
 	// Round the scores with one exact matching and evaluate.
 	tr := &Tracker{}
-	p.RoundHeuristic(res.Scores, matching.Exact, threads, 1, tr)
+	if _, _, err := p.RoundHeuristic(res.Scores, matching.Exact, threads, 1, tr); err != nil {
+		return nil, err
+	}
 	x := tr.BestMatching.Indicator(p.L)
 	res.Rounded = &AlignResult{
 		Matching:    tr.BestMatching,

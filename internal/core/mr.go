@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"netalignmc/internal/matching"
 	"netalignmc/internal/parallel"
 	"netalignmc/internal/sparse"
@@ -70,6 +73,24 @@ type MROptions struct {
 	// combined heuristic w̄ (aliasing an internal buffer — copy before
 	// retaining), the upper bound w̄ᵀx and the rounded objective.
 	Observer func(iter int, wbar []float64, upper, obj float64)
+
+	// Resume, when non-nil, restores the solver state from a
+	// checkpoint of a previous run on the same problem with the same
+	// options; the run continues at iteration Resume.Iter+1 and is bit
+	// identical to the uninterrupted run.
+	Resume *Checkpoint
+	// CheckpointEvery, when positive with CheckpointFunc set, snapshots
+	// the run every that many iterations.
+	CheckpointEvery int
+	// CheckpointFunc receives each snapshot; returning an error stops
+	// the run and surfaces through AlignResult.Err.
+	CheckpointFunc func(*Checkpoint) error
+	// GuardLimit is the numeric guard's magnitude explosion threshold:
+	// 0 selects the default (1e100), negative disables the guard.
+	GuardLimit float64
+	// Faults, when non-nil, corrupts step outputs for robustness tests
+	// (see internal/faults). Production runs leave it nil.
+	Faults FaultInjector
 }
 
 func (o *MROptions) defaults(p *Problem) MROptions {
@@ -118,6 +139,18 @@ type AlignResult struct {
 	// iteration at which that happened.
 	Converged     bool
 	ConvergedIter int
+	// Stopped records why the run ended (StopMaxIter for a run that
+	// exhausted its iteration budget — the zero value, so results from
+	// the non-context API read the same as before).
+	Stopped StopReason
+	// NumericFailures counts numeric-guard trips (rollbacks plus the
+	// final recurring failure if the run stopped with StopNumerics).
+	NumericFailures int
+	// Err records a resilience failure surfaced through the old
+	// non-error API: a mismatched Resume checkpoint, a failing
+	// CheckpointFunc, or an internal invariant violation that was a
+	// panic in earlier versions. The context API also returns it.
+	Err error
 	// Upper and Lower trace the per-iteration upper bound w̄ᵀx and
 	// rounded objective (MR only, with Trace set).
 	Upper []float64
@@ -134,7 +167,7 @@ func absf(x float64) float64 {
 	return x
 }
 
-func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) *AlignResult {
+func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) (*AlignResult, error) {
 	var res *matching.Result
 	var obj float64
 	if skipFinal {
@@ -145,7 +178,11 @@ func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) *AlignR
 			obj = p.ObjectiveOfMatching(res, threads)
 		}
 	} else {
-		res, obj = p.FinalRound(tr, threads)
+		var err error
+		res, obj, err = p.FinalRound(tr, threads)
+		if err != nil {
+			return p.emptyResult(), err
+		}
 	}
 	x := res.Indicator(p.L)
 	return &AlignResult{
@@ -155,10 +192,19 @@ func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) *AlignR
 		Overlap:     p.Overlap(x, threads),
 		BestIter:    tr.BestIter,
 		Evaluations: tr.Evaluations,
-	}
+	}, nil
 }
 
-// KlauAlign runs Klau's iterative matching relaxation (Listing 1).
+// KlauAlign runs Klau's iterative matching relaxation (Listing 1) to
+// completion; it is MRAlignCtx without cancellation. Errors from the
+// resilience options are reported via AlignResult.Err.
+func (p *Problem) KlauAlign(o MROptions) *AlignResult {
+	res, _ := p.MRAlignCtx(context.Background(), o)
+	return res
+}
+
+// MRAlignCtx runs Klau's iterative matching relaxation (Listing 1)
+// under a context.
 //
 // Each iteration: (1) solve, for every row of S, a small exact
 // matching over L weighted by β/2·S + U − Uᵀ, recording the row values
@@ -168,13 +214,26 @@ func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) *AlignR
 // subgradient step on the multipliers U restricted to the upper
 // triangle, clamped to [-UBound, UBound], halving γ when the upper
 // bound has not improved for MStep iterations.
-func (p *Problem) KlauAlign(o MROptions) *AlignResult {
+//
+// Cancelling the context stops the run mid-iteration in bounded time,
+// returning the best matching found so far with Stopped set to
+// StopCancelled or StopDeadline. The numeric guard checks w̄ before
+// rounding and the multipliers after each subgradient step; a failing
+// iteration rolls back to the last good multipliers with a tightened
+// step size, and a recurring failure stops with StopNumerics.
+func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := o.defaults(p)
 	threads, chunk := opts.Threads, opts.Chunk
 	sched := opts.Sched
 	timer := opts.Timer
 	nnz := p.S.NNZ()
 	mEL := p.L.NumEdges()
+
+	tr := &Tracker{Trace: opts.Trace}
+	guard := newNumericGuard(opts.GuardLimit)
 
 	u := make([]float64, nnz)    // Lagrange multipliers (upper triangle only)
 	rowW := make([]float64, nnz) // β/2·S + U − Uᵀ values
@@ -187,10 +246,36 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 	sinceImproved := 0
 	converged := false
 	convergedIter := 0
-	lastIter := 0
+	startIter := 1
+	if opts.Resume != nil {
+		if err := opts.Resume.Validate(p, "mr"); err != nil {
+			res := p.emptyResult()
+			res.Err = err
+			return res, err
+		}
+		copy(u, opts.Resume.U)
+		gamma = opts.Resume.Gamma
+		bestUpper = opts.Resume.BestUpper
+		haveUpper = opts.Resume.HaveUpper
+		sinceImproved = opts.Resume.SinceImproved
+		guard.tighten = opts.Resume.Tighten
+		if guard.tighten == 0 {
+			guard.tighten = 1
+		}
+		guard.failures = opts.Resume.Failures
+		opts.Resume.restoreTracker(p, tr)
+		startIter = opts.Resume.Iter + 1
+	}
+	lastIter := startIter - 1
 
-	tr := &Tracker{Trace: opts.Trace}
-	result := func() *AlignResult { return p.finishResult(tr, threads, opts.SkipFinalExact) }
+	// Last-good snapshots for the numeric guard's rollback: the
+	// multipliers plus the subgradient step-control scalars they were
+	// produced under.
+	goodU := append([]float64(nil), u...)
+	goodGamma := gamma
+	goodBestUpper := bestUpper
+	goodHaveUpper := haveUpper
+	goodSinceImproved := sinceImproved
 
 	var upperTrace, lowerTrace []float64
 	sVal := p.S.Val
@@ -208,10 +293,26 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 		rowMatchers[i] = matching.NewSubsetMatcher(p.L.NA, p.L.NB)
 	}
 
-	for iter := 1; iter <= opts.Iterations; iter++ {
+	stopped := StopMaxIter
+	var runErr error
+
+	rollback := func() {
+		copy(u, goodU)
+		gamma = goodGamma
+		bestUpper = goodBestUpper
+		haveUpper = goodHaveUpper
+		sinceImproved = goodSinceImproved
+	}
+
+	iter := startIter
+	for iter <= opts.Iterations {
+		if err := ctx.Err(); err != nil {
+			stopped = stopReasonForCtx(err)
+			break
+		}
 		// Step 1: row match.
 		timer.Time(MRStepRowMatch, func() {
-			sched.For(nnz, threads, chunk, func(lo, hi int) {
+			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					rowW[k] = beta2*sVal[k] + u[k] - u[perm[k]]
 				}
@@ -246,6 +347,9 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(MRStepRowMatch, iter, d)
+		}
 
 		// Step 2: daxpy.
 		timer.Time(MRStepDaxpy, func() {
@@ -256,17 +360,45 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(MRStepDaxpy, iter, wbar)
+			opts.Faults.CorruptVector(MRStepMatch, iter, wbar)
+		}
+
+		if err := ctx.Err(); err != nil {
+			stopped = stopReasonForCtx(err)
+			break
+		}
+
+		// Numeric guard: w̄ is the product of the multipliers and the
+		// row matchings, so one scan here catches NaN/Inf or explosion
+		// from either before it reaches the matcher, the tracker, or
+		// the subgradient control.
+		if !guard.ok(threads, wbar) {
+			if guard.trip() {
+				rollback()
+				continue
+			}
+			stopped = StopNumerics
+			break
+		}
 
 		// Step 3: match.
 		var res *matching.Result
+		var stepErr error
 		timer.Time(MRStepMatch, func() {
 			lw, err := p.L.WithWeights(wbar)
 			if err != nil {
-				panic("core: w̄ length mismatch: " + err.Error())
+				stepErr = fmt.Errorf("core: w̄ length mismatch: %w", err)
+				return
 			}
 			matched := opts.Rounding(lw, threads)
 			res = matching.NewResult(p.L, matched.MateA, matched.MateB)
 		})
+		if stepErr != nil {
+			runErr = stepErr
+			break
+		}
 
 		// Step 4: objective (lower bound) and upper bound.
 		var x []float64
@@ -302,13 +434,15 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 		})
 
 		// Step 5: update U on the upper triangle:
-		// F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped.
+		// F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped. The guard's
+		// tighten factor (< 1 after a numeric rollback) shrinks the
+		// subgradient step.
 		timer.Time(MRStepUpdateU, func() {
 			sRow := p.SRow
 			sCol := p.S.Col
 			bound := opts.UBound
-			g := gamma
-			sched.For(nnz, threads, chunk, func(lo, hi int) {
+			g := gamma * guard.tighten
+			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					e1, e2 := sRow[k], sCol[k]
 					if e2 <= e1 {
@@ -319,12 +453,58 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 				}
 			})
 		})
+		if opts.Faults != nil {
+			opts.Faults.CorruptVector(MRStepUpdateU, iter, u)
+		}
+
+		if err := ctx.Err(); err != nil {
+			stopped = stopReasonForCtx(err)
+			break
+		}
+
+		// Numeric guard on the updated multipliers.
+		if !guard.ok(threads, u) {
+			if guard.trip() {
+				rollback()
+				continue
+			}
+			rollback()
+			stopped = StopNumerics
+			break
+		}
+		guard.clean()
+		copy(goodU, u)
+		goodGamma = gamma
+		goodBestUpper = bestUpper
+		goodHaveUpper = haveUpper
+		goodSinceImproved = sinceImproved
 
 		if opts.Observer != nil {
 			opts.Observer(iter, wbar, upper, obj)
 		}
 
 		lastIter = iter
+
+		if opts.CheckpointEvery > 0 && opts.CheckpointFunc != nil && iter%opts.CheckpointEvery == 0 {
+			ck := &Checkpoint{
+				Method:        "mr",
+				Iter:          iter,
+				U:             append([]float64(nil), u...),
+				Gamma:         gamma,
+				BestUpper:     bestUpper,
+				HaveUpper:     haveUpper,
+				SinceImproved: sinceImproved,
+				Tighten:       guard.tighten,
+				Failures:      guard.failures,
+			}
+			ck.fingerprint(p)
+			ck.captureTracker(tr)
+			if err := opts.CheckpointFunc(ck); err != nil {
+				runErr = err
+				break
+			}
+		}
+
 		// Optimality detection: the best rounded objective is a lower
 		// bound and bestUpper an upper bound on the optimum; a closed
 		// gap proves the tracked solution optimal.
@@ -332,19 +512,34 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 			if bestUpper-lower <= opts.GapTolerance*(1+absf(lower)) {
 				converged = true
 				convergedIter = iter
+				stopped = StopConverged
 				break
 			}
 		}
+		iter++
 	}
 
-	out := result()
+	cancelled := stopped == StopCancelled || stopped == StopDeadline
+	var out *AlignResult
+	if cancelled && !tr.HasBest() {
+		out = p.emptyResult()
+	} else {
+		var err error
+		out, err = p.finishResult(tr, threads, opts.SkipFinalExact || cancelled)
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	out.Iterations = lastIter
 	out.Converged = converged
 	out.ConvergedIter = convergedIter
+	out.Stopped = stopped
+	out.NumericFailures = guard.failures
+	out.Err = runErr
 	out.Upper = upperTrace
 	out.Lower = lowerTrace
 	if opts.Trace {
 		out.ObjectiveTrace = append([]float64(nil), tr.Objective...)
 	}
-	return out
+	return out, runErr
 }

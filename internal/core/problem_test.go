@@ -234,7 +234,10 @@ func TestRoundHeuristicTiny(t *testing.T) {
 	tr := &Tracker{}
 	// Heuristic weights favoring the identity pair.
 	heur := []float64{10, 0.1, 0.1, 10}
-	obj, res := p.RoundHeuristic(heur, matching.Exact, 1, 1, tr)
+	obj, res, err := p.RoundHeuristic(heur, matching.Exact, 1, 1, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := res.Validate(p.L); err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +256,10 @@ func TestRoundHeuristicTiny(t *testing.T) {
 func TestFinalRoundEmptyTracker(t *testing.T) {
 	p := tinyProblem(t, 1, 2)
 	tr := &Tracker{}
-	res, obj := p.FinalRound(tr, 1)
+	res, obj, err := p.FinalRound(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := res.Validate(p.L); err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,15 @@ type Report struct {
 	// EC = (# overlapped edges) / min(|E_A|, |E_B|) ∈ [0, 1].
 	EdgeCorrectness float64
 
+	// Stopped and NumericFailures carry the run's stop reason and
+	// numeric-guard trip count when the report was built from an
+	// AlignResult (NewReportFromResult); HasRun marks that case so a
+	// plain matching report does not render a misleading
+	// "max-iterations" line.
+	HasRun          bool
+	Stopped         StopReason
+	NumericFailures int
+
 	// OverlappedPairs lists, for each overlapped pair of graph edges,
 	// the two L-edges realizing it (each unordered pair once).
 	OverlappedPairs [][2]int
@@ -98,6 +107,17 @@ func (p *Problem) NewReport(r *matching.Result, reference *matching.Result, thre
 	return rep
 }
 
+// NewReportFromResult builds a report for an alignment run, carrying
+// the run's stop reason and numeric-guard activity alongside the
+// matching quality metrics.
+func (p *Problem) NewReportFromResult(res *AlignResult, reference *matching.Result, threads int) *Report {
+	rep := p.NewReport(res.Matching, reference, threads)
+	rep.HasRun = true
+	rep.Stopped = res.Stopped
+	rep.NumericFailures = res.NumericFailures
+	return rep
+}
+
 // ConservedSubgraph builds the subgraph of A induced by the overlapped
 // edges — the "conserved" structure both networks share under the
 // alignment, which is the object of interest in the bioinformatics
@@ -127,6 +147,12 @@ func (rep *Report) String() string {
 	if rep.Precision > 0 || rep.Recall > 0 {
 		fmt.Fprintf(&b, "precision    %.3f\n", rep.Precision)
 		fmt.Fprintf(&b, "recall       %.3f\n", rep.Recall)
+	}
+	if rep.HasRun {
+		fmt.Fprintf(&b, "stopped      %s\n", rep.Stopped)
+		if rep.NumericFailures > 0 {
+			fmt.Fprintf(&b, "numeric guard tripped %d time(s)\n", rep.NumericFailures)
+		}
 	}
 	return b.String()
 }

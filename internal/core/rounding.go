@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"netalignmc/internal/matching"
@@ -32,12 +34,19 @@ type Tracker struct {
 }
 
 // Offer submits a rounded solution. heur is copied only when it wins.
+// Non-finite objectives are recorded in the trace but never become the
+// best solution: the tracker is the last line of the numerical-guard
+// policy, so a NaN that slipped past the per-step checks cannot
+// surface as the run's objective.
 func (t *Tracker) Offer(iter int, obj float64, m *matching.Result, heur []float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Evaluations++
 	if t.Trace {
 		t.Objective = append(t.Objective, obj)
+	}
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		return
 	}
 	if !t.hasBest || obj > t.BestObjective {
 		t.hasBest = true
@@ -66,11 +75,13 @@ func (t *Tracker) HasBest() bool {
 // RoundHeuristic is the paper's round_heuristic(g): compute
 // x = bipartite_match(g) with the given matcher, evaluate the
 // alignment objective of x, and offer the result to the tracker.
-// It returns the objective and the matching.
-func (p *Problem) RoundHeuristic(heur []float64, m matching.Matcher, threads int, iter int, tr *Tracker) (float64, *matching.Result) {
+// It returns the objective and the matching. A heuristic vector whose
+// length does not match L is an error (formerly a panic — this is an
+// API-reachable condition, not a programmer invariant).
+func (p *Problem) RoundHeuristic(heur []float64, m matching.Matcher, threads int, iter int, tr *Tracker) (float64, *matching.Result, error) {
 	lw, err := p.L.WithWeights(heur)
 	if err != nil {
-		panic("core: heuristic vector length mismatch: " + err.Error())
+		return 0, nil, fmt.Errorf("core: heuristic vector length mismatch: %w", err)
 	}
 	matched := m(lw, threads)
 	// The matcher scored the heuristic weights; re-base the result on
@@ -81,20 +92,22 @@ func (p *Problem) RoundHeuristic(heur []float64, m matching.Matcher, threads int
 	if tr != nil {
 		tr.Offer(iter, obj, res, heur)
 	}
-	return obj, res
+	return obj, res, nil
 }
 
 // FinalRound performs the final exact rounding of the tracker's best
 // heuristic and returns the resulting matching with its objective. If
-// the tracker is empty it returns an empty matching.
-func (p *Problem) FinalRound(tr *Tracker, threads int) (*matching.Result, float64) {
+// the tracker is empty it returns an empty matching. A tracked
+// heuristic of the wrong length (a tracker shared across problems) is
+// an error, not a panic.
+func (p *Problem) FinalRound(tr *Tracker, threads int) (*matching.Result, float64, error) {
 	if !tr.HasBest() {
 		res := matching.Exact(p.L, threads)
-		return res, p.ObjectiveOfMatching(res, threads)
+		return res, p.ObjectiveOfMatching(res, threads), nil
 	}
 	lw, err := p.L.WithWeights(tr.BestHeuristic)
 	if err != nil {
-		panic("core: tracked heuristic length mismatch: " + err.Error())
+		return nil, 0, fmt.Errorf("core: tracked heuristic length mismatch: %w", err)
 	}
 	matched := matching.Exact(lw, threads)
 	res := matching.NewResult(p.L, matched.MateA, matched.MateB)
@@ -103,7 +116,7 @@ func (p *Problem) FinalRound(tr *Tracker, threads int) (*matching.Result, float6
 	// improve in matching weight but the full objective (with overlap)
 	// may differ either way; keep whichever matching scores better.
 	if obj >= tr.BestObjective {
-		return res, obj
+		return res, obj, nil
 	}
-	return tr.BestMatching, tr.BestObjective
+	return tr.BestMatching, tr.BestObjective, nil
 }

@@ -1,0 +1,128 @@
+// Package faults provides deterministic, seeded fault injection for
+// the robustness tests of the alignment solvers and the parallel
+// runtime. Nothing here is built behind a build tag: a fault Plan is
+// plain data wired into the solvers through the core.FaultInjector
+// option (nil in production runs, so the hooks cost one nil check per
+// step) and into parallel-loop tests through the body wrappers below.
+// All randomness comes from the plan's seed, so a failing robustness
+// test replays exactly.
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NaNInjection corrupts a solver vector at a named step.
+type NaNInjection struct {
+	// Step is the solver step name the injection targets (one of the
+	// core.BPStep*/MRStep* constants).
+	Step string
+	// Iter, when positive, restricts the injection to that iteration;
+	// zero strikes at every call for the step.
+	Iter int
+	// Count is how many entries to corrupt per strike (default 1).
+	Count int
+	// Once disarms the injection after its first strike, modelling a
+	// transient soft error; a persistent (Once=false, Iter=k) fault
+	// re-strikes when the solver rolls back and retries iteration k,
+	// which is the "recurring numeric failure" path.
+	Once bool
+}
+
+// Plan is a deterministic fault plan. The zero value injects nothing;
+// use NewPlan to seed one and the With* methods to arm faults. A Plan
+// is safe for concurrent use (solver steps run on many goroutines).
+type Plan struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nan     []NaNInjection
+	strikes atomic.Int64
+}
+
+// NewPlan returns an empty fault plan with the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithNaN arms a NaN injection and returns the plan for chaining.
+func (p *Plan) WithNaN(inj NaNInjection) *Plan {
+	if inj.Count <= 0 {
+		inj.Count = 1
+	}
+	p.mu.Lock()
+	p.nan = append(p.nan, inj)
+	p.mu.Unlock()
+	return p
+}
+
+// CorruptVector implements the solver fault hook (core.FaultInjector):
+// it overwrites seeded-random entries of vec with NaN when an armed
+// injection matches the step and iteration. Solvers call it after
+// each named step with that step's output vector.
+func (p *Plan) CorruptVector(step string, iter int, vec []float64) {
+	if p == nil || len(vec) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.nan[:0]
+	for _, inj := range p.nan {
+		if inj.Step != step || (inj.Iter > 0 && inj.Iter != iter) {
+			kept = append(kept, inj)
+			continue
+		}
+		for c := 0; c < inj.Count; c++ {
+			vec[p.rng.Intn(len(vec))] = math.NaN()
+		}
+		p.strikes.Add(1)
+		if !inj.Once {
+			kept = append(kept, inj)
+		}
+	}
+	p.nan = kept
+}
+
+// Strikes reports how many times the plan has delivered a fault.
+func (p *Plan) Strikes() int { return int(p.strikes.Load()) }
+
+// PanicOnIndex wraps a parallel-loop body so it panics with value msg
+// the first time its range covers index target (exactly once across
+// all workers). It drives the panic-propagation tests of
+// internal/parallel deterministically: the chosen index pins which
+// chunk blows up regardless of scheduling.
+func PanicOnIndex(target int, msg string, body func(lo, hi int)) func(lo, hi int) {
+	var fired atomic.Bool
+	return func(lo, hi int) {
+		if lo <= target && target < hi && fired.CompareAndSwap(false, true) {
+			panic(msg)
+		}
+		if body != nil {
+			body(lo, hi)
+		}
+	}
+}
+
+// DelayOnIndex wraps a parallel-loop body so the worker covering index
+// target sleeps for d first — a simulated slow worker. The other
+// workers are untouched, so tests can assert that cancellation and the
+// loop-end barrier behave with one straggler.
+func DelayOnIndex(target int, d time.Duration, body func(lo, hi int)) func(lo, hi int) {
+	return func(lo, hi int) {
+		if lo <= target && target < hi {
+			time.Sleep(d)
+		}
+		if body != nil {
+			body(lo, hi)
+		}
+	}
+}
+
+// PanicTask returns a task function (for parallel.Tasks/TasksCtx) that
+// panics with value msg.
+func PanicTask(msg string) func(threads int) {
+	return func(int) { panic(msg) }
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func countNaN(v []float64) int {
+	n := 0
+	for _, x := range v {
+		if math.IsNaN(x) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	strike := func() []float64 {
+		p := NewPlan(7).WithNaN(NaNInjection{Step: "boundF", Iter: 2, Count: 3})
+		v := make([]float64, 100)
+		p.CorruptVector("boundF", 2, v)
+		return v
+	}
+	a, b := strike(), strike()
+	if countNaN(a) == 0 {
+		t.Fatal("no entries corrupted")
+	}
+	for i := range a {
+		if math.IsNaN(a[i]) != math.IsNaN(b[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestFaultPlanStepAndIterFiltering(t *testing.T) {
+	p := NewPlan(1).WithNaN(NaNInjection{Step: "damping", Iter: 3})
+	v := make([]float64, 10)
+	p.CorruptVector("boundF", 3, v)
+	p.CorruptVector("damping", 2, v)
+	if countNaN(v) != 0 || p.Strikes() != 0 {
+		t.Fatal("injection fired on wrong step or iteration")
+	}
+	p.CorruptVector("damping", 3, v)
+	if countNaN(v) == 0 || p.Strikes() != 1 {
+		t.Fatal("injection did not fire on its target")
+	}
+}
+
+func TestFaultPlanOnceVsPersistent(t *testing.T) {
+	once := NewPlan(1).WithNaN(NaNInjection{Step: "s", Once: true})
+	for i := 0; i < 5; i++ {
+		once.CorruptVector("s", i, make([]float64, 4))
+	}
+	if once.Strikes() != 1 {
+		t.Fatalf("Once plan struck %d times", once.Strikes())
+	}
+	persistent := NewPlan(1).WithNaN(NaNInjection{Step: "s"})
+	for i := 0; i < 5; i++ {
+		persistent.CorruptVector("s", i, make([]float64, 4))
+	}
+	if persistent.Strikes() != 5 {
+		t.Fatalf("persistent plan struck %d times", persistent.Strikes())
+	}
+}
+
+func TestFaultPlanNilAndEmptySafe(t *testing.T) {
+	var p *Plan
+	p.CorruptVector("s", 1, []float64{1}) // nil receiver: no-op
+	q := NewPlan(1).WithNaN(NaNInjection{Step: "s"})
+	q.CorruptVector("s", 1, nil) // empty vector: no-op
+	if q.Strikes() != 0 {
+		t.Fatal("struck an empty vector")
+	}
+}
+
+func TestFaultPanicOnIndexExactlyOnce(t *testing.T) {
+	var panics atomic.Int64
+	body := PanicOnIndex(5, "boom", nil)
+	run := func(lo, hi int) {
+		defer func() {
+			if recover() != nil {
+				panics.Add(1)
+			}
+		}()
+		body(lo, hi)
+	}
+	// The target range runs many times; only the first covering call
+	// may panic.
+	for i := 0; i < 10; i++ {
+		run(0, 10)
+	}
+	run(20, 30) // never covers the target
+	if panics.Load() != 1 {
+		t.Fatalf("panicked %d times, want exactly 1", panics.Load())
+	}
+}
+
+func TestFaultDelayOnIndex(t *testing.T) {
+	var ran atomic.Int64
+	body := DelayOnIndex(0, 30*time.Millisecond, func(lo, hi int) { ran.Add(1) })
+	start := time.Now()
+	body(0, 1)
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("target chunk was not delayed")
+	}
+	start = time.Now()
+	body(5, 6)
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("non-target chunk was delayed")
+	}
+	if ran.Load() != 2 {
+		t.Fatal("wrapped body skipped")
+	}
+}

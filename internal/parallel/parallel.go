@@ -28,6 +28,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -340,6 +341,204 @@ func Tasks(p int, tasks []func(threads int)) {
 	}
 	wg.Wait()
 	pb.rethrow()
+}
+
+// The context-aware loop variants below mirror the plain constructs
+// but poll ctx between work grabs so a deadline or cancellation stops
+// the loop early. Granularity: ForDynamicCtx and ForGuidedCtx check
+// before every chunk grab, ForStaticCtx splits each worker's block
+// into sub-chunks and checks between them, and TasksCtx checks before
+// starting each task. A context that can never be cancelled (nil, or
+// Done() == nil such as context.Background()) delegates to the plain
+// construct with zero per-chunk overhead — this is what the
+// non-context solver entry points pass, so the hot paths are
+// unchanged. On cancellation the variants return ctx.Err(); already
+// started chunk bodies run to completion (bodies are never
+// interrupted mid-range), so the caller sees a loop that has covered
+// an unspecified subset of [0, n) and must discard or ignore the
+// partial result.
+
+// cancellable reports whether ctx can ever be cancelled.
+func cancellable(ctx context.Context) bool {
+	return ctx != nil && ctx.Done() != nil
+}
+
+// ForStaticCtx is ForStatic with cooperative cancellation. Each
+// worker's contiguous block is processed in sub-chunks of size chunk
+// (<= 0 selects a granularity of 8 sub-chunks per worker) with a
+// context poll between sub-chunks.
+func ForStaticCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) error {
+	if !cancellable(ctx) {
+		ForStatic(n, p, body)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p = Threads(p)
+	if n <= 0 {
+		return nil
+	}
+	if p > n {
+		p = n
+	}
+	done := ctx.Done()
+	var pb panicBox
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		lo := t * n / p
+		hi := (t + 1) * n / p
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer pb.capture()
+			step := chunk
+			if step <= 0 {
+				step = (hi - lo + 7) / 8
+			}
+			if step < 1 {
+				step = 1
+			}
+			for lo < hi {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				end := lo + step
+				if end > hi {
+					end = hi
+				}
+				body(lo, end)
+				lo = end
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	pb.rethrow()
+	return ctx.Err()
+}
+
+// ForDynamicCtx is ForDynamic with cooperative cancellation: workers
+// poll the context before grabbing each chunk.
+func ForDynamicCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) error {
+	if !cancellable(ctx) {
+		ForDynamic(n, p, chunk, body)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p = Threads(p)
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	maxWorkers := (n + chunk - 1) / chunk
+	if p > maxWorkers {
+		p = maxWorkers
+	}
+	done := ctx.Done()
+	var pb panicBox
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		go func() {
+			defer wg.Done()
+			defer pb.capture()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	pb.rethrow()
+	return ctx.Err()
+}
+
+// ForGuidedCtx is ForGuided with cooperative cancellation: workers
+// poll the context before grabbing each (shrinking) chunk.
+func ForGuidedCtx(ctx context.Context, n, p, minChunk int, body func(lo, hi int)) error {
+	if !cancellable(ctx) {
+		ForGuided(n, p, minChunk, body)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	ForGuided(n, p, minChunk, func(lo, hi int) {
+		if cancelled() {
+			return
+		}
+		body(lo, hi)
+	})
+	return ctx.Err()
+}
+
+// ForCtx runs body over [0, n) under the given schedule with
+// cooperative cancellation; see the ctx loop variants above.
+func (s Schedule) ForCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) error {
+	switch s {
+	case Static:
+		return ForStaticCtx(ctx, n, p, chunk, body)
+	case Guided:
+		return ForGuidedCtx(ctx, n, p, chunk, body)
+	default:
+		return ForDynamicCtx(ctx, n, p, chunk, body)
+	}
+}
+
+// TasksCtx is Tasks with cooperative cancellation: tasks not yet
+// started when the context is cancelled are skipped (running tasks
+// finish). It returns ctx.Err() when the context ended the run early.
+func TasksCtx(ctx context.Context, p int, tasks []func(threads int)) error {
+	if !cancellable(ctx) {
+		Tasks(p, tasks)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	wrapped := make([]func(int), len(tasks))
+	for i, task := range tasks {
+		task := task
+		wrapped[i] = func(threads int) {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			task(threads)
+		}
+	}
+	Tasks(p, wrapped)
+	return ctx.Err()
 }
 
 // ReduceFloat64 computes a parallel reduction of fn over [0, n): each

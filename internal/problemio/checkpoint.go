@@ -1,0 +1,391 @@
+package problemio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"netalignmc/internal/core"
+)
+
+// Checkpoint serialization: a line-oriented text format whose floats
+// are written in Go's hexadecimal floating-point notation ('x'), which
+// round-trips every finite float64 bit for bit — the property the
+// resume-is-bit-identical guarantee of the solvers rests on.
+//
+// Format (whitespace separated, '#' starts a comment line):
+//
+//	netalign-checkpoint 1
+//	method bp|mr
+//	iter <int>
+//	problem <na> <nb> <el> <nnz> <alpha> <beta>
+//	guard <tighten> <failures>
+//	bp <gammak>                              (bp only)
+//	mr <gamma> <bestupper> <haveupper 0|1> <sinceimproved>   (mr only)
+//	tracker <hasbest 0|1> <bestiter> <evaluations> <bestobjective>
+//	vec <name> <len>                         followed by the values,
+//	                                         eight per line
+//	mates <len>                              followed by ints, sixteen
+//	                                         per line (-1 = unmatched)
+//	end
+//
+// Unknown vec names are an error (a checkpoint is versioned state, not
+// a lenient config file). Non-finite values are rejected on read: the
+// solvers only ever checkpoint guarded state, so a NaN in a checkpoint
+// means the file is corrupt.
+
+const checkpointVersion = "1"
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// WriteCheckpoint serializes a checkpoint.
+func WriteCheckpoint(w io.Writer, c *core.Checkpoint) error {
+	if c == nil {
+		return fmt.Errorf("problemio: nil checkpoint")
+	}
+	if c.Method != "bp" && c.Method != "mr" {
+		return fmt.Errorf("problemio: checkpoint method %q is not bp or mr", c.Method)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "netalign-checkpoint %s\n", checkpointVersion)
+	fmt.Fprintf(bw, "method %s\n", c.Method)
+	fmt.Fprintf(bw, "iter %d\n", c.Iter)
+	fmt.Fprintf(bw, "problem %d %d %d %d %s %s\n", c.NA, c.NB, c.EL, c.NNZ, fmtFloat(c.Alpha), fmtFloat(c.Beta))
+	fmt.Fprintf(bw, "guard %s %d\n", fmtFloat(c.Tighten), c.Failures)
+	if c.Method == "bp" {
+		fmt.Fprintf(bw, "bp %s\n", fmtFloat(c.GammaK))
+	} else {
+		have := 0
+		if c.HaveUpper {
+			have = 1
+		}
+		fmt.Fprintf(bw, "mr %s %s %d %d\n", fmtFloat(c.Gamma), fmtFloat(c.BestUpper), have, c.SinceImproved)
+	}
+	has := 0
+	if c.HasBest {
+		has = 1
+	}
+	fmt.Fprintf(bw, "tracker %d %d %d %s\n", has, c.BestIter, c.Evaluations, fmtFloat(c.BestObjective))
+	writeVec := func(name string, v []float64) {
+		fmt.Fprintf(bw, "vec %s %d\n", name, len(v))
+		for i, x := range v {
+			if i%8 == 7 || i == len(v)-1 {
+				fmt.Fprintf(bw, "%s\n", fmtFloat(x))
+			} else {
+				fmt.Fprintf(bw, "%s ", fmtFloat(x))
+			}
+		}
+	}
+	if c.Method == "bp" {
+		writeVec("y", c.Y)
+		writeVec("z", c.Z)
+		writeVec("sk", c.SK)
+	} else {
+		writeVec("u", c.U)
+	}
+	if c.HasBest {
+		writeVec("bestheur", c.BestHeuristic)
+		fmt.Fprintf(bw, "mates %d\n", len(c.BestMateA))
+		for i, m := range c.BestMateA {
+			if i%16 == 15 || i == len(c.BestMateA)-1 {
+				fmt.Fprintf(bw, "%d\n", m)
+			} else {
+				fmt.Fprintf(bw, "%d ", m)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*core.Checkpoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNum := 0
+	// tokens yields whitespace-separated fields across lines, so
+	// vectors can be parsed value by value regardless of wrapping.
+	var queue []string
+	nextLine := func() ([]string, bool) {
+		for sc.Scan() {
+			lineNum++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return strings.Fields(s), true
+		}
+		return nil, false
+	}
+	nextTok := func() (string, error) {
+		for len(queue) == 0 {
+			f, ok := nextLine()
+			if !ok {
+				return "", fmt.Errorf("problemio: checkpoint: line %d: unexpected end of input (%v)", lineNum, sc.Err())
+			}
+			queue = f
+		}
+		t := queue[0]
+		queue = queue[1:]
+		return t, nil
+	}
+	parseInt := func(what string) (int, error) {
+		t, err := nextTok()
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(t)
+		if err != nil {
+			return 0, fmt.Errorf("problemio: checkpoint: line %d: bad %s %q", lineNum, what, t)
+		}
+		return v, nil
+	}
+	parseFloat := func(what string) (float64, error) {
+		t, err := nextTok()
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("problemio: checkpoint: line %d: bad %s %q", lineNum, what, t)
+		}
+		return v, nil
+	}
+	expect := func(word string) error {
+		t, err := nextTok()
+		if err != nil {
+			return err
+		}
+		if t != word {
+			return fmt.Errorf("problemio: checkpoint: line %d: expected %q, got %q", lineNum, word, t)
+		}
+		return nil
+	}
+	parseVec := func(name string, want int) ([]float64, error) {
+		if err := expect("vec"); err != nil {
+			return nil, err
+		}
+		if err := expect(name); err != nil {
+			return nil, err
+		}
+		n, err := parseInt("vector length")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || (want >= 0 && n != want) {
+			return nil, fmt.Errorf("problemio: checkpoint: line %d: vec %s length %d, want %d", lineNum, name, n, want)
+		}
+		// Cap preallocation: a hostile length must not force a huge
+		// allocation before any value has been parsed.
+		prealloc := n
+		if prealloc > 1<<20 {
+			prealloc = 1 << 20
+		}
+		v := make([]float64, 0, prealloc)
+		for i := 0; i < n; i++ {
+			x, err := parseFloat(name + " value")
+			if err != nil {
+				return nil, err
+			}
+			v = append(v, x)
+		}
+		return v, nil
+	}
+
+	if err := expect("netalign-checkpoint"); err != nil {
+		return nil, err
+	}
+	if err := expect(checkpointVersion); err != nil {
+		return nil, err
+	}
+	c := &core.Checkpoint{}
+	if err := expect("method"); err != nil {
+		return nil, err
+	}
+	m, err := nextTok()
+	if err != nil {
+		return nil, err
+	}
+	if m != "bp" && m != "mr" {
+		return nil, fmt.Errorf("problemio: checkpoint: line %d: unknown method %q", lineNum, m)
+	}
+	c.Method = m
+	if err := expect("iter"); err != nil {
+		return nil, err
+	}
+	if c.Iter, err = parseInt("iter"); err != nil {
+		return nil, err
+	}
+	if c.Iter < 0 {
+		return nil, fmt.Errorf("problemio: checkpoint: negative iteration %d", c.Iter)
+	}
+	if err := expect("problem"); err != nil {
+		return nil, err
+	}
+	if c.NA, err = parseInt("na"); err != nil {
+		return nil, err
+	}
+	if c.NB, err = parseInt("nb"); err != nil {
+		return nil, err
+	}
+	if c.EL, err = parseInt("el"); err != nil {
+		return nil, err
+	}
+	if c.NNZ, err = parseInt("nnz"); err != nil {
+		return nil, err
+	}
+	if c.NA < 0 || c.NB < 0 || c.EL < 0 || c.NNZ < 0 {
+		return nil, fmt.Errorf("problemio: checkpoint: negative problem sizes %d %d %d %d", c.NA, c.NB, c.EL, c.NNZ)
+	}
+	if c.Alpha, err = parseFloat("alpha"); err != nil {
+		return nil, err
+	}
+	if c.Beta, err = parseFloat("beta"); err != nil {
+		return nil, err
+	}
+	if err := expect("guard"); err != nil {
+		return nil, err
+	}
+	if c.Tighten, err = parseFloat("tighten"); err != nil {
+		return nil, err
+	}
+	if c.Failures, err = parseInt("failures"); err != nil {
+		return nil, err
+	}
+	if c.Method == "bp" {
+		if err := expect("bp"); err != nil {
+			return nil, err
+		}
+		if c.GammaK, err = parseFloat("gammak"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := expect("mr"); err != nil {
+			return nil, err
+		}
+		if c.Gamma, err = parseFloat("gamma"); err != nil {
+			return nil, err
+		}
+		if c.BestUpper, err = parseFloat("bestupper"); err != nil {
+			return nil, err
+		}
+		have, err := parseInt("haveupper")
+		if err != nil {
+			return nil, err
+		}
+		c.HaveUpper = have != 0
+		if c.SinceImproved, err = parseInt("sinceimproved"); err != nil {
+			return nil, err
+		}
+	}
+	if err := expect("tracker"); err != nil {
+		return nil, err
+	}
+	has, err := parseInt("hasbest")
+	if err != nil {
+		return nil, err
+	}
+	c.HasBest = has != 0
+	if c.BestIter, err = parseInt("bestiter"); err != nil {
+		return nil, err
+	}
+	if c.Evaluations, err = parseInt("evaluations"); err != nil {
+		return nil, err
+	}
+	if c.BestObjective, err = parseFloat("bestobjective"); err != nil {
+		return nil, err
+	}
+	if c.Method == "bp" {
+		if c.Y, err = parseVec("y", c.EL); err != nil {
+			return nil, err
+		}
+		if c.Z, err = parseVec("z", c.EL); err != nil {
+			return nil, err
+		}
+		if c.SK, err = parseVec("sk", c.NNZ); err != nil {
+			return nil, err
+		}
+	} else {
+		if c.U, err = parseVec("u", c.NNZ); err != nil {
+			return nil, err
+		}
+	}
+	if c.HasBest {
+		if c.BestHeuristic, err = parseVec("bestheur", c.EL); err != nil {
+			return nil, err
+		}
+		if err := expect("mates"); err != nil {
+			return nil, err
+		}
+		n, err := parseInt("mates length")
+		if err != nil {
+			return nil, err
+		}
+		if n != c.NA {
+			return nil, fmt.Errorf("problemio: checkpoint: mates length %d, want na=%d", n, c.NA)
+		}
+		prealloc := n
+		if prealloc > 1<<20 {
+			prealloc = 1 << 20
+		}
+		c.BestMateA = make([]int, 0, prealloc)
+		for i := 0; i < n; i++ {
+			m, err := parseInt("mate")
+			if err != nil {
+				return nil, err
+			}
+			if m < -1 || m >= c.NB {
+				return nil, fmt.Errorf("problemio: checkpoint: mate %d out of range [-1,%d)", m, c.NB)
+			}
+			c.BestMateA = append(c.BestMateA, m)
+		}
+	}
+	if err := expect("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteCheckpointFile writes a checkpoint atomically: to a temporary
+// file in the destination directory, synced, then renamed into place,
+// so an interrupted run never leaves a truncated checkpoint behind.
+func WriteCheckpointFile(path string, c *core.Checkpoint) error {
+	dir, base := ".", path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		dir, base = path[:i], path[i+1:]
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("problemio: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteCheckpoint(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("problemio: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("problemio: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("problemio: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads a checkpoint from a file.
+func ReadCheckpointFile(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("problemio: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -128,6 +129,9 @@ func readMTX(r io.Reader) (rows, cols int, entries []smatEntry, pattern bool, er
 	if e1 != nil || e2 != nil || e3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: bad size line %v", size)
 	}
+	if rows > maxTextDim || cols > maxTextDim {
+		return 0, 0, nil, false, fmt.Errorf("problemio: mtx: dimensions %dx%d exceed the text-format limit %d", rows, cols, maxTextDim)
+	}
 	prealloc := nnz
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
@@ -154,6 +158,9 @@ func readMTX(r io.Reader) (rows, cols int, entries []smatEntry, pattern bool, er
 		}
 		if e1 != nil || e2 != nil || e3 != nil {
 			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: malformed entry", line)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return 0, 0, nil, false, fmt.Errorf("problemio: mtx: line %d: non-finite value %q", line, f[2])
 		}
 		rr--
 		cc--

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -90,8 +91,8 @@ func Read(r io.Reader, threads int) (*core.Problem, error) {
 				return nil, fmt.Errorf("problemio: line %d: malformed %s", lineNum, fields[0])
 			}
 			v, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("problemio: line %d: %v", lineNum, err)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("problemio: line %d: bad %s %q", lineNum, fields[0], fields[1])
 			}
 			if fields[0] == "alpha" {
 				alpha = v
@@ -109,7 +110,7 @@ func Read(r io.Reader, threads int) (*core.Problem, error) {
 				}
 				n, err1 := strconv.Atoi(fields[2])
 				m, err2 := strconv.Atoi(fields[3])
-				if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				if err1 != nil || err2 != nil || n < 0 || m < 0 || n > maxTextDim {
 					return nil, fmt.Errorf("problemio: line %d: bad graph sizes", lineNum)
 				}
 				builder := graph.NewBuilder(n)
@@ -137,7 +138,7 @@ func Read(r io.Reader, threads int) (*core.Problem, error) {
 				na, err1 := strconv.Atoi(fields[2])
 				nb, err2 := strconv.Atoi(fields[3])
 				m, err3 := strconv.Atoi(fields[4])
-				if err1 != nil || err2 != nil || err3 != nil || na < 0 || nb < 0 || m < 0 {
+				if err1 != nil || err2 != nil || err3 != nil || na < 0 || nb < 0 || m < 0 || na > maxTextDim || nb > maxTextDim {
 					return nil, fmt.Errorf("problemio: line %d: bad L sizes", lineNum)
 				}
 				prealloc := m
@@ -153,7 +154,7 @@ func Read(r io.Reader, threads int) (*core.Problem, error) {
 					va, err1 := strconv.Atoi(ef[0])
 					vb, err2 := strconv.Atoi(ef[1])
 					w, err3 := strconv.ParseFloat(ef[2], 64)
-					if err1 != nil || err2 != nil || err3 != nil {
+					if err1 != nil || err2 != nil || err3 != nil || math.IsNaN(w) || math.IsInf(w, 0) {
 						return nil, fmt.Errorf("problemio: line %d: bad L edge", lineNum)
 					}
 					edges = append(edges, bipartite.WeightedEdge{A: va, B: vb, W: w})

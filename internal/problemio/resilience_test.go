@@ -1,0 +1,321 @@
+package problemio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netalignmc/internal/core"
+)
+
+// Malformed-input suites: every reader must turn broken input into an
+// error — never a panic, never a silently wrong problem.
+
+func TestFaultMalformedSMAT(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"garbage", "hello world\nthis is not a matrix\n"},
+		{"short header", "3 3\n"},
+		{"non-numeric header", "a b c\n"},
+		{"negative dims", "-1 3 0\n"},
+		{"negative nnz", "3 3 -2\n"},
+		{"truncated entries", "3 3 2\n0 0 1\n"},
+		{"short entry", "3 3 1\n0 1\n"},
+		{"non-numeric entry", "3 3 1\n0 x 1\n"},
+		{"row out of range", "3 3 1\n3 0 1\n"},
+		{"negative index", "3 3 1\n-1 0 1\n"},
+		{"nan weight", "3 3 1\n0 0 NaN\n"},
+		{"inf weight", "3 3 1\n0 0 +Inf\n"},
+		{"trailing content", "2 2 1\n0 0 1\n1 1 1\n"},
+		{"absurd dims", "9999999999 1 1\n0 0 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadLSMAT(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadLSMAT accepted %q", tc.in)
+			}
+			if _, _, _, err := readSMAT(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("readSMAT accepted %q", tc.in)
+			}
+		})
+	}
+	// Square-only constraint for graphs.
+	if _, err := ReadGraphSMAT(strings.NewReader("2 3 0\n")); err == nil {
+		t.Fatal("rectangular graph smat accepted")
+	}
+}
+
+func TestFaultMalformedMTX(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no banner", "2 2 1\n1 1 1\n"},
+		{"bad banner", "%%MatrixMarket tensor coordinate real general\n2 2 0\n"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n2 2 0\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real hermitian\n2 2 0\n"},
+		{"missing size", "%%MatrixMarket matrix coordinate real general\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate real general\n2 x 1\n"},
+		{"negative size", "%%MatrixMarket matrix coordinate real general\n-2 2 0\n"},
+		{"truncated entries", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n"},
+		{"nan value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n"},
+		{"inf value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 Inf\n"},
+		{"pattern with value", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 1\n"},
+		{"absurd dims", "%%MatrixMarket matrix coordinate real general\n9999999999 2 1\n1 1 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadLMTX(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadLMTX accepted %q", tc.in)
+			}
+		})
+	}
+	if _, err := ReadGraphMTX(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2 3 0\n")); err == nil {
+		t.Fatal("rectangular graph mtx accepted")
+	}
+}
+
+func TestFaultMalformedNetalign(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"garbage", "what even is this\n"},
+		{"missing header", "alpha 1\nbeta 1\n"},
+		{"bad version", "netalign 2\n"},
+		{"nan alpha", "netalign 1\nalpha NaN\n"},
+		{"inf beta", "netalign 1\nbeta Inf\n"},
+		{"missing graphs", "netalign 1\nalpha 1\nbeta 1\n"},
+		{"truncated graph", "netalign 1\ngraph A 3 2\n0 1\n"},
+		{"bad edge index", "netalign 1\ngraph A 3 1\n0 9\n"},
+		{"negative edge", "netalign 1\ngraph A 3 1\n-1 0\n"},
+		{"bad L weight", "netalign 1\ngraph A 1 0\ngraph B 1 0\ngraph L 1 1 1\n0 0 NaN\n"},
+		{"L index out of range", "netalign 1\ngraph A 1 0\ngraph B 1 0\ngraph L 1 1 1\n0 5 1\n"},
+		{"absurd graph size", "netalign 1\ngraph A 9999999999 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in), 1); err == nil {
+				t.Fatalf("Read accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+// Fuzz targets: the seed corpus runs on every plain `go test`; under
+// `go test -fuzz` the engine mutates it. The property is uniform:
+// arbitrary bytes must produce (result, nil) or (nil, error), never a
+// panic, and accepted candidate graphs must carry only finite weights.
+
+func FuzzReadSMAT(f *testing.F) {
+	f.Add("3 3 2\n0 1 1\n1 0 1\n")
+	f.Add("2 2 1\n0 0 2.5\n")
+	f.Add("")
+	f.Add("1 1 1\n0 0 NaN\n")
+	f.Add("# comment\n2 2 0\n")
+	f.Add("9999999999 1 1\n0 0 1\n")
+	f.Add("2 2 1\n0 0 1e308\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		l, err := ReadLSMAT(strings.NewReader(in))
+		if err == nil && l != nil {
+			for _, w := range l.W {
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					t.Fatalf("accepted non-finite weight %g", w)
+				}
+			}
+		}
+		_, _ = ReadGraphSMAT(strings.NewReader(in))
+	})
+}
+
+func FuzzReadMTX(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 Infinity\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		l, err := ReadLMTX(strings.NewReader(in))
+		if err == nil && l != nil {
+			for _, w := range l.W {
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					t.Fatalf("accepted non-finite weight %g", w)
+				}
+			}
+		}
+		_, _ = ReadGraphMTX(strings.NewReader(in))
+	})
+}
+
+// Checkpoint round-trips: the serialized form must reproduce every
+// float64 bit for bit (the hex format guarantees this) and reject
+// corruption.
+
+func bpCheckpoint() *core.Checkpoint {
+	return &core.Checkpoint{
+		Method: "bp", Iter: 17,
+		Alpha: 0.1, Beta: 2.0 / 3.0,
+		NA: 3, NB: 4, EL: 5, NNZ: 2,
+		Y:      []float64{1.0 / 3.0, -2.718281828459045, 1e-300, math.MaxFloat64, 0},
+		Z:      []float64{0.1, 0.2, 0.3, -0.4, math.SmallestNonzeroFloat64},
+		SK:     []float64{-1e100, 3.141592653589793},
+		GammaK: 0.39999999999999997, Tighten: 0.5, Failures: 2,
+		HasBest: true, BestIter: 9, Evaluations: 17,
+		BestObjective: 42.00000000000001,
+		BestHeuristic: []float64{5, 4, 3, 2, 1},
+		BestMateA:     []int{2, -1, 0},
+	}
+}
+
+func mrCheckpoint() *core.Checkpoint {
+	return &core.Checkpoint{
+		Method: "mr", Iter: 3,
+		Alpha: 1, Beta: 2,
+		NA: 2, NB: 2, EL: 4, NNZ: 4,
+		U:     []float64{0.25, -0.125, 1.0 / 7.0, 0},
+		Gamma: 0.4, BestUpper: 17.3, HaveUpper: true, SinceImproved: 1,
+		Tighten: 1, Failures: 0,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, c := range []*core.Checkpoint{bpCheckpoint(), mrCheckpoint()} {
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.Method, err, buf.String())
+		}
+		compareCheckpoints(t, c, got)
+	}
+}
+
+func compareCheckpoints(t *testing.T, want, got *core.Checkpoint) {
+	t.Helper()
+	if got.Method != want.Method || got.Iter != want.Iter {
+		t.Fatalf("method/iter: %v/%d vs %v/%d", got.Method, got.Iter, want.Method, want.Iter)
+	}
+	sameF := func(name string, a, b float64) {
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s not bit-identical: %x vs %x", name, a, b)
+		}
+	}
+	sameVec := func(name string, a, b []float64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s[%d] not bit-identical: %x vs %x", name, i, a[i], b[i])
+			}
+		}
+	}
+	sameF("alpha", got.Alpha, want.Alpha)
+	sameF("beta", got.Beta, want.Beta)
+	sameF("gammak", got.GammaK, want.GammaK)
+	sameF("gamma", got.Gamma, want.Gamma)
+	sameF("bestupper", got.BestUpper, want.BestUpper)
+	sameF("tighten", got.Tighten, want.Tighten)
+	sameF("bestobjective", got.BestObjective, want.BestObjective)
+	sameVec("y", got.Y, want.Y)
+	sameVec("z", got.Z, want.Z)
+	sameVec("sk", got.SK, want.SK)
+	sameVec("u", got.U, want.U)
+	sameVec("bestheur", got.BestHeuristic, want.BestHeuristic)
+	if got.HaveUpper != want.HaveUpper || got.SinceImproved != want.SinceImproved ||
+		got.Failures != want.Failures || got.HasBest != want.HasBest ||
+		got.BestIter != want.BestIter || got.Evaluations != want.Evaluations {
+		t.Fatalf("scalar state mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.BestMateA) != len(want.BestMateA) {
+		t.Fatalf("mates length %d vs %d", len(got.BestMateA), len(want.BestMateA))
+	}
+	for i := range want.BestMateA {
+		if got.BestMateA[i] != want.BestMateA[i] {
+			t.Fatalf("mate[%d] = %d, want %d", i, got.BestMateA[i], want.BestMateA[i])
+		}
+	}
+}
+
+func TestCheckpointFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	c := bpCheckpoint()
+	if err := WriteCheckpointFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with new state; the rename must replace, not append.
+	c.Iter = 18
+	if err := WriteCheckpointFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 18 {
+		t.Fatalf("iter = %d after rewrite", got.Iter)
+	}
+	// No stray temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestFaultMalformedCheckpoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, bpCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad magic", "netalign-problem 1\n"},
+		{"bad version", strings.Replace(valid, "netalign-checkpoint 1", "netalign-checkpoint 9", 1)},
+		{"bad method", strings.Replace(valid, "method bp", "method lp", 1)},
+		{"negative iter", strings.Replace(valid, "iter 17", "iter -1", 1)},
+		{"nan scalar", strings.Replace(valid, "bp 0x1", "bp NaN0x1", 1)},
+		{"truncated", valid[:len(valid)/2]},
+		{"no end", strings.TrimSuffix(valid, "end\n")},
+		{"mate out of range", strings.Replace(valid, "2 -1 0\n", "2 -1 99\n", 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCheckpoint(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("corrupt checkpoint accepted (%s)", tc.name)
+			}
+		})
+	}
+	// Writer-side validation.
+	if err := WriteCheckpoint(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil checkpoint written")
+	}
+	if err := WriteCheckpoint(&bytes.Buffer{}, &core.Checkpoint{Method: "lp"}); err == nil {
+		t.Fatal("unknown method written")
+	}
+}
+
+func FuzzReadCheckpoint(f *testing.F) {
+	var bp, mr bytes.Buffer
+	_ = WriteCheckpoint(&bp, bpCheckpoint())
+	_ = WriteCheckpoint(&mr, mrCheckpoint())
+	f.Add(bp.String())
+	f.Add(mr.String())
+	f.Add("netalign-checkpoint 1\nmethod bp\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCheckpoint(strings.NewReader(in))
+		if err == nil && c != nil {
+			// Anything accepted must satisfy its own structural checks.
+			if c.Method != "bp" && c.Method != "mr" {
+				t.Fatalf("accepted method %q", c.Method)
+			}
+			if len(c.Y) != c.EL && c.Method == "bp" {
+				t.Fatalf("accepted bp vec length %d != el %d", len(c.Y), c.EL)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -156,6 +157,13 @@ func ReadMatching(rd io.Reader, l *bipartite.Graph) (*matching.Result, error) {
 	return res, nil
 }
 
+// maxTextDim bounds the side sizes a text reader accepts. Vertex
+// counts size O(n) allocations downstream (CSR row pointers, mate
+// arrays), so a hostile few-byte header must not be able to demand
+// gigabytes; 2^27 (~134M) vertices is far beyond what the text formats
+// are practical for.
+const maxTextDim = 1 << 27
+
 type smatEntry struct {
 	row, col int
 	val      float64
@@ -189,6 +197,9 @@ func readSMAT(r io.Reader) (rows, cols int, entries []smatEntry, err error) {
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return 0, 0, nil, fmt.Errorf("problemio: smat: bad header %v", header)
 	}
+	if rows > maxTextDim || cols > maxTextDim {
+		return 0, 0, nil, fmt.Errorf("problemio: smat: dimensions %dx%d exceed the text-format limit %d", rows, cols, maxTextDim)
+	}
 	// Cap the preallocation: a hostile header must not force a huge
 	// allocation before any entry has actually been parsed.
 	prealloc := nnz
@@ -206,6 +217,9 @@ func readSMAT(r io.Reader) (rows, cols int, entries []smatEntry, err error) {
 		vv, err3 := strconv.ParseFloat(f[2], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return 0, 0, nil, fmt.Errorf("problemio: smat: line %d: malformed entry", line)
+		}
+		if math.IsNaN(vv) || math.IsInf(vv, 0) {
+			return 0, 0, nil, fmt.Errorf("problemio: smat: line %d: non-finite value %q", line, f[2])
 		}
 		if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
 			return 0, 0, nil, fmt.Errorf("problemio: smat: line %d: entry (%d,%d) out of %dx%d", line, rr, cc, rows, cols)

@@ -93,6 +93,31 @@ type BPOptions = core.BPOptions
 // AlignResult is the outcome of an alignment method.
 type AlignResult = core.AlignResult
 
+// StopReason records why an alignment run ended; see AlignResult.Stopped.
+type StopReason = core.StopReason
+
+// Stop reasons.
+const (
+	StopMaxIter   = core.StopMaxIter
+	StopConverged = core.StopConverged
+	StopCancelled = core.StopCancelled
+	StopDeadline  = core.StopDeadline
+	StopNumerics  = core.StopNumerics
+)
+
+// Checkpoint is a serializable snapshot of a BP or MR run; produce one
+// via BPOptions/MROptions.CheckpointEvery + CheckpointFunc, serialize
+// it with WriteCheckpoint, and feed it back through the Resume option
+// to continue the run bit for bit. Problem.BPAlignCtx and
+// Problem.MRAlignCtx accept a context.Context for cancellation and
+// deadlines.
+type Checkpoint = core.Checkpoint
+
+// FaultInjector corrupts solver state at named steps; used by the
+// fault-injection tests, exported so downstream robustness harnesses
+// can reuse the hook.
+type FaultInjector = core.FaultInjector
+
 // Matching is a bipartite matching result (mates per side, weight,
 // cardinality).
 type Matching = matching.Result
@@ -247,6 +272,24 @@ type ProblemStats = core.Stats
 
 // StatsOf collects Table II statistics.
 func StatsOf(name string, p *Problem) ProblemStats { return core.ProblemStats(name, p) }
+
+// WriteCheckpoint serializes a checkpoint in the exact (hexadecimal
+// float) text format; resume from it reproduces the run bit for bit.
+func WriteCheckpoint(w io.Writer, c *Checkpoint) error { return problemio.WriteCheckpoint(w, c) }
+
+// ReadCheckpoint parses a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return problemio.ReadCheckpoint(r) }
+
+// WriteCheckpointFile writes a checkpoint atomically (temp file +
+// rename), so an interruption never leaves a truncated checkpoint.
+func WriteCheckpointFile(path string, c *Checkpoint) error {
+	return problemio.WriteCheckpointFile(path, c)
+}
+
+// ReadCheckpointFile reads a checkpoint from a file.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	return problemio.ReadCheckpointFile(path)
+}
 
 // ReadProblem parses a problem from the netalign text format.
 func ReadProblem(r io.Reader) (*Problem, error) { return problemio.Read(r, 0) }
