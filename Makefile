@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover vet faults fuzz examples reproduce clean
+.PHONY: all build test race bench cover vet faults fuzz examples reproduce serve smoke clean
 
 all: build test
 
@@ -44,6 +44,15 @@ examples:
 	$(GO) run ./examples/ontology
 	$(GO) run ./examples/steering
 	$(GO) run ./examples/matchers
+
+# Run the alignment job service locally (spool in ./netalignd-spool).
+serve:
+	$(GO) run ./cmd/netalignd -addr :7070 -spool netalignd-spool
+
+# End-to-end daemon smoke test: submit, poll, kill -9 mid-job, verify
+# resume-on-restart. Needs curl and python3.
+smoke:
+	./scripts/ci_smoke.sh
 
 # Regenerate the full experiment report (results/report.md).
 reproduce:

@@ -7,13 +7,26 @@
 //
 //	netalign -in problem.txt -method bp -iters 400 -batch 20 -approx
 //	netalign -a A.smat -b B.smat -l L.smat -method mr -timing
+//	netalign -in problem.txt -json -progress > result.json
+//
+// Exit codes:
+//
+//	0  success (including a run stopped early by convergence)
+//	1  I/O failure (unreadable input, unwritable output)
+//	2  usage or run error (bad flags, solver error)
+//	3  numeric guard stopped the run (best matching still reported)
+//	4  -timeout deadline expired (best matching still reported)
+//	5  interrupted (SIGINT/SIGTERM; best matching still reported)
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netalignmc/internal/cli"
@@ -21,7 +34,21 @@ import (
 	"netalignmc/internal/problemio"
 )
 
+// Exit codes; keep in sync with the doc comment, -h usage and README.
+const (
+	exitOK        = 0
+	exitIO        = 1
+	exitUsage     = 2
+	exitNumerics  = 3
+	exitDeadline  = 4
+	exitCancelled = 5
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		in      = flag.String("in", "", "problem file (netalign format); or use -a/-b/-l")
 		aFile   = flag.String("a", "", "graph A in SMAT format (with -b and -l)")
@@ -40,11 +67,28 @@ func main() {
 		trace   = flag.Bool("trace", false, "print the per-evaluation objective trace")
 		outFile = flag.String("out", "", "write the matching as 'a b' pairs to this file")
 
+		jsonOut       = flag.Bool("json", false, "write the result as JSON on stdout (suppresses the human summary)")
+		progress      = flag.Bool("progress", false, "stream per-iteration progress lines to stderr")
+		progressEvery = flag.Int("progress-every", 0, "report progress every N iterations (0 = every iteration, with -progress)")
+
 		timeout    = flag.Duration("timeout", 0*time.Second, "stop after this wall time and report the best matching found (0 = unbounded)")
 		checkpoint = flag.String("checkpoint", "", "periodically write a resumable checkpoint to this file (atomic rename)")
 		ckptEvery  = flag.Int("checkpoint-every", 10, "iterations between checkpoints (with -checkpoint)")
 		resume     = flag.String("resume", "", "resume from a checkpoint written by a previous run on the same problem")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: netalign -in problem.txt [flags]\n")
+		fmt.Fprintf(w, "       netalign -a A.smat -b B.smat -l L.smat [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExit codes:\n")
+		fmt.Fprintf(w, "  %d  success (including a run stopped early by convergence)\n", exitOK)
+		fmt.Fprintf(w, "  %d  I/O failure (unreadable input, unwritable output)\n", exitIO)
+		fmt.Fprintf(w, "  %d  usage or run error (bad flags, solver error)\n", exitUsage)
+		fmt.Fprintf(w, "  %d  numeric guard stopped the run (best matching still reported)\n", exitNumerics)
+		fmt.Fprintf(w, "  %d  -timeout deadline expired (best matching still reported)\n", exitDeadline)
+		fmt.Fprintf(w, "  %d  interrupted by SIGINT/SIGTERM (best matching still reported)\n", exitCancelled)
+	}
 	flag.Parse()
 
 	p, label, err := loadProblem(*in, *aFile, *bFile, *lFile, *alpha, *beta, *threads)
@@ -52,11 +96,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
 		if err == errUsage {
 			flag.Usage()
-			os.Exit(2)
+			return exitUsage
 		}
-		os.Exit(1)
+		return exitIO
 	}
-	cli.DescribeProblem(p, label, os.Stdout)
+	if !*jsonOut {
+		cli.DescribeProblem(p, label, os.Stdout)
+	}
+
+	// A first signal cancels the run cooperatively (the solver stops
+	// at the next iteration boundary and reports its best matching); a
+	// second one kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	res, err := cli.Align(p, cli.AlignOptions{
 		Method: *method, Iters: *iters, Batch: *batch, Gamma: *gamma,
@@ -64,35 +116,47 @@ func main() {
 		Timing: *timing, Trace: *trace,
 		Timeout: *timeout, CheckpointPath: *checkpoint,
 		CheckpointEvery: *ckptEvery, ResumePath: *resume,
+		JSON: *jsonOut, Progress: *progress, ProgressEvery: *progressEvery,
+		ProgressOut: os.Stderr, Ctx: ctx,
 	}, os.Stdout)
 	numericStop := errors.Is(err, cli.ErrNumerics)
 	if err != nil && !numericStop {
 		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
-		os.Exit(2)
+		return exitUsage
 	}
 
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
-			os.Exit(1)
+			return exitIO
 		}
 		err = problemio.WriteMatching(f, res.Matching)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "netalign: writing matching: %v\n", err)
-			os.Exit(1)
+			return exitIO
 		}
-		fmt.Printf("matching written to %s\n", *outFile)
+		if !*jsonOut {
+			fmt.Printf("matching written to %s\n", *outFile)
+		}
 	}
-	if numericStop {
+	switch {
+	case numericStop:
 		// The run ended because of a recurring numerical failure. The
 		// best valid matching found before the failure was reported
 		// (and written, with -out), but the run did not complete: make
 		// that visible to scripts via the exit code.
 		fmt.Fprintf(os.Stderr, "netalign: %v\n", err)
-		os.Exit(3)
+		return exitNumerics
+	case res.Stopped == core.StopDeadline:
+		fmt.Fprintf(os.Stderr, "netalign: deadline expired after %d iteration(s); best matching reported\n", res.Iterations)
+		return exitDeadline
+	case res.Stopped == core.StopCancelled:
+		fmt.Fprintf(os.Stderr, "netalign: interrupted after %d iteration(s); best matching reported\n", res.Iterations)
+		return exitCancelled
 	}
+	return exitOK
 }
 
 var errUsage = fmt.Errorf("-in (or -a/-b/-l) is required")

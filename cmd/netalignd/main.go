@@ -1,0 +1,118 @@
+// Command netalignd serves network-alignment solves as managed jobs
+// over an HTTP/JSON API.
+//
+// Usage:
+//
+//	netalignd [flags]
+//
+// Jobs are submitted as JSON to POST /v1/jobs (an inline problem, an
+// uploaded SMAT/MTX triple, or a generator spec), run on a bounded
+// worker pool, checkpoint periodically into the spool directory, and
+// stream live progress over SSE at GET /v1/jobs/{id}/events. On
+// SIGTERM the daemon drains: running jobs checkpoint and stop, queued
+// jobs stay queued, and the next start resumes every interrupted job
+// bit-identically from its last checkpoint.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit (202; 400 bad spec, 429 queue
+//	                            full, 503 draining)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result final result JSON (409 until terminal)
+//	GET    /v1/jobs/{id}/events live progress (SSE)
+//	DELETE /v1/jobs/{id}        cooperative cancel
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text metrics
+//	GET    /debug/vars          expvar (includes the manager snapshot)
+//	GET    /debug/pprof/...     profiling
+//
+// Exit codes: 0 after a clean drain, 1 on startup or serve failure.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netalignmc/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("netalignd", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	spool := fs.String("spool", "netalignd-spool", "durable job directory")
+	workers := fs.Int("workers", 2, "max concurrent solves")
+	queue := fs.Int("queue", 16, "max queued jobs before submissions get 429")
+	ckptEvery := fs.Int("checkpoint-every", 10, "default checkpoint interval in iterations")
+	threads := fs.Int("threads", 0, "default threads per solve (0 = GOMAXPROCS/workers)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to stop on shutdown")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: netalignd [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Serve network-alignment solves as durable jobs over HTTP/JSON.\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nExit codes:\n  0  clean shutdown (drained)\n  1  startup or serve failure\n")
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	log.SetPrefix("netalignd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	mgr, err := server.NewManager(server.Config{
+		Spool:           *spool,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CheckpointEvery: *ckptEvery,
+		Threads:         *threads,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	api := server.NewServer(mgr)
+	api.PublishExpvars()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: api}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (spool %s, %d workers, queue %d)",
+			*addr, *spool, *workers, *queue)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the pool first: it closes every job's event broker, which
+	// ends the SSE streams httpSrv.Shutdown would otherwise wait on.
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v (interrupted jobs resume on next start)", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("stopped")
+	return 0
+}

@@ -7,6 +7,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -99,6 +100,21 @@ type AlignOptions struct {
 	// ResumePath, when set, resumes the run from a checkpoint written
 	// by a previous invocation with the same problem and method.
 	ResumePath string
+
+	// JSON replaces the human-readable summary on out with the
+	// machine-readable core.ResultJSON encoding.
+	JSON bool
+	// Progress streams per-iteration progress lines to ProgressOut
+	// (out when nil), throttled to every ProgressEvery-th iteration
+	// (0 = every iteration). The same core.ProgressReporter drives the
+	// netalignd SSE stream, so the numbers agree between CLI and
+	// service.
+	Progress      bool
+	ProgressEvery int
+	ProgressOut   io.Writer
+	// Ctx, when non-nil, is the base context for the run; cancelling
+	// it stops the solve cooperatively with stop reason "cancelled".
+	Ctx context.Context
 }
 
 // ErrNumerics is returned (wrapped) by Align when the run stopped
@@ -145,11 +161,34 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 			return problemio.WriteCheckpointFile(path, c)
 		}
 	}
-	ctx := context.Background()
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
+	}
+
+	var bpObserver func(iter int, y, z []float64)
+	var mrObserver func(iter int, wbar []float64, upper, obj float64)
+	if o.Progress {
+		pout := o.ProgressOut
+		if pout == nil {
+			pout = out
+		}
+		reporter := core.NewProgressReporter(p, o.ProgressEvery, func(ev core.ProgressEvent) {
+			if ev.HasUpper {
+				fmt.Fprintf(pout, "progress iter=%d objective=%.6f best=%.6f upper=%.6f\n",
+					ev.Iter, ev.Objective, ev.Best, ev.Upper)
+				return
+			}
+			fmt.Fprintf(pout, "progress iter=%d objective=%.6f best=%.6f\n",
+				ev.Iter, ev.Objective, ev.Best)
+		})
+		bpObserver = reporter.BPObserver()
+		mrObserver = reporter.MRObserver()
 	}
 
 	start := time.Now()
@@ -160,13 +199,15 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 		res, runErr = p.BPAlignCtx(ctx, core.BPOptions{
 			Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
 			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
-			Resume: resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+			Observer: bpObserver,
+			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		})
 	case "mr":
 		res, runErr = p.MRAlignCtx(ctx, core.MROptions{
 			Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
 			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
-			Resume: resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+			Observer: mrObserver,
+			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		})
 	default:
 		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
@@ -174,6 +215,21 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	elapsed := time.Since(start)
 	if runErr != nil {
 		return res, fmt.Errorf("cli: %s run: %w", method, runErr)
+	}
+
+	if o.JSON {
+		// Machine mode: out carries exactly one JSON document (the
+		// same encoding netalignd stores as result.json) and nothing
+		// else.
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.JSON()); err != nil {
+			return res, fmt.Errorf("cli: encoding result: %w", err)
+		}
+		if res.Stopped == core.StopNumerics {
+			return res, fmt.Errorf("cli: %w after %d failure(s)", ErrNumerics, res.NumericFailures)
+		}
+		return res, nil
 	}
 
 	threads := o.Threads

@@ -254,8 +254,15 @@ func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, er
 		items := batch
 		batch = nil
 		timer.Time(BPStepMatch, func() {
+			type rounded struct {
+				obj float64
+				res *matching.Result
+				ok  bool
+			}
+			out := make([]rounded, len(items))
 			tasks := make([]func(int), len(items))
 			for i := range items {
+				i := i
 				it := items[i]
 				tasks[i] = func(taskThreads int) {
 					// A corrupted (non-finite) heuristic copy is a
@@ -266,19 +273,31 @@ func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, er
 						numericEvents.Add(1)
 						return
 					}
-					if _, _, err := p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, tr); err != nil {
+					obj, res, err := p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, nil)
+					if err != nil {
 						roundErrMu.Lock()
 						if roundErr == nil {
 							roundErr = err
 						}
 						roundErrMu.Unlock()
+						return
 					}
+					out[i] = rounded{obj, res, true}
 				}
 			}
 			// Each task is one matching problem; with T threads and r
 			// tasks each matching gets max(1, T/r) threads, the
 			// paper's nested-parallelism scheme.
 			parallel.TasksCtx(ctx, threads, tasks)
+			// Offer the results in batch order after the barrier:
+			// task scheduling must not decide objective ties, or the
+			// selected matching (and a checkpointed resume) would
+			// vary run to run.
+			for i, it := range items {
+				if out[i].ok {
+					tr.Offer(it.iter, out[i].obj, out[i].res, it.heur)
+				}
+			}
 		})
 	}
 

@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// MarshalText encodes the stop reason as its String form, so JSON
+// documents carry "cancelled"/"deadline"/... instead of opaque ints.
+// The CLI's -json output and the server's job API share this encoding.
+func (r StopReason) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText parses the textual stop-reason names produced by
+// MarshalText/String.
+func (r *StopReason) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "max-iterations":
+		*r = StopMaxIter
+	case "converged":
+		*r = StopConverged
+	case "cancelled":
+		*r = StopCancelled
+	case "deadline":
+		*r = StopDeadline
+	case "numerics":
+		*r = StopNumerics
+	default:
+		return fmt.Errorf("core: unknown stop reason %q", text)
+	}
+	return nil
+}
+
+// ResultJSON is the machine-readable encoding of an AlignResult,
+// shared by `netalign -json` and the netalignd job API so scripts see
+// one schema regardless of how the solve ran. MateA is the alignment
+// itself: MateA[a] is the B-vertex matched to A-vertex a, -1 when a is
+// unmatched.
+type ResultJSON struct {
+	Objective       float64    `json:"objective"`
+	MatchWeight     float64    `json:"matchWeight"`
+	Overlap         float64    `json:"overlap"`
+	Matched         int        `json:"matched"`
+	BestIter        int        `json:"bestIter"`
+	Iterations      int        `json:"iterations"`
+	Evaluations     int        `json:"evaluations"`
+	Stopped         StopReason `json:"stopped"`
+	Converged       bool       `json:"converged,omitempty"`
+	NumericFailures int        `json:"numericFailures,omitempty"`
+	Error           string     `json:"error,omitempty"`
+	MateA           []int      `json:"mateA"`
+}
+
+// JSON builds the serializable view of the result. The mate array is
+// copied so the view can outlive mutations of the source result.
+func (r *AlignResult) JSON() *ResultJSON {
+	out := &ResultJSON{
+		Objective:       r.Objective,
+		MatchWeight:     r.MatchWeight,
+		Overlap:         r.Overlap,
+		BestIter:        r.BestIter,
+		Iterations:      r.Iterations,
+		Evaluations:     r.Evaluations,
+		Stopped:         r.Stopped,
+		Converged:       r.Converged,
+		NumericFailures: r.NumericFailures,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	if r.Matching != nil {
+		out.Matched = r.Matching.Card
+		out.MateA = append([]int(nil), r.Matching.MateA...)
+	}
+	return out
+}

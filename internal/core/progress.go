@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+
+	"netalignmc/internal/matching"
+)
+
+// ProgressEvent is one per-iteration progress report from a running
+// alignment. For MR the objective and upper bound come straight from
+// the iteration; for BP — whose iterates are message vectors, not
+// objectives — the reporter rounds the current y messages with the
+// cheap approximate matcher to estimate the objective. Best is the
+// largest objective the reporter has seen so far (which can lag the
+// solver's own tracker by at most the rounding batch).
+type ProgressEvent struct {
+	Method    string  `json:"method"`
+	Iter      int     `json:"iter"`
+	Objective float64 `json:"objective"`
+	Best      float64 `json:"best"`
+	Upper     float64 `json:"upper"`
+	HasUpper  bool    `json:"hasUpper"`
+}
+
+// ProgressReporter adapts the solvers' Observer hooks into a uniform
+// per-iteration event stream. The same reporter backs `netalign
+// -progress` and the netalignd SSE endpoint, so both surfaces emit
+// identical events. It is safe for use from a single solver run; the
+// callback is invoked on the solver goroutine and must not block for
+// long (buffer or drop downstream).
+type ProgressReporter struct {
+	p     *Problem
+	every int
+	fn    func(ProgressEvent)
+
+	mu      sync.Mutex
+	best    float64
+	hasBest bool
+}
+
+// NewProgressReporter builds a reporter for one run of problem p that
+// emits an event every `every` iterations (<= 0 means every
+// iteration) to fn.
+func NewProgressReporter(p *Problem, every int, fn func(ProgressEvent)) *ProgressReporter {
+	if every <= 0 {
+		every = 1
+	}
+	return &ProgressReporter{p: p, every: every, fn: fn}
+}
+
+func (r *ProgressReporter) observe(ev ProgressEvent) {
+	r.mu.Lock()
+	if !r.hasBest || ev.Objective > r.best {
+		r.hasBest = true
+		r.best = ev.Objective
+	}
+	ev.Best = r.best
+	r.mu.Unlock()
+	r.fn(ev)
+}
+
+// BPObserver returns an observer for BPOptions.Observer. Each
+// reported iteration rounds the damped y messages with the parallel
+// half-approximate matcher (single-threaded, outside the solver's own
+// tracker) to produce an objective estimate; the extra work is
+// comparable to one of the two roundings BP already performs per
+// iteration.
+func (r *ProgressReporter) BPObserver() func(iter int, y, z []float64) {
+	return func(iter int, y, z []float64) {
+		if iter%r.every != 0 {
+			return
+		}
+		obj, _, err := r.p.RoundHeuristic(y, matching.Approx, 1, iter, nil)
+		if err != nil {
+			return
+		}
+		r.observe(ProgressEvent{Method: "bp", Iter: iter, Objective: obj})
+	}
+}
+
+// MRObserver returns an observer for MROptions.Observer; MR's
+// iterations already carry the rounded objective and the upper bound,
+// so the event is free.
+func (r *ProgressReporter) MRObserver() func(iter int, wbar []float64, upper, obj float64) {
+	return func(iter int, wbar []float64, upper, obj float64) {
+		if iter%r.every != 0 {
+			return
+		}
+		r.observe(ProgressEvent{Method: "mr", Iter: iter, Objective: obj, Upper: upper, HasUpper: true})
+	}
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// maxBodyBytes bounds an uploaded job body (problems are uploaded
+// inline as text).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP surface over a Manager.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP API for a manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.ID, st.State)
+		return
+	}
+	data, err := s.mgr.Result(j.ID)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Terminal without a result: failed before producing one (or
+		// cancelled while still queued).
+		writeError(w, http.StatusNotFound, "job %s is %s with no result: %s", j.ID, st.State, st.Error)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's lifecycle as server-sent events. Each
+// event is one of:
+//
+//	event: state     — a JobStatus snapshot (sent on subscribe and on
+//	                   every state change)
+//	event: progress  — a core.ProgressEvent per observed iteration
+//
+// The stream ends when the job reaches a terminal state or the client
+// disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before snapshotting the state so no transition between
+	// the snapshot and the subscription is missed.
+	ch, cancel := j.events.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev Event) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	initial, err := json.Marshal(j.Status())
+	if err == nil {
+		if !writeEvent(Event{Type: "state", Data: initial}) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Broker closed: the job is terminal. Send a final
+				// state snapshot so late transitions are never lost.
+				final, err := json.Marshal(j.Status())
+				if err == nil {
+					writeEvent(Event{Type: "state", Data: final})
+				}
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the manager snapshot in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.mgr.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("netalignd_uptime_seconds", "Seconds since the server started.", m.UptimeSeconds)
+	gauge("netalignd_queue_depth", "Jobs waiting in the FIFO queue.", float64(m.QueueDepth))
+	gauge("netalignd_jobs_running", "Jobs currently solving.", float64(m.Running))
+	counter("netalignd_jobs_submitted_total", "Jobs accepted.", m.Submitted)
+	counter("netalignd_jobs_resumed_total", "Jobs requeued from the spool at startup.", m.Resumed)
+	counter("netalignd_jobs_interrupted_total", "Runs interrupted by drain or crash.", m.Interrupted)
+	counter("netalignd_jobs_rejected_total", "Submissions rejected by backpressure.", m.Rejected)
+	counter("netalignd_jobs_completed_total", "Jobs finished done.", m.Completed)
+	counter("netalignd_jobs_failed_total", "Jobs finished failed.", m.Failed)
+	counter("netalignd_jobs_cancelled_total", "Jobs cancelled.", m.Cancelled)
+	counter("netalignd_jobs_numerics_total", "Jobs stopped by the numeric guard.", m.Numerics)
+	const stepName = "netalignd_solve_step_seconds"
+	fmt.Fprintf(w, "# HELP %s Cumulative solver time per pipeline stage.\n# TYPE %s counter\n", stepName, stepName)
+	steps := make([]string, 0, len(m.StepSeconds))
+	for step := range m.StepSeconds {
+		steps = append(steps, step)
+	}
+	sort.Strings(steps)
+	for _, step := range steps {
+		fmt.Fprintf(w, "%s{step=%q} %g\n", stepName, step, m.StepSeconds[step])
+	}
+}
+
+// PublishExpvars registers the manager snapshot under the "netalignd"
+// expvar. Call at most once per process (expvar panics on duplicate
+// names), so this lives outside NewServer — tests build many servers.
+func (s *Server) PublishExpvars() {
+	expvar.Publish("netalignd", expvar.Func(func() any {
+		return s.mgr.Snapshot()
+	}))
+}

@@ -1,0 +1,244 @@
+// Package server implements netalignd, the alignment job service: an
+// HTTP/JSON API over a bounded worker pool that runs BP/MR solves as
+// managed jobs with durable state, periodic checkpoints, cooperative
+// cancellation, live SSE progress, and crash recovery that resumes
+// interrupted jobs bit-identically from their last checkpoint.
+//
+// The package is layered as:
+//
+//	Store   — the spool directory: one subdirectory per job holding
+//	          job.json (spec + state), problem.txt (the canonicalized
+//	          problem), checkpoint.ckpt and result.json.
+//	Manager — the job lifecycle: a FIFO queue with a depth limit, a
+//	          fixed pool of worker goroutines, the state machine
+//	          queued → running → {done, failed, cancelled, numerics},
+//	          drain-on-shutdown and resume-on-startup.
+//	Server  — the HTTP surface: /v1/jobs CRUD, SSE events, /healthz,
+//	          /metrics, expvar and pprof.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"netalignmc/internal/cli"
+	"netalignmc/internal/core"
+	"netalignmc/internal/problemio"
+)
+
+// State is a job's lifecycle state. Jobs move strictly
+// queued → running → one of the terminal states; a drained or crashed
+// running job moves back to queued and is resumed from its checkpoint
+// on the next startup.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+	// StateNumerics: the numeric guard stopped the run; the result
+	// holds the best valid matching found before the failure.
+	StateNumerics State = "numerics"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateNumerics:
+		return true
+	}
+	return false
+}
+
+func validState(s State) bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateNumerics:
+		return true
+	}
+	return false
+}
+
+// GeneratorSpec asks the server to build the problem with internal/gen
+// instead of uploading one; it mirrors the gensynth CLI flags. With a
+// fixed Seed the construction is deterministic, so a recovered job
+// sees the same problem (the manager additionally canonicalizes every
+// problem to disk at submit time, making this true for uploads too).
+type GeneratorSpec struct {
+	// Type is the problem family: synthetic (default), dmela-scere,
+	// homo-musm, lcsh-wiki or lcsh-rameau.
+	Type string `json:"type,omitempty"`
+	// N and DBar parameterize the synthetic family (vertices and
+	// expected candidate degree).
+	N    int     `json:"n,omitempty"`
+	DBar float64 `json:"dbar,omitempty"`
+	// Perturb is the synthetic edge-perturbation probability.
+	Perturb float64 `json:"perturb,omitempty"`
+	// Scale shrinks the dataset stand-ins (0 = full size).
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// Spec is the body of POST /v1/jobs: solver parameters plus exactly
+// one problem source — an inline problem in the netalign format, an
+// uploaded A/B/L triple (SMAT or MTX), or a generator spec.
+type Spec struct {
+	// Method is "bp" (default) or "mr".
+	Method string `json:"method,omitempty"`
+	// Iterations is the iteration budget (default 100).
+	Iterations int `json:"iterations,omitempty"`
+	// Batch is BP's rounding batch size r (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Gamma is BP's damping base / MR's initial step (0 = defaults).
+	Gamma float64 `json:"gamma,omitempty"`
+	// MStep is MR's stall window before halving the step.
+	MStep int `json:"mstep,omitempty"`
+	// Approx rounds with the parallel half-approximate matcher.
+	Approx bool `json:"approx,omitempty"`
+	// Threads bounds one solve's parallelism (0 = server default).
+	Threads int `json:"threads,omitempty"`
+	// TimeoutSec bounds the solve's wall time (0 = unbounded); expiry
+	// completes the job as done with stop reason "deadline".
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+	// ProgressEvery throttles progress events to every Nth iteration
+	// (0 = every iteration).
+	ProgressEvery int `json:"progressEvery,omitempty"`
+	// CheckpointEvery overrides the server's checkpoint interval in
+	// iterations (0 = server default).
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+
+	// Alpha and Beta are the objective weights for uploaded problems
+	// (both zero selects the paper's α=1, β=2; inline netalign-format
+	// problems carry their own).
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+
+	// Problem is an inline problem in the netalign combined format
+	// (the output of gensynth / netalignmc.WriteProblem).
+	Problem string `json:"problem,omitempty"`
+	// A, B, L upload the two graphs and the candidate graph; Format
+	// selects their encoding: "smat" (default) or "mtx".
+	A      string `json:"a,omitempty"`
+	B      string `json:"b,omitempty"`
+	L      string `json:"l,omitempty"`
+	Format string `json:"format,omitempty"`
+	// Generator builds the problem server-side.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// Validate checks the spec's solver parameters and that exactly one
+// problem source is present.
+func (s *Spec) Validate() error {
+	switch s.Method {
+	case "", "bp", "mr":
+	default:
+		return fmt.Errorf("unknown method %q (want bp or mr)", s.Method)
+	}
+	if s.Iterations < 0 || s.Batch < 0 || s.MStep < 0 || s.Threads < 0 ||
+		s.ProgressEvery < 0 || s.CheckpointEvery < 0 {
+		return fmt.Errorf("negative solver parameter")
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("negative timeoutSec")
+	}
+	if s.Alpha < 0 || s.Beta < 0 {
+		return fmt.Errorf("negative objective weights alpha=%g beta=%g", s.Alpha, s.Beta)
+	}
+	switch s.Format {
+	case "", "smat", "mtx":
+	default:
+		return fmt.Errorf("unknown format %q (want smat or mtx)", s.Format)
+	}
+	sources := 0
+	if s.Problem != "" {
+		sources++
+	}
+	if s.A != "" || s.B != "" || s.L != "" {
+		if s.A == "" || s.B == "" || s.L == "" {
+			return fmt.Errorf("uploaded problems need all of a, b and l")
+		}
+		sources++
+	}
+	if s.Generator != nil {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one problem source required (problem, a/b/l, or generator); got %d", sources)
+	}
+	return nil
+}
+
+// methodName returns the effective solver method.
+func (s *Spec) methodName() string {
+	if s.Method == "" {
+		return "bp"
+	}
+	return s.Method
+}
+
+// BuildProblem materializes the spec's problem source. threads bounds
+// the parallelism of S construction.
+func (s *Spec) BuildProblem(threads int) (*core.Problem, error) {
+	alpha, beta := s.Alpha, s.Beta
+	if alpha == 0 && beta == 0 {
+		alpha, beta = 1, 2
+	}
+	switch {
+	case s.Problem != "":
+		return problemio.Read(strings.NewReader(s.Problem), threads)
+	case s.Generator != nil:
+		g := s.Generator
+		return cli.Generate(cli.GenerateOptions{
+			Type: g.Type, N: g.N, DBar: g.DBar, Perturb: g.Perturb,
+			Alpha: alpha, Beta: beta, Scale: g.Scale, Seed: g.Seed,
+			Threads: threads,
+		}, nil)
+	case s.Format == "mtx":
+		a, err := problemio.ReadGraphMTX(strings.NewReader(s.A))
+		if err != nil {
+			return nil, fmt.Errorf("graph a: %w", err)
+		}
+		b, err := problemio.ReadGraphMTX(strings.NewReader(s.B))
+		if err != nil {
+			return nil, fmt.Errorf("graph b: %w", err)
+		}
+		l, err := problemio.ReadLMTX(strings.NewReader(s.L))
+		if err != nil {
+			return nil, fmt.Errorf("graph l: %w", err)
+		}
+		return core.NewProblem(a, b, l, alpha, beta, threads)
+	default: // smat
+		return problemio.ReadSMATProblem(
+			strings.NewReader(s.A), strings.NewReader(s.B), strings.NewReader(s.L),
+			alpha, beta, threads)
+	}
+}
+
+// Meta is the durable job record persisted as job.json in the spool;
+// together with problem.txt and checkpoint.ckpt it is everything a
+// restarted server needs to resume the job.
+type Meta struct {
+	ID       string    `json:"id"`
+	Spec     Spec      `json:"spec"`
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	// Resumes counts how many times the job was requeued after a drain
+	// or crash.
+	Resumes int `json:"resumes,omitempty"`
+}
+
+// newJobID returns a random 16-hex-digit job id.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: job id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,652 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/matching"
+	"netalignmc/internal/problemio"
+	"netalignmc/internal/stats"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound: no such job.
+	ErrNotFound = errors.New("server: job not found")
+	// ErrQueueFull: the FIFO queue is at its depth limit (429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down and accepts no new
+	// work (503).
+	ErrDraining = errors.New("server: draining")
+	// ErrBadSpec wraps job-spec validation and problem-parse failures
+	// (400).
+	ErrBadSpec = errors.New("server: bad job spec")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Spool is the durable job directory.
+	Spool string
+	// Workers is the number of concurrent solves (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with ErrQueueFull
+	// (default 16).
+	QueueDepth int
+	// CheckpointEvery is the default checkpoint interval in
+	// iterations (default 10); Spec.CheckpointEvery overrides per job.
+	CheckpointEvery int
+	// Threads is the default per-solve thread count when a spec does
+	// not set one (default GOMAXPROCS/Workers, at least 1).
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0) / c.Workers
+		if c.Threads < 1 {
+			c.Threads = 1
+		}
+	}
+	return c
+}
+
+// Job is one managed alignment run. All lifecycle fields are guarded
+// by mu; iter is atomic so the progress observer can update it from
+// the solver goroutine without contending with status reads.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu              sync.Mutex
+	state           State
+	errMsg          string
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	resumes         int
+	cancelRequested bool
+	cancel          context.CancelFunc
+
+	iter   atomic.Int64
+	events *broker
+}
+
+// metaLocked snapshots the durable record; callers hold j.mu.
+func (j *Job) metaLocked() *Meta {
+	return &Meta{
+		ID: j.ID, Spec: j.Spec, State: j.state, Error: j.errMsg,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Resumes: j.resumes,
+	}
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Method   string    `json:"method"`
+	Iter     int       `json:"iter"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Resumes  int       `json:"resumes,omitempty"`
+}
+
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobStatus{
+		ID: j.ID, State: j.state, Method: j.Spec.methodName(),
+		Iter: int(j.iter.Load()), Error: j.errMsg,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Resumes: j.resumes,
+	}
+}
+
+// Counters are the monotonically increasing job metrics.
+type Counters struct {
+	Submitted, Resumed, Rejected           atomic.Int64
+	Completed, Failed, Cancelled, Numerics atomic.Int64
+	Interrupted/* requeued by drain or crash */ atomic.Int64
+}
+
+// Manager owns the job lifecycle: a FIFO queue with a depth limit
+// feeding a fixed pool of worker goroutines, durable state in a
+// Store, and drain/recovery across restarts.
+type Manager struct {
+	cfg   Config
+	store *Store
+	timer *stats.StepTimer
+	start time.Time
+
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Job
+	jobs   map[string]*Job
+	closed bool
+	wg     sync.WaitGroup
+
+	counters Counters
+}
+
+// NewManager opens the spool, recovers interrupted jobs (any job
+// recorded queued or running is requeued; a checkpoint, if present,
+// makes the rerun resume bit-identically), and starts the worker
+// pool.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	store, err := NewStore(cfg.Spool)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:   cfg,
+		store: store,
+		timer: stats.NewStepTimer(),
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Store exposes the spool (read-only use by the HTTP layer and
+// tests).
+func (m *Manager) Store() *Store { return m.store }
+
+// recover rescans the spool and requeues every non-terminal job.
+func (m *Manager) recover() error {
+	ids, err := m.store.ListJobs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		meta, err := m.store.LoadMeta(id)
+		if err != nil {
+			// An unreadable record (e.g. crash before the first
+			// job.json rename) is skipped, not fatal: the rest of the
+			// spool must still come back.
+			continue
+		}
+		j := &Job{
+			ID: meta.ID, Spec: meta.Spec, state: meta.State,
+			errMsg: meta.Error, created: meta.Created,
+			started: meta.Started, finished: meta.Finished,
+			resumes: meta.Resumes, events: newBroker(),
+		}
+		if meta.State.Terminal() {
+			j.events.close()
+			m.jobs[j.ID] = j
+			continue
+		}
+		// Interrupted: requeue. A job caught mid-run resumes from its
+		// last checkpoint (or from scratch when none was written yet);
+		// either way the rerun is bit-identical to an uninterrupted
+		// run.
+		if meta.State == StateRunning {
+			j.resumes++
+			m.counters.Interrupted.Add(1)
+		}
+		j.state = StateQueued
+		j.started, j.finished = time.Time{}, time.Time{}
+		if err := m.store.SaveMeta(j.metaLocked()); err != nil {
+			return err
+		}
+		m.jobs[j.ID] = j
+		m.queue = append(m.queue, j)
+		m.counters.Resumed.Add(1)
+	}
+	return nil
+}
+
+// Submit validates the spec, materializes and canonicalizes the
+// problem into the spool, and enqueues the job. It fails with
+// ErrQueueFull when the queue is at its depth limit and ErrDraining
+// during shutdown.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	threads := spec.Threads
+	if threads == 0 {
+		threads = m.cfg.Threads
+	}
+	p, err := spec.BuildProblem(threads)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		m.counters.Rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	id, err := newJobID()
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	j := &Job{
+		ID: id, Spec: spec, state: StateQueued,
+		created: time.Now(), events: newBroker(),
+	}
+	// Persist before enqueueing so a crash in between recovers the
+	// job instead of losing it.
+	if err := m.store.CreateJob(id); err == nil {
+		err = m.store.SaveProblem(id, p)
+	}
+	if err == nil {
+		err = m.store.SaveMeta(j.metaLocked())
+	}
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.jobs[id] = j
+	m.queue = append(m.queue, j)
+	m.counters.Submitted.Add(1)
+	m.cond.Signal()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get looks a job up.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status, newest first.
+func (m *Manager) List() []*JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]*JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].Created.After(out[i].Created) {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation. A queued job is finalized
+// immediately; a running job's context is cancelled and the solver
+// stops in bounded time, reporting its best partial matching. Cancel
+// is idempotent: terminal jobs report their state unchanged.
+func (m *Manager) Cancel(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return j.Status(), nil
+	case j.state == StateQueued:
+		j.cancelRequested = true
+		inQueue := false
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				inQueue = true
+				break
+			}
+		}
+		if !inQueue {
+			// A worker already popped it and is about to run; the
+			// run loop will observe cancelRequested and finalize.
+			j.mu.Unlock()
+			m.mu.Unlock()
+			return j.Status(), nil
+		}
+		j.state = StateCancelled
+		j.finished = time.Now()
+		meta := j.metaLocked()
+		j.mu.Unlock()
+		m.mu.Unlock()
+		m.counters.Cancelled.Add(1)
+		_ = m.store.SaveMeta(meta)
+		j.events.publish("state", j.Status())
+		j.events.close()
+		return j.Status(), nil
+	default: // running
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return j.Status(), nil
+	}
+}
+
+// Result returns the raw result.json bytes of a finished job.
+func (m *Manager) Result(id string) ([]byte, error) {
+	return m.store.LoadResult(id)
+}
+
+// worker pops jobs until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.run(j)
+	}
+}
+
+// finish moves a job to a terminal state, persisting the result (when
+// one exists) and the record, then ends the event stream.
+func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+	meta := j.metaLocked()
+	j.mu.Unlock()
+	if result != nil {
+		if err := m.store.SaveResult(j.ID, result); err != nil && errMsg == "" {
+			// The run succeeded but its result could not be persisted;
+			// surface that instead of silently reporting done.
+			state = StateFailed
+			j.mu.Lock()
+			j.state = state
+			j.errMsg = err.Error()
+			meta = j.metaLocked()
+			j.mu.Unlock()
+		}
+	}
+	_ = m.store.SaveMeta(meta)
+	switch state {
+	case StateDone:
+		m.counters.Completed.Add(1)
+	case StateFailed:
+		m.counters.Failed.Add(1)
+	case StateCancelled:
+		m.counters.Cancelled.Add(1)
+	case StateNumerics:
+		m.counters.Numerics.Add(1)
+	}
+	j.events.publish("state", j.Status())
+	j.events.close()
+}
+
+// run executes one job on the calling worker goroutine.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		j.mu.Unlock()
+		m.finish(j, StateCancelled, nil, "")
+		return
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	stop := cancel
+	if j.Spec.TimeoutSec > 0 {
+		runCtx, stop = context.WithTimeout(runCtx, time.Duration(j.Spec.TimeoutSec*float64(time.Second)))
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	meta := j.metaLocked()
+	j.mu.Unlock()
+	defer stop()
+	defer cancel()
+	_ = m.store.SaveMeta(meta)
+	j.events.publish("state", j.Status())
+
+	spec := j.Spec
+	threads := spec.Threads
+	if threads == 0 {
+		threads = m.cfg.Threads
+	}
+	p, err := m.store.LoadProblem(j.ID, threads)
+	if err != nil {
+		m.finish(j, StateFailed, nil, err.Error())
+		return
+	}
+	resume, err := m.store.LoadCheckpoint(j.ID)
+	if err != nil {
+		// A corrupt checkpoint is not fatal: rerun from scratch (the
+		// full rerun is still identical to an uninterrupted run).
+		resume = nil
+	}
+
+	reporter := core.NewProgressReporter(p, spec.ProgressEvery, func(ev core.ProgressEvent) {
+		j.iter.Store(int64(ev.Iter))
+		j.events.publish("progress", ev)
+	})
+	ckptEvery := spec.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = m.cfg.CheckpointEvery
+	}
+	ckptPath := m.store.CheckpointPath(j.ID)
+	ckptFunc := func(c *core.Checkpoint) error {
+		return problemio.WriteCheckpointFile(ckptPath, c)
+	}
+	rounding := matching.Exact
+	if spec.Approx {
+		rounding = matching.Approx
+	}
+
+	var res *core.AlignResult
+	var runErr error
+	switch spec.methodName() {
+	case "mr":
+		res, runErr = p.MRAlignCtx(runCtx, core.MROptions{
+			Iterations: spec.Iterations, Gamma: spec.Gamma, MStep: spec.MStep,
+			Threads: threads, Rounding: rounding, Timer: m.timer,
+			Observer: reporter.MRObserver(),
+			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+		})
+	default:
+		res, runErr = p.BPAlignCtx(runCtx, core.BPOptions{
+			Iterations: spec.Iterations, Gamma: spec.Gamma, Batch: spec.Batch,
+			Threads: threads, Rounding: rounding, Timer: m.timer,
+			Observer: reporter.BPObserver(),
+			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+		})
+	}
+
+	j.mu.Lock()
+	userCancelled := j.cancelRequested
+	j.mu.Unlock()
+
+	switch {
+	case runErr != nil:
+		m.finish(j, StateFailed, nil, runErr.Error())
+	case res.Stopped == core.StopCancelled && !userCancelled && m.draining.Load():
+		// Interrupted by shutdown, not by the user: requeue so the
+		// next startup resumes from the latest checkpoint.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.cancel = nil
+		j.started = time.Time{}
+		j.resumes++
+		meta := j.metaLocked()
+		j.mu.Unlock()
+		m.counters.Interrupted.Add(1)
+		_ = m.store.SaveMeta(meta)
+		j.events.publish("state", j.Status())
+		j.events.close()
+	case res.Stopped == core.StopCancelled:
+		m.finish(j, StateCancelled, res.JSON(), "")
+	case res.Stopped == core.StopNumerics:
+		m.finish(j, StateNumerics, res.JSON(), "")
+	default:
+		// StopMaxIter, StopConverged and StopDeadline all complete the
+		// job; the result's stop reason tells them apart.
+		m.finish(j, StateDone, res.JSON(), "")
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Shutdown drains the pool: no new submissions are accepted, running
+// jobs are cancelled (they stop at the next iteration boundary and
+// stay resumable from their last checkpoint), and workers are awaited
+// until ctx expires. Queued jobs remain queued in the spool and run
+// on the next startup.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.draining.Store(true)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	var running []*Job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running = append(running, j)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, j := range running {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Disconnect any remaining SSE subscribers (queued jobs, and
+	// running jobs that outlived the deadline).
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.events.close()
+	}
+	return err
+}
+
+// Metrics is a point-in-time snapshot for /metrics and /debug/vars.
+type Metrics struct {
+	UptimeSeconds float64            `json:"uptimeSeconds"`
+	QueueDepth    int                `json:"queueDepth"`
+	Running       int                `json:"running"`
+	Submitted     int64              `json:"submitted"`
+	Resumed       int64              `json:"resumed"`
+	Interrupted   int64              `json:"interrupted"`
+	Rejected      int64              `json:"rejected"`
+	Completed     int64              `json:"completed"`
+	Failed        int64              `json:"failed"`
+	Cancelled     int64              `json:"cancelled"`
+	Numerics      int64              `json:"numerics"`
+	StepSeconds   map[string]float64 `json:"stepSeconds"`
+}
+
+// Snapshot collects the current metrics.
+func (m *Manager) Snapshot() Metrics {
+	m.mu.Lock()
+	depth := len(m.queue)
+	running := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	steps := make(map[string]float64)
+	for step, d := range m.timer.Snapshot() {
+		steps[step] = d.Seconds()
+	}
+	return Metrics{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		QueueDepth:    depth,
+		Running:       running,
+		Submitted:     m.counters.Submitted.Load(),
+		Resumed:       m.counters.Resumed.Load(),
+		Interrupted:   m.counters.Interrupted.Load(),
+		Rejected:      m.counters.Rejected.Load(),
+		Completed:     m.counters.Completed.Load(),
+		Failed:        m.counters.Failed.Load(),
+		Cancelled:     m.counters.Cancelled.Load(),
+		Numerics:      m.counters.Numerics.Load(),
+		StepSeconds:   steps,
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one server-sent event: a type tag and a pre-marshaled JSON
+// payload.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// broker fans one job's event stream out to any number of SSE
+// subscribers. Publishing never blocks the solver: a subscriber whose
+// buffer is full simply misses events (progress is a stream of
+// snapshots, so dropped events cost nothing but granularity). Closing
+// the broker ends every subscription; subscribing to a closed broker
+// yields an already-closed channel so handlers fall through cleanly.
+type broker struct {
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+// subscriberBuffer bounds each subscriber's in-flight events; at the
+// default one-event-per-iteration cadence this absorbs multi-second
+// consumer stalls before granularity degrades.
+const subscriberBuffer = 256
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan Event]struct{})}
+}
+
+// publish marshals v and fans the event out without blocking.
+func (b *broker) publish(typ string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := Event{Type: typ, Data: data}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop
+		}
+	}
+}
+
+// subscribe registers a new subscriber; the returned cancel must be
+// called when the consumer is done.
+func (b *broker) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subscriberBuffer)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// close ends the stream for every subscriber.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}

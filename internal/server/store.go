@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/problemio"
+)
+
+// Store is the durable spool directory. Every job owns one
+// subdirectory named by its id:
+//
+//	<spool>/<id>/job.json        — Meta (spec + lifecycle state)
+//	<spool>/<id>/problem.txt     — the problem, canonicalized through
+//	                               problemio.Write at submit time so
+//	                               every (re)run solves byte-identical
+//	                               input
+//	<spool>/<id>/checkpoint.ckpt — latest solver checkpoint (atomic)
+//	<spool>/<id>/result.json     — final core.ResultJSON
+//
+// All writes are atomic (temp file + rename), so a crash never leaves
+// a truncated record behind; recovery trusts whatever renamed last.
+type Store struct {
+	dir string
+}
+
+var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// NewStore opens (creating if needed) a spool directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: empty spool directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: spool: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the spool root.
+func (s *Store) Dir() string { return s.dir }
+
+// JobDir returns a job's directory path.
+func (s *Store) JobDir(id string) string { return filepath.Join(s.dir, id) }
+
+// CheckpointPath returns a job's checkpoint file path.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.dir, id, "checkpoint.ckpt")
+}
+
+// CreateJob makes the job's directory.
+func (s *Store) CreateJob(id string) error {
+	if err := os.MkdirAll(s.JobDir(id), 0o755); err != nil {
+		return fmt.Errorf("server: create job %s: %w", id, err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SaveMeta persists a job record.
+func (s *Store) SaveMeta(m *Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: meta %s: %w", m.ID, err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.JobDir(m.ID), "job.json"), data); err != nil {
+		return fmt.Errorf("server: meta %s: %w", m.ID, err)
+	}
+	return nil
+}
+
+// LoadMeta reads a job record back.
+func (s *Store) LoadMeta(id string) (*Meta, error) {
+	data, err := os.ReadFile(filepath.Join(s.JobDir(id), "job.json"))
+	if err != nil {
+		return nil, fmt.Errorf("server: meta %s: %w", id, err)
+	}
+	m := &Meta{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("server: meta %s: %w", id, err)
+	}
+	if m.ID != id {
+		return nil, fmt.Errorf("server: meta %s names job %q", id, m.ID)
+	}
+	if !validState(m.State) {
+		return nil, fmt.Errorf("server: meta %s has unknown state %q", id, m.State)
+	}
+	return m, nil
+}
+
+// SaveProblem canonicalizes the problem to the job's problem.txt.
+func (s *Store) SaveProblem(id string, p *core.Problem) error {
+	path := filepath.Join(s.JobDir(id), "problem.txt")
+	tmp, err := os.CreateTemp(s.JobDir(id), "problem.txt.tmp*")
+	if err != nil {
+		return fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := problemio.Write(tmp, p); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	return nil
+}
+
+// LoadProblem reads the job's canonical problem. Every run — first or
+// resumed — solves this file, so the solve input is byte-identical
+// across restarts.
+func (s *Store) LoadProblem(id string, threads int) (*core.Problem, error) {
+	f, err := os.Open(filepath.Join(s.JobDir(id), "problem.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	defer f.Close()
+	p, err := problemio.Read(f, threads)
+	if err != nil {
+		return nil, fmt.Errorf("server: problem %s: %w", id, err)
+	}
+	return p, nil
+}
+
+// LoadCheckpoint reads the job's latest checkpoint; (nil, nil) when no
+// checkpoint has been written yet.
+func (s *Store) LoadCheckpoint(id string) (*core.Checkpoint, error) {
+	path := s.CheckpointPath(id)
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return problemio.ReadCheckpointFile(path)
+}
+
+// SaveResult persists the job's final result.
+func (s *Store) SaveResult(id string, r *core.ResultJSON) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("server: result %s: %w", id, err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.JobDir(id), "result.json"), data); err != nil {
+		return fmt.Errorf("server: result %s: %w", id, err)
+	}
+	return nil
+}
+
+// LoadResult returns the raw result.json bytes, or fs.ErrNotExist.
+func (s *Store) LoadResult(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.JobDir(id), "result.json"))
+}
+
+// ListJobs returns the ids of every job directory, sorted, skipping
+// entries that do not look like job ids (temp files, strays).
+func (s *Store) ListJobs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: spool scan: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && jobIDPattern.MatchString(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

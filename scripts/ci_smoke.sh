@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the netalignd job service:
+#
+#   1. build the daemon and start it on a private port/spool
+#   2. submit a small generator job, poll it to done, read the result
+#   3. submit a long job, wait for its first checkpoint, kill -9 the
+#      daemon mid-run, restart it on the same spool, and verify the
+#      job resumes (resumes >= 1) and completes
+#
+# Needs: curl, python3 (JSON parsing). Run from the repo root.
+set -euo pipefail
+
+ADDR=127.0.0.1:18080
+BASE="http://$ADDR"
+DIR=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/netalignd" ./cmd/netalignd
+
+start_daemon() {
+    "$DIR/netalignd" -addr "$ADDR" -spool "$DIR/spool" -workers 1 \
+        >>"$DIR/daemon.log" 2>&1 &
+    PID=$!
+    disown "$PID" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+        if curl -fs "$BASE/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "netalignd did not become healthy; log:"
+    cat "$DIR/daemon.log"
+    exit 1
+}
+
+# json <expr>: extract a field from the JSON document on stdin,
+# e.g. `json "['id']"`.
+json() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+poll_state() { # poll_state <id> <want> <attempts>
+    local id=$1 want=$2 attempts=$3 state=""
+    for _ in $(seq 1 "$attempts"); do
+        state=$(curl -fs "$BASE/v1/jobs/$id" | json "['state']")
+        [ "$state" = "$want" ] && return 0
+        case "$state" in failed|cancelled|numerics)
+            echo "job $id ended $state, wanted $want"
+            curl -fs "$BASE/v1/jobs/$id" || true
+            exit 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job $id stuck in $state, wanted $want"
+    exit 1
+}
+
+echo "== start"
+start_daemon
+
+echo "== quick job: submit, poll, result"
+ID=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d '{"method":"bp","iterations":20,"approx":true,"threads":1,
+         "generator":{"n":40,"dbar":3,"seed":7}}' | json "['id']")
+poll_state "$ID" done 100
+OBJ=$(curl -fs "$BASE/v1/jobs/$ID/result" | json "['objective']")
+echo "   job $ID done, objective $OBJ"
+
+echo "== kill/resume: submit long job, kill -9 mid-run, restart"
+ID=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d '{"method":"bp","iterations":3000,"batch":1,"approx":true,"threads":1,
+         "checkpointEvery":2,"generator":{"n":200,"dbar":5,"seed":5}}' | json "['id']")
+CKPT="$DIR/spool/$ID/checkpoint.ckpt"
+for _ in $(seq 1 100); do
+    [ -f "$CKPT" ] && break
+    sleep 0.1
+done
+[ -f "$CKPT" ] || { echo "no checkpoint appeared for $ID"; exit 1; }
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+start_daemon
+RESUMES=$(curl -fs "$BASE/v1/jobs/$ID" | json "['resumes']")
+[ "$RESUMES" -ge 1 ] || { echo "job $ID has resumes=$RESUMES after crash, want >= 1"; exit 1; }
+poll_state "$ID" done 300
+STOP=$(curl -fs "$BASE/v1/jobs/$ID/result" | json "['stopped']")
+echo "   job $ID resumed (resumes=$RESUMES) and completed, stopped=$STOP"
+
+echo "== metrics"
+curl -fs "$BASE/metrics" | grep -q netalignd_jobs_resumed_total || {
+    echo "metrics missing netalignd_jobs_resumed_total"; exit 1; }
+
+echo "smoke OK"
