@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover vet faults fuzz examples reproduce serve smoke clean
+.PHONY: all build test race bench bench-go cover vet faults fuzz examples reproduce serve smoke clean
 
 all: build test
 
@@ -31,7 +31,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadMTX -fuzztime=10s ./internal/problemio/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=10s ./internal/problemio/
 
+# Perf harness: measure the fig. 2 configurations with cmd/benchalign
+# and append machine-readable runs to BENCH_dev.json (see scripts/bench.sh
+# for the LABEL/THREADS/ITERS/CHECK knobs).
 bench:
+	./scripts/bench.sh
+
+# Go microbenchmarks (testing.B) across all packages.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

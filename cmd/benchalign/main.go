@@ -1,0 +1,146 @@
+// Command benchalign measures the per-iteration cost of the alignment
+// solvers on the paper's synthetic configurations and emits
+// machine-readable JSON (the BENCH_*.json files committed at the repo
+// root), so the performance trajectory of the hot path is recorded
+// run over run instead of living in shell history.
+//
+// Each run solves one named configuration at one thread count and
+// reports ns per iteration, allocations per iteration (from
+// runtime.MemStats deltas), bytes per iteration, the per-step
+// StepTimer breakdown, and the final objective (so perf entries double
+// as a correctness cross-check: fused and unfused kernels must agree
+// bit for bit).
+//
+// Usage:
+//
+//	benchalign -config fig2-bp -threads 1,8 -label pr3 -out BENCH_pr3.json
+//	benchalign -config fig2-bp -threads 1 -check BENCH_pr3.json \
+//	    -baseline-label pr3 -max-alloc-ratio 1.2
+//
+// With -out, runs are appended to the existing document (if any), so a
+// baseline recorded before an optimization and the post-optimization
+// runs land in the same file. With -check, the measured allocations
+// are compared against the named baseline entry and the process exits
+// nonzero on a regression beyond the ratio — the CI bench-smoke gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netalignmc/internal/bench"
+)
+
+func main() {
+	var (
+		config     = flag.String("config", "fig2-bp", "named configuration: "+strings.Join(bench.ConfigNames(), ", "))
+		threads    = flag.String("threads", "1", "comma-separated thread counts")
+		iters      = flag.Int("iters", 40, "solver iterations per run")
+		reps       = flag.Int("reps", 3, "repetitions (fastest rep reported)")
+		seed       = flag.Int64("seed", 1, "problem seed")
+		label      = flag.String("label", "dev", "label recorded on each run entry")
+		matcher    = flag.String("matcher", "approx", "rounding matcher spec (e.g. exact, approx, suitor, auction(eps=1e-4))")
+		fused      = flag.Bool("fused", true, "use the fused othermax+damping kernels (BP)")
+		out        = flag.String("out", "", "append runs to this JSON document")
+		check      = flag.String("check", "", "compare against the baseline entries of this JSON document")
+		baseLabel  = flag.String("baseline-label", "baseline", "label of the baseline entries for -check")
+		maxAllocs  = flag.Float64("max-alloc-ratio", 1.2, "fail -check when allocs/iter exceeds baseline by this ratio")
+		listConfig = flag.Bool("list", false, "list configurations and exit")
+	)
+	flag.Parse()
+
+	if *listConfig {
+		for _, name := range bench.ConfigNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var threadList []int
+	for _, part := range strings.Split(*threads, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			fmt.Fprintf(os.Stderr, "benchalign: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		threadList = append(threadList, t)
+	}
+
+	runs, err := bench.Measure(bench.MeasureOptions{
+		Config:  *config,
+		Threads: threadList,
+		Iters:   *iters,
+		Reps:    *reps,
+		Seed:    *seed,
+		Label:   *label,
+		Matcher: *matcher,
+		Fused:   *fused,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range runs {
+		fmt.Printf("%-16s %-6s t=%-3d %12.0f ns/iter %10.1f allocs/iter %12.0f B/iter  obj=%.4f\n",
+			r.Config, r.Method, r.Threads, r.NsPerIter, r.AllocsPerIter, r.BytesPerIter, r.Objective)
+	}
+
+	if *out != "" {
+		doc, err := bench.LoadOrNewDoc(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Runs = append(doc.Runs, runs...)
+		doc.Derive()
+		if err := doc.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d run(s) to %s\n", len(runs), *out)
+	}
+
+	if *check != "" {
+		doc, err := bench.LoadDoc(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+			os.Exit(1)
+		}
+		failed := false
+		for _, r := range runs {
+			base, ok := doc.Find(*baseLabel, r.Config, r.Method, r.Threads)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchalign: no %q baseline for %s/%s t=%d in %s\n",
+					*baseLabel, r.Config, r.Method, r.Threads, *check)
+				failed = true
+				continue
+			}
+			ratio := ratioOf(r.AllocsPerIter, base.AllocsPerIter)
+			status := "ok"
+			if ratio > *maxAllocs {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("check %s t=%d: allocs/iter %.1f vs baseline %.1f (ratio %.2f, limit %.2f) %s\n",
+				r.Config, r.Threads, r.AllocsPerIter, base.AllocsPerIter, ratio, *maxAllocs, status)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// ratioOf compares allocation counts, treating a zero baseline as "any
+// allocation at all is a regression" but tolerating exact zero.
+func ratioOf(cur, base float64) float64 {
+	if base <= 0 {
+		if cur <= 0 {
+			return 1
+		}
+		return cur + 1 // zero-alloc baseline: any allocs trip the gate
+	}
+	return cur / base
+}

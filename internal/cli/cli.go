@@ -78,12 +78,22 @@ func Generate(o GenerateOptions, out io.Writer) (*core.Problem, error) {
 
 // AlignOptions parameterizes one alignment run.
 type AlignOptions struct {
-	Method  string // "bp" or "mr"
-	Iters   int
-	Batch   int
-	Gamma   float64
-	MStep   int
-	Approx  bool
+	Method string // "bp" or "mr"
+	Iters  int
+	Batch  int
+	Gamma  float64
+	MStep  int
+	// Approx selects approximate rounding; kept for compatibility with
+	// the original flag set. Matcher supersedes it when non-empty.
+	Approx bool
+	// Matcher is a matcher spec string (see matching.ParseMatcherSpec):
+	// "exact", "approx", "suitor", "locally-dominant(sorted=true)", ... It
+	// is the one configuration surface for the rounding matcher; when
+	// empty, Approx picks between "approx" and "exact".
+	Matcher string
+	// Fused enables the fused othermax+damping kernels (BP only; the
+	// iterates are bit-identical to the unfused path).
+	Fused   bool
 	Threads int
 	Timing  bool
 	Trace   bool
@@ -126,20 +136,31 @@ var ErrNumerics = fmt.Errorf("numeric guard stopped the run")
 // Align runs the requested method on a problem and writes the summary
 // to out. It returns the alignment result.
 func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, error) {
-	var rounding matching.Matcher
-	roundingName := "exact"
-	if o.Approx {
-		rounding = matching.Approx
-		roundingName = "approx"
+	specText := o.Matcher
+	if specText == "" {
+		if o.Approx {
+			specText = "approx"
+		} else {
+			specText = "exact"
+		}
 	}
+	spec, err := matching.ParseMatcherSpec(specText)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	roundingName := spec.String()
 	var timer *stats.StepTimer
 	if o.Timing {
 		timer = stats.NewStepTimer()
 	}
 
-	method := o.Method
-	if method == "" {
-		method = "bp"
+	methodText := o.Method
+	if methodText == "" {
+		methodText = "bp"
+	}
+	var method core.Method
+	if err := method.UnmarshalText([]byte(methodText)); err != nil {
+		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
 	}
 	var resume *core.Checkpoint
 	if o.ResumePath != "" {
@@ -192,26 +213,25 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	}
 
 	start := time.Now()
-	var res *core.AlignResult
-	var runErr error
-	switch method {
-	case "bp":
-		res, runErr = p.BPAlignCtx(ctx, core.BPOptions{
+	// Options carries both methods' option sets; Align reads only the
+	// selected one.
+	res, runErr := p.Align(ctx, core.Options{
+		Method: method,
+		BP: core.BPOptions{
 			Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
-			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+			Threads: o.Threads, Matcher: spec, FuseKernels: o.Fused,
+			Timer: timer, Trace: o.Trace,
 			Observer: bpObserver,
 			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		})
-	case "mr":
-		res, runErr = p.MRAlignCtx(ctx, core.MROptions{
+		},
+		MR: core.MROptions{
 			Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
-			Threads: o.Threads, Rounding: rounding, Timer: timer, Trace: o.Trace,
+			Threads: o.Threads, Matcher: spec,
+			Timer: timer, Trace: o.Trace,
 			Observer: mrObserver,
 			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		})
-	default:
-		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
-	}
+		},
+	})
 	elapsed := time.Since(start)
 	if runErr != nil {
 		return res, fmt.Errorf("cli: %s run: %w", method, runErr)

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"netalignmc/internal/matching"
@@ -78,7 +77,32 @@ type BPOptions struct {
 	// exact matching, matching.Approx gives the paper's substitution.
 	// Unlike MR, BP's iterate sequence is independent of this choice —
 	// rounding only evaluates quality (Section VII).
+	//
+	// Deprecated: set Matcher instead. A non-nil Rounding still wins
+	// for compatibility, but it forfeits the reusable matcher scratch
+	// (the solver cannot see inside a func value), so the rounding
+	// step allocates every iteration.
 	Rounding matching.Matcher
+	// Matcher declaratively selects the rounding matcher (the zero
+	// value is exact matching, preserving the historical default).
+	// The solver builds one reusable matcher per batch slot from it,
+	// which is what makes steady-state rounding allocation-free.
+	Matcher matching.MatcherSpec
+	// FuseKernels fuses the othermax-subtraction and damping passes
+	// into one edge-indexed sweep, and the S-update and S-damping
+	// passes into a single S-indexed sweep — one read of S's nonzeros
+	// per iteration instead of two. The arithmetic is evaluated in the
+	// same order as the unfused path, so iterates are bit-identical.
+	// Ignored (the unfused path runs) when Faults is set, since the
+	// fault hooks target the per-step intermediate vectors. The
+	// per-step timer then reports the fused sweeps under the othermax
+	// and updateS names and records nothing under damping.
+	FuseKernels bool
+	// Workspace supplies reusable solver buffers; nil allocates a
+	// private one for the solve. Handing the same workspace to
+	// successive solves on same-shaped problems removes the per-solve
+	// buffer allocations too. A workspace serves one solve at a time.
+	Workspace *Workspace
 	// TaskParallelOthermax computes othermaxrow and othermaxcol
 	// concurrently, the reorganization sketched in the paper's
 	// discussion ("the othermax functions could be computed
@@ -137,9 +161,6 @@ func (o *BPOptions) defaults() BPOptions {
 	if opts.Batch <= 0 {
 		opts.Batch = 1
 	}
-	if opts.Rounding == nil {
-		opts.Rounding = matching.Exact
-	}
 	if opts.Chunk <= 0 {
 		opts.Chunk = parallel.DefaultChunk
 	}
@@ -147,15 +168,26 @@ func (o *BPOptions) defaults() BPOptions {
 }
 
 // BPAlign runs the belief-propagation message-passing method
-// (Listing 2) to completion; it is BPAlignCtx without cancellation.
-// Errors from the resilience options (a mismatched Resume checkpoint,
-// a failing CheckpointFunc) are reported via AlignResult.Err.
+// (Listing 2) to completion. Errors from the resilience options (a
+// mismatched Resume checkpoint, a failing CheckpointFunc) are reported
+// via AlignResult.Err.
+//
+// Deprecated: BPAlign is a thin wrapper over Problem.Align; new code
+// should call Align with Options{Method: MethodBP}.
 func (p *Problem) BPAlign(o BPOptions) *AlignResult {
-	res, _ := p.BPAlignCtx(context.Background(), o)
+	res, _ := p.Align(context.Background(), Options{Method: MethodBP, BP: o})
 	return res
 }
 
-// BPAlignCtx runs the belief-propagation message-passing method
+// BPAlignCtx runs the belief-propagation method under a context.
+//
+// Deprecated: BPAlignCtx is a thin wrapper over Problem.Align; new
+// code should call Align with Options{Method: MethodBP}.
+func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, error) {
+	return p.Align(ctx, Options{Method: MethodBP, BP: o})
+}
+
+// bpAlign runs the belief-propagation message-passing method
 // (Listing 2) under a context. Messages y, z live on the edges of L;
 // the message matrix S^(k) lives on the nonzeros of S. Each iteration
 // bounds the overlap messages into F, folds them into the edge
@@ -174,26 +206,41 @@ func (p *Problem) BPAlign(o BPOptions) *AlignResult {
 // The returned error (also recorded on AlignResult.Err) reports
 // resilience-option failures; a cancelled or numerics-stopped run is
 // not an error.
-func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+//
+// All buffers come from the workspace and every kernel closure is
+// created once before the loop, so steady-state iterations perform no
+// heap allocations at Threads=1 (at higher thread counts the parallel
+// constructs spawn goroutines, which inherently allocate).
+func (p *Problem) bpAlign(ctx context.Context, o BPOptions) (*AlignResult, error) {
 	opts := o.defaults()
 	threads, chunk := opts.Threads, opts.Chunk
 	sched := opts.Sched
 	timer := opts.Timer
 	nnz := p.S.NNZ()
 	mEL := p.L.NumEdges()
+	serial := parallel.Threads(threads) == 1
 
 	tr := &Tracker{Trace: opts.Trace}
 	guard := newNumericGuard(opts.GuardLimit)
 
-	y := make([]float64, mEL)
-	z := make([]float64, mEL)
-	yPrev := make([]float64, mEL)
-	zPrev := make([]float64, mEL)
-	sk := make([]float64, nnz)
-	skPrev := make([]float64, nnz)
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensureBP(mEL, nnz)
+	key, mk := matcherFactory(opts.Rounding, opts.Matcher)
+	if err := ws.ensureRound(p, key, mk, opts.Batch+1); err != nil {
+		res := p.emptyResult()
+		res.Err = err
+		return res, err
+	}
+
+	y, z := ws.y, ws.z
+	yPrev, zPrev := ws.yPrev, ws.zPrev
+	sk, skPrev := ws.sk, ws.skPrev
+	d, om, om2, f := ws.d, ws.om, ws.om2, ws.f
+	yu, zu := ws.yu, ws.zu
+	zeroFloat64(y, z, yPrev, zPrev, sk, skPrev)
 	gammaK := 1.0
 	startIter := 1
 	if opts.Resume != nil {
@@ -221,15 +268,12 @@ func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, er
 			copy(zPrev, opts.WarmZ)
 		}
 	}
-	d := make([]float64, mEL)
-	om := make([]float64, mEL)  // othermax scratch (row)
-	om2 := make([]float64, mEL) // othermax scratch (col)
-	f := make([]float64, nnz)
 
 	// Last-good snapshots for the numeric guard's rollback.
-	goodY := append([]float64(nil), yPrev...)
-	goodZ := append([]float64(nil), zPrev...)
-	goodSK := append([]float64(nil), skPrev...)
+	goodY, goodZ, goodSK := ws.goodY, ws.goodZ, ws.goodSK
+	copy(goodY, yPrev)
+	copy(goodZ, zPrev)
+	copy(goodSK, skPrev)
 	goodGammaK := gammaK
 
 	sVal := p.S.Val
@@ -237,68 +281,170 @@ func (p *Problem) BPAlignCtx(ctx context.Context, o BPOptions) (*AlignResult, er
 	sRow := p.SRow
 	beta := p.Beta
 	w := p.L.W
+	ptr := p.S.Ptr
+	alpha := p.Alpha
 
-	// batch holds pending iterate copies awaiting rounding.
-	type pending struct {
-		iter int
-		heur []float64
+	fused := opts.FuseKernels && opts.Faults == nil
+
+	// g is the current iteration's damping weight, set before the
+	// damping (or fused) sweeps run; the kernels read it by capture.
+	var g float64
+
+	// The kernel closures are hoisted out of the iteration loop: a
+	// closure handed to the parallel constructs escapes (the worker
+	// goroutines capture it), so creating one per iteration would
+	// heap-allocate on the hot path. They capture the slice-header
+	// variables, so the post-damping buffer swaps are visible to them.
+
+	// Step 1: F = bound_{0,β}(β·S + S^(k−1)ᵀ). The transpose is
+	// realized by pulling through the permutation with no intermediate
+	// write.
+	boundF := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			f[k] = sparse.Bound(beta*sVal[k]+skPrev[perm[k]], 0, beta)
+		}
 	}
-	var batch []pending
+	// Step 2: d = αw + F·e (row sums of F over S's pattern).
+	computeD := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			s := 0.0
+			for k := ptr[e]; k < ptr[e+1]; k++ {
+				s += f[k]
+			}
+			d[e] = alpha*w[e] + s
+		}
+	}
+	// Step 3 tail: y = d − othermaxcol(z⁽ᵏ⁻¹⁾), z = d − othermaxrow(y⁽ᵏ⁻¹⁾).
+	othermaxEdges := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			y[e] = d[e] - om2[e]
+			z[e] = d[e] - om[e]
+		}
+	}
+	// Step 4: S^(k) = diag(y + z − d)·S − F (row rescale minus F).
+	updateS := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			r := sRow[k]
+			sk[k] = (y[r]+z[r]-d[r])*sVal[k] - f[k]
+		}
+	}
+	// Step 5: damping against the previous iterates. The guard's
+	// tighten factor (< 1 after a numeric rollback) is already folded
+	// into g so a diverging message sequence moves more slowly.
+	dampEdges := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			y[e] = g*y[e] + (1-g)*yPrev[e]
+			z[e] = g*z[e] + (1-g)*zPrev[e]
+		}
+	}
+	dampS := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			sk[k] = g*sk[k] + (1-g)*skPrev[k]
+		}
+	}
+	// Fused sweeps: the same float operations in the same order as the
+	// unfused pairs above, evaluated in one pass over each index
+	// space. The undamped values (yu, zu) are kept because the S
+	// update consumes them.
+	fusedEdges := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			yv := d[e] - om2[e]
+			zv := d[e] - om[e]
+			yu[e] = yv
+			zu[e] = zv
+			y[e] = g*yv + (1-g)*yPrev[e]
+			z[e] = g*zv + (1-g)*zPrev[e]
+		}
+	}
+	fusedS := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			r := sRow[k]
+			t := (yu[r]+zu[r]-d[r])*sVal[k] - f[k]
+			sk[k] = g*t + (1-g)*skPrev[k]
+		}
+	}
+	omTasks := []func(int){
+		func(t int) { othermaxColsInto(om2, zPrev, p.L, t, chunk) },
+		func(t int) { othermaxRowsInto(om, yPrev, p.L, t, chunk) },
+	}
+	othermaxScan := func() {
+		if opts.TaskParallelOthermax {
+			parallel.Tasks(threads, omTasks)
+		} else {
+			othermaxColsInto(om2, zPrev, p.L, threads, chunk)
+			othermaxRowsInto(om, yPrev, p.L, threads, chunk)
+		}
+	}
+	step1 := func() { sched.ForCtx(ctx, nnz, threads, chunk, boundF) }
+	step2 := func() { sched.ForCtx(ctx, mEL, threads, chunk, computeD) }
+	step3 := func() {
+		othermaxScan()
+		parallel.ForStatic(mEL, threads, othermaxEdges)
+	}
+	step4 := func() { sched.ForCtx(ctx, nnz, threads, chunk, updateS) }
+	step5 := func() {
+		parallel.ForStatic(mEL, threads, dampEdges)
+		sched.ForCtx(ctx, nnz, threads, chunk, dampS)
+	}
+	step3Fused := func() {
+		othermaxScan()
+		parallel.ForStatic(mEL, threads, fusedEdges)
+	}
+	step4Fused := func() { sched.ForCtx(ctx, nnz, threads, chunk, fusedS) }
+
+	// Pending rounding slots (the batch) and their parallel tasks.
+	pendLen := 0
 	var numericEvents atomic.Int64
-	var roundErrMu sync.Mutex
-	var roundErr error
-	flush := func() {
-		if len(batch) == 0 {
+	slotTasks := make([]func(int), opts.Batch+1)
+	for i := range slotTasks {
+		s := &ws.slots[i]
+		slotTasks[i] = func(taskThreads int) {
+			s.ok = false
+			// A corrupted (non-finite) heuristic copy is a numeric
+			// fault: skip the rounding — the matcher and objective
+			// would only launder the NaN — and let the guard account
+			// for it after the flush.
+			if !finiteVector(s.heur) {
+				numericEvents.Add(1)
+				return
+			}
+			p.roundSlotRun(s, taskThreads)
+		}
+	}
+	flushBody := func() {
+		if serial {
+			for i := 0; i < pendLen; i++ {
+				s := &ws.slots[i]
+				if !finiteVector(s.heur) {
+					numericEvents.Add(1)
+					continue
+				}
+				p.roundSlotRun(s, 1)
+				tr.Offer(s.iter, s.obj, &s.res, s.heur)
+			}
+			pendLen = 0
 			return
 		}
-		items := batch
-		batch = nil
-		timer.Time(BPStepMatch, func() {
-			type rounded struct {
-				obj float64
-				res *matching.Result
-				ok  bool
+		// Each task is one matching problem; with T threads and r
+		// tasks each matching gets max(1, T/r) threads, the paper's
+		// nested-parallelism scheme. Offer the results in batch order
+		// after the barrier: task scheduling must not decide objective
+		// ties, or the selected matching (and a checkpointed resume)
+		// would vary run to run.
+		parallel.TasksCtx(ctx, threads, slotTasks[:pendLen])
+		for i := 0; i < pendLen; i++ {
+			s := &ws.slots[i]
+			if s.ok {
+				tr.Offer(s.iter, s.obj, &s.res, s.heur)
 			}
-			out := make([]rounded, len(items))
-			tasks := make([]func(int), len(items))
-			for i := range items {
-				i := i
-				it := items[i]
-				tasks[i] = func(taskThreads int) {
-					// A corrupted (non-finite) heuristic copy is a
-					// numeric fault: skip the rounding — the matcher
-					// and objective would only launder the NaN — and
-					// let the guard account for it after the flush.
-					if !finiteVector(it.heur) {
-						numericEvents.Add(1)
-						return
-					}
-					obj, res, err := p.RoundHeuristic(it.heur, opts.Rounding, taskThreads, it.iter, nil)
-					if err != nil {
-						roundErrMu.Lock()
-						if roundErr == nil {
-							roundErr = err
-						}
-						roundErrMu.Unlock()
-						return
-					}
-					out[i] = rounded{obj, res, true}
-				}
-			}
-			// Each task is one matching problem; with T threads and r
-			// tasks each matching gets max(1, T/r) threads, the
-			// paper's nested-parallelism scheme.
-			parallel.TasksCtx(ctx, threads, tasks)
-			// Offer the results in batch order after the barrier:
-			// task scheduling must not decide objective ties, or the
-			// selected matching (and a checkpointed resume) would
-			// vary run to run.
-			for i, it := range items {
-				if out[i].ok {
-					tr.Offer(it.iter, out[i].obj, out[i].res, it.heur)
-				}
-			}
-		})
+		}
+		pendLen = 0
+	}
+	flush := func() {
+		if pendLen == 0 {
+			return
+		}
+		timer.Time(BPStepMatch, flushBody)
 	}
 
 	stopped := StopMaxIter
@@ -312,107 +458,47 @@ loop:
 			stopped = stopReasonForCtx(err)
 			break
 		}
-		// Step 1: F = bound_{0,β}(β·S + S^(k−1)ᵀ). The transpose is
-		// realized by pulling through the permutation with no
-		// intermediate write.
-		timer.Time(BPStepBoundF, func() {
-			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					f[k] = sparse.Bound(beta*sVal[k]+skPrev[perm[k]], 0, beta)
-				}
-			})
-		})
+		timer.Time(BPStepBoundF, step1)
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(BPStepBoundF, iter, f)
 		}
 
-		// Step 2: d = αw + F·e (row sums of F over S's pattern).
-		timer.Time(BPStepComputeD, func() {
-			ptr := p.S.Ptr
-			alpha := p.Alpha
-			sched.ForCtx(ctx, mEL, threads, chunk, func(lo, hi int) {
-				for e := lo; e < hi; e++ {
-					s := 0.0
-					for k := ptr[e]; k < ptr[e+1]; k++ {
-						s += f[k]
-					}
-					d[e] = alpha*w[e] + s
-				}
-			})
-		})
+		timer.Time(BPStepComputeD, step2)
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(BPStepComputeD, iter, d)
 		}
 
-		// Step 3: othermax. y = d − othermaxcol(z⁽ᵏ⁻¹⁾),
-		// z = d − othermaxrow(y⁽ᵏ⁻¹⁾).
-		timer.Time(BPStepOthermax, func() {
-			if opts.TaskParallelOthermax {
-				parallel.Tasks(threads, []func(int){
-					func(t int) { othermaxColsInto(om2, zPrev, p.L, t, chunk) },
-					func(t int) { othermaxRowsInto(om, yPrev, p.L, t, chunk) },
-				})
-			} else {
-				othermaxColsInto(om2, zPrev, p.L, threads, chunk)
-				othermaxRowsInto(om, yPrev, p.L, threads, chunk)
-			}
-			parallel.ForStatic(mEL, threads, func(lo, hi int) {
-				for e := lo; e < hi; e++ {
-					y[e] = d[e] - om2[e]
-					z[e] = d[e] - om[e]
-				}
-			})
-		})
-		if opts.Faults != nil {
-			opts.Faults.CorruptVector(BPStepOthermax, iter, y)
-		}
-
-		// Step 4: S^(k) = diag(y + z − d)·S − F (row rescale minus F).
-		timer.Time(BPStepUpdateS, func() {
-			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					r := sRow[k]
-					sk[k] = (y[r]+z[r]-d[r])*sVal[k] - f[k]
-				}
-			})
-		})
-		if opts.Faults != nil {
-			opts.Faults.CorruptVector(BPStepUpdateS, iter, sk)
-		}
-
-		// Step 5: damping against the previous iterates; the damped
-		// values become both the output of this iteration and the next
-		// iteration's "previous" state. The guard's tighten factor
-		// (< 1 after a numeric rollback) shrinks the blend weight so a
-		// diverging message sequence moves more slowly.
+		// The damping weight for this iteration is fixed before the
+		// sweeps so the fused kernels can blend as they write.
 		gammaK *= opts.Gamma
-		timer.Time(BPStepDamping, func() {
-			var g float64
-			switch opts.Damp {
-			case DampConstant:
-				g = opts.Gamma
-			case DampNone:
-				g = 1
-			default:
-				g = gammaK
+		switch opts.Damp {
+		case DampConstant:
+			g = opts.Gamma
+		case DampNone:
+			g = 1
+		default:
+			g = gammaK
+		}
+		g *= guard.tighten
+
+		if fused {
+			timer.Time(BPStepOthermax, step3Fused)
+			timer.Time(BPStepUpdateS, step4Fused)
+		} else {
+			timer.Time(BPStepOthermax, step3)
+			if opts.Faults != nil {
+				opts.Faults.CorruptVector(BPStepOthermax, iter, y)
 			}
-			g *= guard.tighten
-			parallel.ForStatic(mEL, threads, func(lo, hi int) {
-				for e := lo; e < hi; e++ {
-					y[e] = g*y[e] + (1-g)*yPrev[e]
-					z[e] = g*z[e] + (1-g)*zPrev[e]
-				}
-			})
-			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					sk[k] = g*sk[k] + (1-g)*skPrev[k]
-				}
-			})
-			y, yPrev = yPrev, y
-			z, zPrev = zPrev, z
-			sk, skPrev = skPrev, sk
-			// After the swaps, *Prev hold iteration k's damped state.
-		})
+			timer.Time(BPStepUpdateS, step4)
+			if opts.Faults != nil {
+				opts.Faults.CorruptVector(BPStepUpdateS, iter, sk)
+			}
+			timer.Time(BPStepDamping, step5)
+		}
+		y, yPrev = yPrev, y
+		z, zPrev = zPrev, z
+		sk, skPrev = skPrev, sk
+		// After the swaps, *Prev hold iteration k's damped state.
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(BPStepDamping, iter, yPrev)
 		}
@@ -453,15 +539,23 @@ loop:
 			opts.Observer(iter, yPrev, zPrev)
 		}
 
-		// Step 6: round y and z (batched).
-		heurY := append([]float64(nil), yPrev...)
-		heurZ := append([]float64(nil), zPrev...)
+		// Step 6: copy the damped y and z iterates into the next two
+		// batch slots; flush when the batch is full.
+		sy := &ws.slots[pendLen]
+		sy.iter = iter
+		sy.heur = growFloat64(sy.heur, mEL)
+		copy(sy.heur, yPrev)
+		pendLen++
+		sz := &ws.slots[pendLen]
+		sz.iter = iter
+		sz.heur = growFloat64(sz.heur, mEL)
+		copy(sz.heur, zPrev)
+		pendLen++
 		if opts.Faults != nil {
-			opts.Faults.CorruptVector(BPStepMatch, iter, heurY)
-			opts.Faults.CorruptVector(BPStepMatch, iter, heurZ)
+			opts.Faults.CorruptVector(BPStepMatch, iter, sy.heur)
+			opts.Faults.CorruptVector(BPStepMatch, iter, sz.heur)
 		}
-		batch = append(batch, pending{iter, heurY}, pending{iter, heurZ})
-		if len(batch) >= opts.Batch {
+		if pendLen >= opts.Batch {
 			flush()
 			// Corrupted heuristics skipped during the flush count as
 			// guard failures so a recurring match-step fault escalates
@@ -501,9 +595,6 @@ loop:
 	cancelled := stopped == StopCancelled || stopped == StopDeadline
 	if !cancelled {
 		flush()
-	}
-	if roundErr != nil && runErr == nil {
-		runErr = roundErr
 	}
 
 	var out *AlignResult

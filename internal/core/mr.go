@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"netalignmc/internal/matching"
 	"netalignmc/internal/parallel"
@@ -49,7 +48,22 @@ type MROptions struct {
 	// always use exact matching in the first step... because the
 	// problems in each row tend to be small and we parallelize over
 	// rows").
+	//
+	// Deprecated: set Matcher instead. A non-nil Rounding still wins
+	// for compatibility, but it forfeits the reusable matcher scratch
+	// (the solver cannot see inside a func value), so Step 3 allocates
+	// every iteration.
 	Rounding matching.Matcher
+	// Matcher declaratively selects the Step 3 matcher (the zero value
+	// is exact matching, preserving the historical default). The
+	// solver builds one reusable matcher from it, which is what makes
+	// the steady-state rounding allocation-free.
+	Matcher matching.MatcherSpec
+	// Workspace supplies reusable solver buffers; nil allocates a
+	// private one for the solve. Handing the same workspace to
+	// successive solves on same-shaped problems removes the per-solve
+	// buffer allocations too. A workspace serves one solve at a time.
+	Workspace *Workspace
 	// GreedyRowMatch replaces the exact per-row matchings of Step 1
 	// with the greedy half-approximation. The paper always uses exact
 	// row matching ("the problems in each row tend to be small");
@@ -109,9 +123,6 @@ func (o *MROptions) defaults(p *Problem) MROptions {
 		if opts.UBound == 0 {
 			opts.UBound = 0.5
 		}
-	}
-	if opts.Rounding == nil {
-		opts.Rounding = matching.Exact
 	}
 	if opts.Chunk <= 0 {
 		opts.Chunk = parallel.DefaultChunk
@@ -196,15 +207,27 @@ func (p *Problem) finishResult(tr *Tracker, threads int, skipFinal bool) (*Align
 }
 
 // KlauAlign runs Klau's iterative matching relaxation (Listing 1) to
-// completion; it is MRAlignCtx without cancellation. Errors from the
-// resilience options are reported via AlignResult.Err.
+// completion; it is the context-free form. Errors from the resilience
+// options are reported via AlignResult.Err.
+//
+// Deprecated: KlauAlign is a thin wrapper over Problem.Align; new code
+// should call Align with Options{Method: MethodMR}.
 func (p *Problem) KlauAlign(o MROptions) *AlignResult {
-	res, _ := p.MRAlignCtx(context.Background(), o)
+	res, _ := p.Align(context.Background(), Options{Method: MethodMR, MR: o})
 	return res
 }
 
 // MRAlignCtx runs Klau's iterative matching relaxation (Listing 1)
 // under a context.
+//
+// Deprecated: MRAlignCtx is a thin wrapper over Problem.Align; new
+// code should call Align with Options{Method: MethodMR}.
+func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, error) {
+	return p.Align(ctx, Options{Method: MethodMR, MR: o})
+}
+
+// mrAlign runs Klau's iterative matching relaxation (Listing 1) under a
+// context.
 //
 // Each iteration: (1) solve, for every row of S, a small exact
 // matching over L weighted by β/2·S + U − Uᵀ, recording the row values
@@ -221,10 +244,12 @@ func (p *Problem) KlauAlign(o MROptions) *AlignResult {
 // rounding and the multipliers after each subgradient step; a failing
 // iteration rolls back to the last good multipliers with a tightened
 // step size, and a recurring failure stops with StopNumerics.
-func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+//
+// Vectors come from the workspace and the kernel closures are created
+// once before the loop (a closure handed to the parallel constructs
+// escapes), so steady-state iterations perform no heap allocations at
+// Threads=1.
+func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error) {
 	opts := o.defaults(p)
 	threads, chunk := opts.Threads, opts.Chunk
 	sched := opts.Sched
@@ -235,11 +260,25 @@ func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, er
 	tr := &Tracker{Trace: opts.Trace}
 	guard := newNumericGuard(opts.GuardLimit)
 
-	u := make([]float64, nnz)    // Lagrange multipliers (upper triangle only)
-	rowW := make([]float64, nnz) // β/2·S + U − Uᵀ values
-	sL := make([]float64, nnz)   // row-matching indicators
-	d := make([]float64, mEL)    // row-matching values
-	wbar := make([]float64, mEL) // αw + d
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensureMR(mEL, nnz)
+	key, mk := matcherFactory(opts.Rounding, opts.Matcher)
+	if err := ws.ensureRound(p, key, mk, 1); err != nil {
+		res := p.emptyResult()
+		res.Err = err
+		return res, err
+	}
+	mrS := &ws.slots[0]
+
+	u := ws.u       // Lagrange multipliers (upper triangle only)
+	rowW := ws.rowW // β/2·S + U − Uᵀ values
+	sL := ws.sL     // row-matching indicators
+	d := ws.d       // row-matching values
+	wbar := ws.wbar // αw + d
+	zeroFloat64(u, rowW, sL, d, wbar)
 	gamma := opts.Gamma
 	bestUpper := 0.0
 	haveUpper := false
@@ -271,7 +310,8 @@ func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, er
 	// Last-good snapshots for the numeric guard's rollback: the
 	// multipliers plus the subgradient step-control scalars they were
 	// produced under.
-	goodU := append([]float64(nil), u...)
+	goodU := ws.goodU
+	copy(goodU, u)
 	goodGamma := gamma
 	goodBestUpper := bestUpper
 	goodHaveUpper := haveUpper
@@ -281,6 +321,11 @@ func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, er
 	sVal := p.S.Val
 	perm := p.SPerm
 	beta2 := p.Beta / 2
+	w := p.L.W
+	alpha := p.Alpha
+	sRow := p.SRow
+	sCol := p.S.Col
+	bound := opts.UBound
 
 	// Per-worker row-matching scratch, preallocated outside the
 	// iteration (§IV-B: "We precompute the maximum memory required for
@@ -304,62 +349,127 @@ func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, er
 		sinceImproved = goodSinceImproved
 	}
 
-	iter := startIter
+	// Per-iteration state read by the hoisted kernels below. The
+	// closures are created once — handing a fresh closure to the
+	// parallel constructs every iteration would heap-allocate on the
+	// hot path — and see updates through these captured variables.
+	var iter int
+	var x []float64
+	var obj, upper float64
+	var gU float64 // γ·tighten, fixed before the Step 5 sweep
+
+	rowWKernel := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			rowW[k] = beta2*sVal[k] + u[k] - u[perm[k]]
+		}
+	}
+	// One small exact matching per row; the row problems are tiny and
+	// independent, so parallelize across rows with a dynamic schedule
+	// (the row sizes are highly imbalanced) and solve each with the
+	// worker's preallocated scratch.
+	rowMatchKernel := func(worker, lo, hi int) {
+		sm := rowMatchers[worker]
+		for e1 := lo; e1 < hi; e1++ {
+			klo, khi := p.S.RowRange(e1)
+			if klo == khi {
+				d[e1] = 0
+				continue
+			}
+			var selected []int
+			var value float64
+			if opts.GreedyRowMatch {
+				selected, value = sm.GreedySubset(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
+			} else {
+				selected, value = sm.Solve(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
+			}
+			rowSelected[worker] = selected
+			for k := klo; k < khi; k++ {
+				sL[k] = 0
+			}
+			for _, pos := range selected {
+				sL[klo+pos] = 1
+			}
+			d[e1] = value
+		}
+	}
+	daxpyKernel := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			wbar[e] = alpha*w[e] + d[e]
+		}
+	}
+	upperKernel := func(lo, hi int) float64 {
+		s := 0.0
+		for e := lo; e < hi; e++ {
+			s += wbar[e] * x[e]
+		}
+		return s
+	}
+	// Step 5: update U on the upper triangle:
+	// F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped. The guard's
+	// tighten factor (< 1 after a numeric rollback) shrinks the
+	// subgradient step.
+	updateUKernel := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			e1, e2 := sRow[k], sCol[k]
+			if e2 <= e1 {
+				continue // multipliers live on the upper triangle
+			}
+			f := u[k] - gU*x[e1]*sL[k] + gU*sL[perm[k]]*x[e2]
+			u[k] = sparse.Bound(f, -bound, bound)
+		}
+	}
+	step1 := func() {
+		sched.ForCtx(ctx, nnz, threads, chunk, rowWKernel)
+		parallel.ForDynamicWorker(p.S.NumRows, threads, chunk, rowMatchKernel)
+	}
+	step2 := func() { parallel.ForStatic(mEL, threads, daxpyKernel) }
+	// Step 3: match w̄ on L's structure with the slot's reusable
+	// matcher, then re-base the matching on L's true weights.
+	step3 := func() {
+		mrS.lw.W = wbar
+		mrS.match(&mrS.lw, threads, &mrS.res)
+		mrS.res.Rescore(p.L)
+	}
+	step4 := func() {
+		x = mrS.res.IndicatorInto(p.L, mrS.x)
+		mrS.x = x
+		obj = p.Objective(x, threads)
+		tr.Offer(iter, obj, &mrS.res, wbar)
+		upper = parallel.SumFloat64(mEL, threads, upperKernel)
+		if opts.Trace {
+			upperTrace = append(upperTrace, upper)
+			lowerTrace = append(lowerTrace, obj)
+		}
+		// Subgradient step control: halve γ when the upper bound
+		// has not improved (decreased) within MStep iterations.
+		if !haveUpper || upper < bestUpper-1e-12 {
+			haveUpper = true
+			bestUpper = upper
+			sinceImproved = 0
+		} else {
+			sinceImproved++
+			if sinceImproved >= opts.MStep {
+				gamma /= 2
+				sinceImproved = 0
+			}
+		}
+	}
+	step5 := func() { sched.ForCtx(ctx, nnz, threads, chunk, updateUKernel) }
+
+	iter = startIter
 	for iter <= opts.Iterations {
 		if err := ctx.Err(); err != nil {
 			stopped = stopReasonForCtx(err)
 			break
 		}
 		// Step 1: row match.
-		timer.Time(MRStepRowMatch, func() {
-			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					rowW[k] = beta2*sVal[k] + u[k] - u[perm[k]]
-				}
-			})
-			// One small exact matching per row; the row problems are
-			// tiny and independent, so parallelize across rows with a
-			// dynamic schedule (the row sizes are highly imbalanced)
-			// and solve each with the worker's preallocated scratch.
-			parallel.ForDynamicWorker(p.S.NumRows, threads, chunk, func(worker, lo, hi int) {
-				sm := rowMatchers[worker]
-				for e1 := lo; e1 < hi; e1++ {
-					klo, khi := p.S.RowRange(e1)
-					if klo == khi {
-						d[e1] = 0
-						continue
-					}
-					var selected []int
-					var value float64
-					if opts.GreedyRowMatch {
-						selected, value = sm.GreedySubset(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
-					} else {
-						selected, value = sm.Solve(p.L, p.S.Col[klo:khi], rowW[klo:khi], rowSelected[worker][:0])
-					}
-					rowSelected[worker] = selected
-					for k := klo; k < khi; k++ {
-						sL[k] = 0
-					}
-					for _, pos := range selected {
-						sL[klo+pos] = 1
-					}
-					d[e1] = value
-				}
-			})
-		})
+		timer.Time(MRStepRowMatch, step1)
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(MRStepRowMatch, iter, d)
 		}
 
 		// Step 2: daxpy.
-		timer.Time(MRStepDaxpy, func() {
-			w := p.L.W
-			parallel.ForStatic(mEL, threads, func(lo, hi int) {
-				for e := lo; e < hi; e++ {
-					wbar[e] = p.Alpha*w[e] + d[e]
-				}
-			})
-		})
+		timer.Time(MRStepDaxpy, step2)
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(MRStepDaxpy, iter, wbar)
 			opts.Faults.CorruptVector(MRStepMatch, iter, wbar)
@@ -383,76 +493,13 @@ func (p *Problem) MRAlignCtx(ctx context.Context, o MROptions) (*AlignResult, er
 			break
 		}
 
-		// Step 3: match.
-		var res *matching.Result
-		var stepErr error
-		timer.Time(MRStepMatch, func() {
-			lw, err := p.L.WithWeights(wbar)
-			if err != nil {
-				stepErr = fmt.Errorf("core: w̄ length mismatch: %w", err)
-				return
-			}
-			matched := opts.Rounding(lw, threads)
-			res = matching.NewResult(p.L, matched.MateA, matched.MateB)
-		})
-		if stepErr != nil {
-			runErr = stepErr
-			break
-		}
+		timer.Time(MRStepMatch, step3)
 
 		// Step 4: objective (lower bound) and upper bound.
-		var x []float64
-		var obj, upper float64
-		timer.Time(MRStepObjective, func() {
-			x = res.Indicator(p.L)
-			obj = p.Objective(x, threads)
-			tr.Offer(iter, obj, res, wbar)
-			upper = parallel.SumFloat64(mEL, threads, func(lo, hi int) float64 {
-				s := 0.0
-				for e := lo; e < hi; e++ {
-					s += wbar[e] * x[e]
-				}
-				return s
-			})
-			if opts.Trace {
-				upperTrace = append(upperTrace, upper)
-				lowerTrace = append(lowerTrace, obj)
-			}
-			// Subgradient step control: halve γ when the upper bound
-			// has not improved (decreased) within MStep iterations.
-			if !haveUpper || upper < bestUpper-1e-12 {
-				haveUpper = true
-				bestUpper = upper
-				sinceImproved = 0
-			} else {
-				sinceImproved++
-				if sinceImproved >= opts.MStep {
-					gamma /= 2
-					sinceImproved = 0
-				}
-			}
-		})
+		timer.Time(MRStepObjective, step4)
 
-		// Step 5: update U on the upper triangle:
-		// F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped. The guard's
-		// tighten factor (< 1 after a numeric rollback) shrinks the
-		// subgradient step.
-		timer.Time(MRStepUpdateU, func() {
-			sRow := p.SRow
-			sCol := p.S.Col
-			bound := opts.UBound
-			g := gamma * guard.tighten
-			sched.ForCtx(ctx, nnz, threads, chunk, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					e1, e2 := sRow[k], sCol[k]
-					if e2 <= e1 {
-						continue // multipliers live on the upper triangle
-					}
-					f := u[k] - g*x[e1]*sL[k] + g*sL[perm[k]]*x[e2]
-					u[k] = sparse.Bound(f, -bound, bound)
-				}
-			})
-		})
+		gU = gamma * guard.tighten
+		timer.Time(MRStepUpdateU, step5)
 		if opts.Faults != nil {
 			opts.Faults.CorruptVector(MRStepUpdateU, iter, u)
 		}

@@ -7,6 +7,64 @@ import (
 	"netalignmc/internal/parallel"
 )
 
+// othermaxRowsRange applies othermaxrow to the rows [lo, hi).
+func othermaxRowsRange(dst, g []float64, l *bipartite.Graph, lo, hi int) {
+	for a := lo; a < hi; a++ {
+		elo, ehi := l.RowRange(a)
+		max1, max2 := math.Inf(-1), math.Inf(-1)
+		arg := -1
+		for e := elo; e < ehi; e++ {
+			v := g[e]
+			if v > max1 {
+				max2 = max1
+				max1 = v
+				arg = e
+			} else if v > max2 {
+				max2 = v
+			}
+		}
+		for e := elo; e < ehi; e++ {
+			other := max1
+			if e == arg {
+				other = max2
+			}
+			if other < 0 {
+				other = 0
+			}
+			dst[e] = other
+		}
+	}
+}
+
+// othermaxColsRange applies othermaxcol to the columns [lo, hi).
+func othermaxColsRange(dst, g []float64, l *bipartite.Graph, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		edges := l.ColEdgesOf(b)
+		max1, max2 := math.Inf(-1), math.Inf(-1)
+		arg := -1
+		for _, e := range edges {
+			v := g[e]
+			if v > max1 {
+				max2 = max1
+				max1 = v
+				arg = e
+			} else if v > max2 {
+				max2 = v
+			}
+		}
+		for _, e := range edges {
+			other := max1
+			if e == arg {
+				other = max2
+			}
+			if other < 0 {
+				other = 0
+			}
+			dst[e] = other
+		}
+	}
+}
+
 // othermaxRowsInto computes the paper's othermaxrow function into dst:
 // for each vertex i ∈ V_A and each incident edge (i,i'),
 //
@@ -17,64 +75,27 @@ import (
 // below at zero. Rows with a single edge get 0 (the max over an empty
 // set is -∞, bounded to 0). The computation is parallelized over the
 // rows (V_A vertices) with a dynamic schedule, matching Section IV-C.
+// The single-thread path avoids the parallel construct entirely: the
+// body closure escapes into it, so even a degenerate p=1 call would
+// allocate the closure each time.
 func othermaxRowsInto(dst, g []float64, l *bipartite.Graph, threads, chunk int) {
+	if parallel.Threads(threads) == 1 {
+		othermaxRowsRange(dst, g, l, 0, l.NA)
+		return
+	}
 	parallel.ForDynamic(l.NA, threads, chunk, func(lo, hi int) {
-		for a := lo; a < hi; a++ {
-			elo, ehi := l.RowRange(a)
-			max1, max2 := math.Inf(-1), math.Inf(-1)
-			arg := -1
-			for e := elo; e < ehi; e++ {
-				v := g[e]
-				if v > max1 {
-					max2 = max1
-					max1 = v
-					arg = e
-				} else if v > max2 {
-					max2 = v
-				}
-			}
-			for e := elo; e < ehi; e++ {
-				other := max1
-				if e == arg {
-					other = max2
-				}
-				if other < 0 {
-					other = 0
-				}
-				dst[e] = other
-			}
-		}
+		othermaxRowsRange(dst, g, l, lo, hi)
 	})
 }
 
 // othermaxColsInto is othermaxcol: the same computation over the
 // columns (V_B vertices) of L, using the precomputed column view.
 func othermaxColsInto(dst, g []float64, l *bipartite.Graph, threads, chunk int) {
+	if parallel.Threads(threads) == 1 {
+		othermaxColsRange(dst, g, l, 0, l.NB)
+		return
+	}
 	parallel.ForDynamic(l.NB, threads, chunk, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			edges := l.ColEdgesOf(b)
-			max1, max2 := math.Inf(-1), math.Inf(-1)
-			arg := -1
-			for _, e := range edges {
-				v := g[e]
-				if v > max1 {
-					max2 = max1
-					max1 = v
-					arg = e
-				} else if v > max2 {
-					max2 = v
-				}
-			}
-			for _, e := range edges {
-				other := max1
-				if e == arg {
-					other = max2
-				}
-				if other < 0 {
-					other = 0
-				}
-				dst[e] = other
-			}
-		}
+		othermaxColsRange(dst, g, l, lo, hi)
 	})
 }

@@ -136,9 +136,17 @@ func (p *Problem) buildS(threads int) error {
 func (p *Problem) NNZS() int { return p.S.NNZ() }
 
 // MatchWeight returns wᵀx for an indicator (or heuristic) vector x
-// over E_L.
+// over E_L. The single-thread path skips the parallel reduction: the
+// fold closure escapes into it, so even a p=1 call would allocate.
 func (p *Problem) MatchWeight(x []float64, threads int) float64 {
 	w := p.L.W
+	if parallel.Threads(threads) == 1 {
+		s := 0.0
+		for e := range x {
+			s += w[e] * x[e]
+		}
+		return s
+	}
 	return parallel.SumFloat64(len(x), threads, func(lo, hi int) float64 {
 		s := 0.0
 		for e := lo; e < hi; e++ {
@@ -151,6 +159,9 @@ func (p *Problem) MatchWeight(x []float64, threads int) float64 {
 // Overlap returns xᵀSx/2, the number of overlapped edge pairs when x
 // is a 0/1 matching indicator.
 func (p *Problem) Overlap(x []float64, threads int) float64 {
+	if parallel.Threads(threads) == 1 {
+		return p.S.QuadFormRange(x, x, 0, p.S.NumRows) / 2
+	}
 	quad := parallel.SumFloat64(p.S.NumRows, threads, func(lo, hi int) float64 {
 		return p.S.QuadFormRange(x, x, lo, hi)
 	})

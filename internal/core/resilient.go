@@ -274,22 +274,29 @@ func (g *numericGuard) trip() (retry bool) {
 // to +Inf so a single comparison against the guard limit detects both
 // non-finite entries and magnitude explosion.
 func maxAbsOrInf(v []float64, threads int) float64 {
+	if parallel.Threads(threads) == 1 {
+		return maxAbsOrInfRange(v, 0, len(v))
+	}
 	return parallel.ReduceFloat64(len(v), threads, func(lo, hi int) float64 {
-		m := 0.0
-		for i := lo; i < hi; i++ {
-			x := v[i]
-			if math.IsNaN(x) {
-				return math.Inf(1)
-			}
-			if x < 0 {
-				x = -x
-			}
-			if x > m {
-				m = x
-			}
-		}
-		return m
+		return maxAbsOrInfRange(v, lo, hi)
 	}, math.Max, 0)
+}
+
+func maxAbsOrInfRange(v []float64, lo, hi int) float64 {
+	m := 0.0
+	for i := lo; i < hi; i++ {
+		x := v[i]
+		if math.IsNaN(x) {
+			return math.Inf(1)
+		}
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // finiteVector reports whether every entry of v is finite (serial; for

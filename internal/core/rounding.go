@@ -33,7 +33,9 @@ type Tracker struct {
 	hasBest   bool
 }
 
-// Offer submits a rounded solution. heur is copied only when it wins.
+// Offer submits a rounded solution. m and heur are copied only when
+// they win, so callers are free to recycle both buffers on the next
+// iteration (the workspace rounding slots do exactly that).
 // Non-finite objectives are recorded in the trace but never become the
 // best solution: the tracker is the last line of the numerical-guard
 // policy, so a NaN that slipped past the per-step checks cannot
@@ -52,7 +54,10 @@ func (t *Tracker) Offer(iter int, obj float64, m *matching.Result, heur []float6
 		t.hasBest = true
 		t.BestObjective = obj
 		t.BestIter = iter
-		t.BestMatching = m
+		if t.BestMatching == nil {
+			t.BestMatching = &matching.Result{}
+		}
+		t.BestMatching.CopyFrom(m)
 		t.BestHeuristic = append(t.BestHeuristic[:0], heur...)
 	}
 }

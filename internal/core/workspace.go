@@ -1,0 +1,166 @@
+package core
+
+import (
+	"netalignmc/internal/bipartite"
+	"netalignmc/internal/matching"
+)
+
+// Workspace is an arena of reusable solver buffers sized from the
+// problem being solved. The solvers allocate their message vectors,
+// othermax scratch, guard snapshots, and rounding state from it, so a
+// workspace handed to successive solves (BPOptions.Workspace /
+// MROptions.Workspace) makes steady-state iterations — and warm
+// re-solves — perform zero heap allocations. Buffers grow to the
+// largest problem seen and are never shrunk.
+//
+// A workspace serves one solve at a time; concurrent solves need one
+// workspace each. A nil workspace in the options is always valid and
+// simply allocates a private one per solve.
+type Workspace struct {
+	// Belief-propagation state: message vectors over E_L and the
+	// overlap messages over nnz(S), plus the numeric guard's
+	// last-good snapshots.
+	y, z, yPrev, zPrev   []float64
+	yu, zu               []float64 // fused-kernel undamped sweeps
+	d, om, om2           []float64
+	sk, skPrev, f        []float64
+	goodY, goodZ, goodSK []float64
+
+	// Matching-relaxation state: multipliers and row-matching values
+	// over nnz(S), the combined heuristic over E_L, and the guard
+	// snapshot of the multipliers.
+	u, rowW, sL, goodU []float64
+	wbar               []float64
+
+	// Rounding state: one slot per concurrently rounded heuristic
+	// (BP's batch size; one for MR). roundKey records which matcher
+	// spec the slots were built for; roundL which candidate graph.
+	slots    []roundSlot
+	roundKey string
+	roundL   *bipartite.Graph
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first
+// use. The constructor exists so callers can hold one across solves.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// roundSlot is the reusable state of one rounding evaluation: the
+// heuristic copy, a structure-sharing clone of L carrying it as
+// weights, the matcher with its scratch, and the result/indicator
+// buffers. obj/ok carry the outcome from a parallel batch task back to
+// the in-order tracker offers.
+type roundSlot struct {
+	iter  int
+	heur  []float64
+	lw    bipartite.Graph
+	match matching.MatchInto
+	res   matching.Result
+	x     []float64
+	obj   float64
+	ok    bool
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func zeroFloat64(vecs ...[]float64) {
+	for _, v := range vecs {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+}
+
+// ensureBP sizes the belief-propagation buffers for |E_L| = mEL and
+// nnz(S) = nnz.
+func (ws *Workspace) ensureBP(mEL, nnz int) {
+	ws.y = growFloat64(ws.y, mEL)
+	ws.z = growFloat64(ws.z, mEL)
+	ws.yPrev = growFloat64(ws.yPrev, mEL)
+	ws.zPrev = growFloat64(ws.zPrev, mEL)
+	ws.yu = growFloat64(ws.yu, mEL)
+	ws.zu = growFloat64(ws.zu, mEL)
+	ws.d = growFloat64(ws.d, mEL)
+	ws.om = growFloat64(ws.om, mEL)
+	ws.om2 = growFloat64(ws.om2, mEL)
+	ws.goodY = growFloat64(ws.goodY, mEL)
+	ws.goodZ = growFloat64(ws.goodZ, mEL)
+	ws.sk = growFloat64(ws.sk, nnz)
+	ws.skPrev = growFloat64(ws.skPrev, nnz)
+	ws.f = growFloat64(ws.f, nnz)
+	ws.goodSK = growFloat64(ws.goodSK, nnz)
+}
+
+// ensureMR sizes the matching-relaxation buffers.
+func (ws *Workspace) ensureMR(mEL, nnz int) {
+	ws.u = growFloat64(ws.u, nnz)
+	ws.rowW = growFloat64(ws.rowW, nnz)
+	ws.sL = growFloat64(ws.sL, nnz)
+	ws.goodU = growFloat64(ws.goodU, nnz)
+	ws.wbar = growFloat64(ws.wbar, mEL)
+	ws.d = growFloat64(ws.d, mEL)
+}
+
+// ensureRound prepares n rounding slots for problem p. key identifies
+// the matcher configuration: slots are rebuilt when it changes, and an
+// empty key (a legacy Rounding func, whose identity cannot be
+// compared) rebuilds every solve. mk constructs one reusable matcher
+// per slot so concurrent batch tasks never share scratch.
+func (ws *Workspace) ensureRound(p *Problem, key string, mk func() (matching.MatchInto, error), n int) error {
+	if key == "" || ws.roundKey != key || ws.roundL != p.L {
+		ws.slots = ws.slots[:0]
+		ws.roundKey = key
+		ws.roundL = p.L
+	}
+	for len(ws.slots) < n {
+		m, err := mk()
+		if err != nil {
+			return err
+		}
+		ws.slots = append(ws.slots, roundSlot{match: m})
+	}
+	for i := range ws.slots {
+		s := &ws.slots[i]
+		s.lw = *p.L // shares structure; W is repointed at the heuristic
+		s.lw.W = nil
+	}
+	return nil
+}
+
+// matcherFactory normalizes the two ways options select a rounding
+// matcher — the legacy Rounding func and the declarative MatcherSpec —
+// into a per-slot constructor plus the workspace cache key. The legacy
+// func wins when both are set (it predates the spec).
+func matcherFactory(rounding matching.Matcher, spec matching.MatcherSpec) (key string, mk func() (matching.MatchInto, error)) {
+	if rounding != nil {
+		return "", func() (matching.MatchInto, error) {
+			return func(g *bipartite.Graph, threads int, out *matching.Result) *matching.Result {
+				r := rounding(g, threads)
+				if out == nil {
+					return r
+				}
+				out.CopyFrom(r)
+				return out
+			}, nil
+		}
+	}
+	return "spec:" + spec.String(), spec.Reusable
+}
+
+// roundSlotRun rounds the slot's heuristic: match L under the
+// heuristic weights, re-base the matching on L's true weights, and
+// evaluate the alignment objective. The caller offers the outcome to
+// its tracker (in batch order, after any parallel barrier).
+func (p *Problem) roundSlotRun(s *roundSlot, threads int) {
+	s.ok = false
+	s.lw.W = s.heur
+	s.match(&s.lw, threads, &s.res)
+	s.res.Rescore(p.L)
+	s.x = s.res.IndicatorInto(p.L, s.x)
+	s.obj = p.Objective(s.x, threads)
+	s.ok = true
+}

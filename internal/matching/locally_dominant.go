@@ -68,49 +68,75 @@ type LDStats struct {
 // claimed with compare-and-swap so concurrent discoveries of
 // overlapping pairs resolve safely.
 func LocallyDominant(g *bipartite.Graph, threads int, opts LocallyDominantOptions) *Result {
-	n := g.NA + g.NB // combined vertex space: V_A then V_B
-	st := &ldState{
-		g:         g,
-		mate:      make([]int32, n),
-		candidate: make([]int32, n),
-		queued:    make([]int32, n),
-		qCur:      make([]int32, 0, n),
-		qNext:     make([]int32, n),
+	return LocallyDominantInto(g, threads, opts, nil, nil)
+}
+
+// LocallyDominantScratch holds the reusable state of LocallyDominant
+// runs. Handing the same scratch to successive LocallyDominantInto
+// calls on graphs of stable size makes the matcher allocation-free
+// after the first call. A scratch serves one matcher call at a time:
+// it must not be shared between concurrent calls.
+type LocallyDominantScratch struct {
+	st ldState
+}
+
+// LocallyDominantInto is LocallyDominant with buffer reuse: scratch
+// provides the algorithm state (nil allocates fresh state) and the
+// matching is written into out (nil allocates a fresh Result). At one
+// thread the phases run as plain serial loops — no goroutines, no
+// closures — which is what makes the solvers' steady-state rounding
+// step allocation-free.
+func LocallyDominantInto(g *bipartite.Graph, threads int, opts LocallyDominantOptions, scratch *LocallyDominantScratch, out *Result) *Result {
+	if scratch == nil {
+		scratch = &LocallyDominantScratch{}
 	}
-	const unset = -2
-	for i := range st.mate {
-		st.mate[i] = -1
-		st.candidate[i] = unset
-	}
+	st := &scratch.st
+	st.prepare(g)
+	p := parallel.Threads(threads)
 	if opts.SortedAdjacency {
-		st.buildSortedAdjacency(threads)
+		st.buildSortedAdjacency(p)
+	} else {
+		st.sortedPtr = st.sortedPtr[:0]
 	}
+	n := g.NA + g.NB // combined vertex space: V_A then V_B
 	chunk := opts.Chunk
 	if chunk <= 0 {
 		chunk = parallel.DefaultChunk
 	}
 	// Small graphs: chunking at 1000 would serialize everything; let
 	// the scheduler split finer when there is little work per vertex.
-	if chunk > 1 && n/chunk < parallel.Threads(threads) {
-		chunk = n/(2*parallel.Threads(threads)) + 1
+	if chunk > 1 && n/chunk < p {
+		chunk = n/(2*p) + 1
 	}
 
 	// Phase 1.
-	if opts.OneSidedInit {
+	switch {
+	case opts.OneSidedInit && p == 1:
+		for a := 0; a < g.NA; a++ {
+			st.processVertex(int32(a))
+		}
+	case opts.OneSidedInit:
 		// Spawn only from V_A: compute a's candidate and test
 		// dominance by scanning the candidate's adjacency directly.
-		parallel.ForDynamic(g.NA, threads, chunk, func(lo, hi int) {
+		parallel.ForDynamic(g.NA, p, chunk, func(lo, hi int) {
 			for a := lo; a < hi; a++ {
 				st.processVertex(int32(a))
 			}
 		})
-	} else {
-		parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+	case p == 1:
+		for v := 0; v < n; v++ {
+			st.setCandidate(int32(v), st.findMate(int32(v)))
+		}
+		for v := 0; v < n; v++ {
+			st.processVertex(int32(v))
+		}
+	default:
+		parallel.ForDynamic(n, p, chunk, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				st.setCandidate(int32(v), st.findMate(int32(v)))
 			}
 		})
-		parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+		parallel.ForDynamic(n, p, chunk, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				st.processVertex(int32(v))
 			}
@@ -129,24 +155,24 @@ func LocallyDominant(g *bipartite.Graph, threads int, opts LocallyDominantOption
 		}
 		cur := st.qCur
 		st.qNextLen.Store(0)
-		parallel.ForDynamic(len(cur), threads, chunk, func(lo, hi int) {
-			for qi := lo; qi < hi; qi++ {
-				u := cur[qi]
-				st.forEachNeighbor(u, func(v int32) {
-					if atomic.LoadInt32(&st.mate[v]) != -1 {
-						return
-					}
-					c := atomic.LoadInt32(&st.candidate[v])
-					if c == u || c == unset {
-						st.processVertex(v)
-					}
-				})
+		if p == 1 {
+			for _, u := range cur {
+				st.processNeighbors(u)
 			}
-		})
+		} else {
+			parallel.ForDynamic(len(cur), p, chunk, func(lo, hi int) {
+				for qi := lo; qi < hi; qi++ {
+					st.processNeighbors(cur[qi])
+				}
+			})
+		}
 		st.promoteQueue()
 	}
 
-	r := emptyResult(g)
+	if out == nil {
+		out = &Result{}
+	}
+	out.Reset(g)
 	for a := 0; a < g.NA; a++ {
 		m := st.mate[a]
 		if m < 0 {
@@ -157,12 +183,39 @@ func LocallyDominant(g *bipartite.Graph, threads int, opts LocallyDominantOption
 		if !ok {
 			continue
 		}
-		r.MateA[a] = b
-		r.MateB[b] = a
-		r.Weight += g.W[e]
-		r.Card++
+		out.MateA[a] = b
+		out.MateB[b] = a
+		out.Weight += g.W[e]
+		out.Card++
 	}
-	return r
+	return out
+}
+
+// processNeighbors re-examines u's neighbors after u was matched: any
+// unmatched neighbor whose candidate was u (or is still unset) must
+// recompute its candidate and re-test dominance.
+func (st *ldState) processNeighbors(u int32) {
+	g := st.g
+	if int(u) < g.NA {
+		lo, hi := g.RowRange(int(u))
+		for e := lo; e < hi; e++ {
+			st.maybeReprocess(u, int32(g.NA+g.EdgeB[e]))
+		}
+		return
+	}
+	for _, e := range g.ColEdgesOf(int(u) - g.NA) {
+		st.maybeReprocess(u, int32(g.EdgeA[e]))
+	}
+}
+
+func (st *ldState) maybeReprocess(u, v int32) {
+	if atomic.LoadInt32(&st.mate[v]) != -1 {
+		return
+	}
+	c := atomic.LoadInt32(&st.candidate[v])
+	if c == u || c == ldUnset {
+		st.processVertex(v)
+	}
 }
 
 // NewLocallyDominantMatcher adapts LocallyDominant to the Matcher
@@ -200,12 +253,35 @@ type ldState struct {
 	sortedW   []float64
 }
 
+// prepare points the state at g and (re)initializes every array,
+// reusing capacity from previous runs.
+func (st *ldState) prepare(g *bipartite.Graph) {
+	n := g.NA + g.NB
+	st.g = g
+	st.mate = growInt32(st.mate, n)
+	st.candidate = growInt32(st.candidate, n)
+	st.queued = growInt32(st.queued, n)
+	st.qNext = growInt32(st.qNext, n)
+	if cap(st.qCur) < n {
+		st.qCur = make([]int32, 0, n)
+	} else {
+		st.qCur = st.qCur[:0]
+	}
+	for i := 0; i < n; i++ {
+		st.mate[i] = -1
+		st.candidate[i] = ldUnset
+		st.queued[i] = 0
+	}
+	st.qNextLen.Store(0)
+}
+
 // buildSortedAdjacency materializes the per-vertex sorted incidence
 // lists.
 func (st *ldState) buildSortedAdjacency(threads int) {
 	g := st.g
 	n := g.NA + g.NB
-	st.sortedPtr = make([]int, n+1)
+	st.sortedPtr = growInts(st.sortedPtr, n+1)
+	st.sortedPtr[0] = 0
 	for a := 0; a < g.NA; a++ {
 		st.sortedPtr[a+1] = st.sortedPtr[a] + g.DegreeA(a)
 	}
@@ -213,8 +289,8 @@ func (st *ldState) buildSortedAdjacency(threads int) {
 		st.sortedPtr[g.NA+b+1] = st.sortedPtr[g.NA+b] + g.DegreeB(b)
 	}
 	total := st.sortedPtr[n]
-	st.sortedNbr = make([]int32, total)
-	st.sortedW = make([]float64, total)
+	st.sortedNbr = growInt32(st.sortedNbr, total)
+	st.sortedW = growFloats(st.sortedW, total)
 	parallel.ForDynamic(n, threads, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			base := st.sortedPtr[v]
@@ -250,40 +326,11 @@ func (st *ldState) buildSortedAdjacency(threads int) {
 
 const ldUnset = int32(-2)
 
-// forEachNeighbor visits the combined-space neighbor ids of vertex v
-// without materializing a slice. For a V_A vertex these come from the
-// row view; for a V_B vertex from the column view.
-func (st *ldState) forEachNeighbor(v int32, fn func(int32)) {
-	g := st.g
-	if int(v) < g.NA {
-		lo, hi := g.RowRange(int(v))
-		for e := lo; e < hi; e++ {
-			fn(int32(g.NA + g.EdgeB[e]))
-		}
-		return
-	}
-	for _, e := range g.ColEdgesOf(int(v) - g.NA) {
-		fn(int32(g.EdgeA[e]))
-	}
-}
-
-// edgeWeightTo returns the weight of the edge between combined-space
-// vertices v and t, assuming it exists.
-func (st *ldState) edgeWeightTo(v, t int32) float64 {
-	g := st.g
-	a, b := int(v), int(t)-g.NA
-	if a >= g.NA {
-		a, b = int(t), int(v)-g.NA
-	}
-	e, _ := g.Find(a, b)
-	return g.W[e]
-}
-
 // findMate scans the neighborhood of s for its heaviest unmatched
 // neighbor with positive weight (Algorithm 2). Ties are broken by the
 // larger vertex id so all threads agree on dominance.
 func (st *ldState) findMate(s int32) int32 {
-	if st.sortedPtr != nil {
+	if len(st.sortedPtr) > 0 {
 		// Sorted incidence: the first unmatched entry is the answer.
 		for k := st.sortedPtr[s]; k < st.sortedPtr[s+1]; k++ {
 			if st.sortedW[k] <= 0 {

@@ -25,24 +25,52 @@ import (
 // the number of successful proposals is bounded and the algorithm
 // terminates.
 func Suitor(g *bipartite.Graph, threads int) *Result {
-	st := &suitorState{
-		g:      g,
-		suitor: make([]int32, g.NB),
-		offerW: make([]uint64, g.NB),
-		lock:   make([]int32, g.NB),
+	return SuitorInto(g, threads, nil, nil)
+}
+
+// SuitorScratch holds the reusable state of Suitor runs, making
+// successive SuitorInto calls on graphs of stable size allocation-free.
+// A scratch serves one matcher call at a time.
+type SuitorScratch struct {
+	st suitorState
+}
+
+// SuitorInto is Suitor with buffer reuse: scratch provides the
+// algorithm state (nil allocates fresh state) and the matching is
+// written into out (nil allocates a fresh Result). At one thread the
+// proposal loop runs serially with no goroutines or closures.
+func SuitorInto(g *bipartite.Graph, threads int, scratch *SuitorScratch, out *Result) *Result {
+	if scratch == nil {
+		scratch = &SuitorScratch{}
 	}
+	st := &scratch.st
+	st.g = g
+	st.suitor = growInt32(st.suitor, g.NB)
+	st.offerW = growUint64(st.offerW, g.NB)
+	st.lock = growInt32(st.lock, g.NB)
 	for i := range st.suitor {
 		st.suitor[i] = -1
+		st.offerW[i] = 0
+		st.lock[i] = 0
 	}
-	threads = parallel.Threads(threads)
-	chunk := g.NA/(4*threads) + 1
-	parallel.ForDynamic(g.NA, threads, chunk, func(lo, hi int) {
-		for a := lo; a < hi; a++ {
+	p := parallel.Threads(threads)
+	if p == 1 {
+		for a := 0; a < g.NA; a++ {
 			st.propose(int32(a))
 		}
-	})
+	} else {
+		chunk := g.NA/(4*p) + 1
+		parallel.ForDynamic(g.NA, p, chunk, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				st.propose(int32(a))
+			}
+		})
+	}
 
-	r := emptyResult(g)
+	if out == nil {
+		out = &Result{}
+	}
+	out.Reset(g)
 	for b := 0; b < g.NB; b++ {
 		a := st.suitor[b]
 		if a < 0 {
@@ -51,13 +79,13 @@ func Suitor(g *bipartite.Graph, threads int) *Result {
 		// Each V_A vertex stands as suitor of at most one V_B vertex,
 		// so reading suitor[b] directly yields a matching.
 		if e, ok := g.Find(int(a), b); ok {
-			r.MateA[a] = b
-			r.MateB[b] = int(a)
-			r.Weight += g.W[e]
-			r.Card++
+			out.MateA[a] = b
+			out.MateB[b] = int(a)
+			out.Weight += g.W[e]
+			out.Card++
 		}
 	}
-	return r
+	return out
 }
 
 type suitorState struct {

@@ -127,6 +127,10 @@ func ForDynamic(n, p, chunk int, body func(lo, hi int)) {
 	if p > maxWorkers {
 		p = maxWorkers
 	}
+	// step is assigned exactly once so the goroutines capture it by
+	// value; capturing the reassigned parameter directly would move it
+	// to the heap and cost an allocation even on the serial fast path.
+	step := chunk
 	var pb panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -136,11 +140,11 @@ func ForDynamic(n, p, chunk int, body func(lo, hi int)) {
 			defer wg.Done()
 			defer pb.capture()
 			for {
-				lo := int(next.Add(int64(chunk))) - chunk
+				lo := int(next.Add(int64(step))) - step
 				if lo >= n {
 					return
 				}
-				hi := lo + chunk
+				hi := lo + step
 				if hi > n {
 					hi = n
 				}
@@ -175,6 +179,7 @@ func ForDynamicWorker(n, p, chunk int, body func(worker, lo, hi int)) (workers i
 	if p > maxWorkers {
 		p = maxWorkers
 	}
+	step := chunk // single assignment: captured by value, keeps chunk off the heap
 	var pb panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -184,11 +189,11 @@ func ForDynamicWorker(n, p, chunk int, body func(worker, lo, hi int)) (workers i
 			defer wg.Done()
 			defer pb.capture()
 			for {
-				lo := int(next.Add(int64(chunk))) - chunk
+				lo := int(next.Add(int64(step))) - step
 				if lo >= n {
 					return
 				}
-				hi := lo + chunk
+				hi := lo + step
 				if hi > n {
 					hi = n
 				}
@@ -440,6 +445,7 @@ func ForDynamicCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) 
 	if p > maxWorkers {
 		p = maxWorkers
 	}
+	step := chunk // single assignment: captured by value, keeps chunk off the heap
 	done := ctx.Done()
 	var pb panicBox
 	var next atomic.Int64
@@ -455,11 +461,11 @@ func ForDynamicCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) 
 					return
 				default:
 				}
-				lo := int(next.Add(int64(chunk))) - chunk
+				lo := int(next.Add(int64(step))) - step
 				if lo >= n {
 					return
 				}
-				hi := lo + chunk
+				hi := lo + step
 				if hi > n {
 					hi = n
 				}

@@ -21,15 +21,20 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// NewServer builds the HTTP API for a manager.
+// NewServer builds the HTTP API for a manager. The job routes live
+// under /v1/; the unversioned paths are served directly by the same
+// handlers (not redirects, so POST bodies and SSE streams work
+// unchanged through either prefix).
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	for _, prefix := range []string{"/v1", ""} {
+		s.mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
+		s.mux.HandleFunc("GET "+prefix+"/jobs", s.handleList)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleStatus)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.handleResult)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/events", s.handleEvents)
+		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -55,13 +60,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// errorDetail is the payload of the JSON error envelope: a stable
+// machine-readable code plus a human-readable message.
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// errorBody is the JSON error envelope: {"error": {"code", "message"}}.
+// Every non-2xx response from the job API uses this shape.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+// Error codes used by the job API.
+const (
+	errBadRequest  = "bad_request"
+	errNotFound    = "not_found"
+	errNotReady    = "not_ready"
+	errQueueFull   = "queue_full"
+	errDraining    = "draining"
+	errInternal    = "internal"
+	errUnsupported = "unsupported"
+)
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -70,20 +94,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		writeError(w, http.StatusBadRequest, errBadRequest, "decode job spec: %v", err)
 		return
 	}
 	j, err := s.mgr.Submit(spec)
 	switch {
 	case errors.Is(err, ErrBadSpec):
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, http.StatusTooManyRequests, errQueueFull, "%v", err)
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, http.StatusServiceUnavailable, errDraining, "%v", err)
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 	default:
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Status())
@@ -97,7 +121,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -106,24 +130,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
 		return
 	}
 	st := j.Status()
 	if !st.State.Terminal() {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.ID, st.State)
+		writeError(w, http.StatusConflict, errNotReady, "job %s is %s; result not ready", j.ID, st.State)
 		return
 	}
 	data, err := s.mgr.Result(j.ID)
 	if errors.Is(err, fs.ErrNotExist) {
 		// Terminal without a result: failed before producing one (or
 		// cancelled while still queued).
-		writeError(w, http.StatusNotFound, "job %s is %s with no result: %s", j.ID, st.State, st.Error)
+		writeError(w, http.StatusNotFound, errNotFound, "job %s is %s with no result: %s", j.ID, st.State, st.Error)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -134,11 +158,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Cancel(r.PathValue("id"))
 	if errors.Is(err, ErrNotFound) {
-		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -156,12 +180,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, http.StatusInternalServerError, errUnsupported, "streaming unsupported")
 		return
 	}
 	// Subscribe before snapshotting the state so no transition between

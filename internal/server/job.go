@@ -26,6 +26,7 @@ import (
 
 	"netalignmc/internal/cli"
 	"netalignmc/internal/core"
+	"netalignmc/internal/matching"
 	"netalignmc/internal/problemio"
 )
 
@@ -97,8 +98,16 @@ type Spec struct {
 	Gamma float64 `json:"gamma,omitempty"`
 	// MStep is MR's stall window before halving the step.
 	MStep int `json:"mstep,omitempty"`
-	// Approx rounds with the parallel half-approximate matcher.
+	// Approx rounds with the parallel half-approximate matcher. Kept
+	// for compatibility; Matcher supersedes it when non-empty.
 	Approx bool `json:"approx,omitempty"`
+	// Matcher selects the rounding matcher as a spec string (see
+	// matching.ParseMatcherSpec): "exact", "approx", "suitor",
+	// "locally-dominant(sorted=true)", ... Empty falls back to Approx.
+	Matcher string `json:"matcher,omitempty"`
+	// Fused enables BP's fused othermax+damping kernels (bit-identical
+	// iterates, fewer passes over S).
+	Fused bool `json:"fused,omitempty"`
 	// Threads bounds one solve's parallelism (0 = server default).
 	Threads int `json:"threads,omitempty"`
 	// TimeoutSec bounds the solve's wall time (0 = unbounded); expiry
@@ -153,6 +162,9 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("unknown format %q (want smat or mtx)", s.Format)
 	}
+	if _, err := matching.ParseMatcherSpec(s.matcherText()); err != nil {
+		return err
+	}
 	sources := 0
 	if s.Problem != "" {
 		sources++
@@ -178,6 +190,18 @@ func (s *Spec) methodName() string {
 		return "bp"
 	}
 	return s.Method
+}
+
+// matcherText returns the effective matcher spec string, folding the
+// legacy Approx flag in.
+func (s *Spec) matcherText() string {
+	if s.Matcher != "" {
+		return s.Matcher
+	}
+	if s.Approx {
+		return "approx"
+	}
+	return "exact"
 }
 
 // BuildProblem materializes the spec's problem source. threads bounds

@@ -487,29 +487,33 @@ func (m *Manager) run(j *Job) {
 	ckptFunc := func(c *core.Checkpoint) error {
 		return problemio.WriteCheckpointFile(ckptPath, c)
 	}
-	rounding := matching.Exact
-	if spec.Approx {
-		rounding = matching.Approx
+	mspec, err := matching.ParseMatcherSpec(spec.matcherText())
+	if err != nil {
+		// Unreachable for accepted jobs (Validate parses the same text
+		// at submit time), but a spool edited by hand can get here.
+		m.finish(j, StateFailed, nil, err.Error())
+		return
+	}
+	method := core.MethodBP
+	if spec.methodName() == "mr" {
+		method = core.MethodMR
 	}
 
-	var res *core.AlignResult
-	var runErr error
-	switch spec.methodName() {
-	case "mr":
-		res, runErr = p.MRAlignCtx(runCtx, core.MROptions{
-			Iterations: spec.Iterations, Gamma: spec.Gamma, MStep: spec.MStep,
-			Threads: threads, Rounding: rounding, Timer: m.timer,
-			Observer: reporter.MRObserver(),
-			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		})
-	default:
-		res, runErr = p.BPAlignCtx(runCtx, core.BPOptions{
+	res, runErr := p.Align(runCtx, core.Options{
+		Method: method,
+		BP: core.BPOptions{
 			Iterations: spec.Iterations, Gamma: spec.Gamma, Batch: spec.Batch,
-			Threads: threads, Rounding: rounding, Timer: m.timer,
+			Threads: threads, Matcher: mspec, FuseKernels: spec.Fused, Timer: m.timer,
 			Observer: reporter.BPObserver(),
 			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		})
-	}
+		},
+		MR: core.MROptions{
+			Iterations: spec.Iterations, Gamma: spec.Gamma, MStep: spec.MStep,
+			Threads: threads, Matcher: mspec, Timer: m.timer,
+			Observer: reporter.MRObserver(),
+			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+		},
+	})
 
 	j.mu.Lock()
 	userCancelled := j.cancelRequested

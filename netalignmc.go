@@ -83,6 +83,37 @@ func NewProblem(a, b *Graph, l *CandidateGraph, alpha, beta float64) (*Problem, 
 	return core.NewProblem(a, b, l, alpha, beta, 0)
 }
 
+// Method selects the alignment algorithm for Problem.Align.
+type Method = core.Method
+
+// Methods for Options.Method.
+const (
+	MethodBP = core.MethodBP
+	MethodMR = core.MethodMR
+)
+
+// Options configures Problem.Align, the unified context-first entry
+// point; the method-specific wrappers (BPAlign, KlauAlign, BPAlignCtx,
+// MRAlignCtx) are deprecated thin wrappers over it:
+//
+//	res, err := p.Align(ctx, netalignmc.Options{
+//		Method: netalignmc.MethodBP,
+//		BP: netalignmc.BPOptions{
+//			Iterations: 100,
+//			Matcher:    netalignmc.MatcherSpec{Name: "approx"},
+//		},
+//	})
+type Options = core.Options
+
+// Workspace is an arena of reusable solver buffers; pass one via
+// BPOptions/MROptions.Workspace to make steady-state iterations and
+// warm re-solves allocation-free. One workspace serves one solve at a
+// time.
+type Workspace = core.Workspace
+
+// NewWorkspace returns an empty workspace, sized on first use.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
 // MROptions configures Klau's matching relaxation; see the fields'
 // documentation in internal/core.
 type MROptions = core.MROptions
@@ -125,6 +156,24 @@ type Matching = matching.Result
 // Matcher computes a matching of a candidate graph; alignment methods
 // accept any Matcher for their rounding step.
 type Matcher = matching.Matcher
+
+// MatcherSpec declaratively selects and parameterizes a rounding
+// matcher ("exact", "approx", "suitor", "greedy", "locally-dominant",
+// "path-growing", "auction"); it marshals to/from text ("suitor",
+// "locally-dominant(sorted=true)", "auction(eps=0.01)"), so it travels
+// through flags, JSON job specs and config files. The zero value is
+// exact matching. Prefer it over raw Matcher funcs in BPOptions and
+// MROptions: the solvers build reusable (allocation-free) matcher
+// state from a spec, which they cannot do for an opaque func.
+type MatcherSpec = matching.MatcherSpec
+
+// ParseMatcherSpec parses a matcher spec string.
+func ParseMatcherSpec(text string) (MatcherSpec, error) {
+	return matching.ParseMatcherSpec(text)
+}
+
+// MatcherNames lists the recognized MatcherSpec names.
+func MatcherNames() []string { return matching.MatcherNames() }
 
 // LocallyDominantOptions configures the parallel approximate matcher.
 type LocallyDominantOptions = matching.LocallyDominantOptions
