@@ -112,6 +112,8 @@ type ScalingEntry struct {
 	Method  string  `json:"method"`
 	Threads int     `json:"threads"`
 	Speedup float64 `json:"speedup"` // ns(t=1) / ns(t)
+	// Efficiency is Speedup/Threads: 1.0 is perfect strong scaling.
+	Efficiency float64 `json:"efficiency"`
 }
 
 // Improvement compares a label against the "baseline" label for the
@@ -238,9 +240,11 @@ func (d *Doc) Derive() {
 	}
 	for _, r := range d.Runs {
 		if b, ok := base[key{r.Label, r.Config, r.Method}]; ok && r.Threads > 1 && r.NsPerIter > 0 {
+			sp := b.NsPerIter / r.NsPerIter
 			der.StrongScaling = append(der.StrongScaling, ScalingEntry{
 				Label: r.Label, Config: r.Config, Method: r.Method,
-				Threads: r.Threads, Speedup: b.NsPerIter / r.NsPerIter,
+				Threads: r.Threads, Speedup: sp,
+				Efficiency: sp / float64(r.Threads),
 			})
 		}
 	}

@@ -1,0 +1,127 @@
+package bench
+
+import "fmt"
+
+// GateOptions parameterizes Gate. The zero value is not usable; call
+// DefaultGateOptions for the CI defaults.
+type GateOptions struct {
+	// Label selects the runs in the candidate document.
+	Label string
+	// BaseLabel selects the runs in the baseline document.
+	BaseLabel string
+	// MaxNsRatio is the ceiling on candidate/baseline ns-per-iter at
+	// one thread (1.10 = "within 10%").
+	MaxNsRatio float64
+	// MinSpeedup is the target multi-thread speedup over the
+	// candidate's own 1-thread run. The enforced floor is
+	// hardware-aware: min(MinSpeedup, min(threads, host CPUs)/2), so a
+	// document recorded on a machine with fewer cores than the gated
+	// thread count is held to what that machine could plausibly
+	// deliver rather than an unreachable target.
+	MinSpeedup float64
+	// SpeedupThreads is the thread count the speedup gate inspects.
+	SpeedupThreads int
+	// SpeedupConfigs names the configurations the speedup gate
+	// applies to (the 1-thread ratio gate applies to every candidate
+	// run that has a baseline counterpart).
+	SpeedupConfigs []string
+}
+
+// DefaultGateOptions returns the CI gate parameters: 1-thread ns/iter
+// within 10% of the baseline document, and an 8-thread fig2-bp speedup
+// of at least 2x (scaled down on hosts with fewer than 4 CPUs).
+func DefaultGateOptions(label, baseLabel string) GateOptions {
+	return GateOptions{
+		Label:          label,
+		BaseLabel:      baseLabel,
+		MaxNsRatio:     1.10,
+		MinSpeedup:     2.0,
+		SpeedupThreads: 8,
+		SpeedupConfigs: []string{"fig2-bp"},
+	}
+}
+
+// requiredSpeedup is the hardware-aware speedup floor for a document
+// recorded on a host with the given CPU count.
+func requiredSpeedup(minSpeedup float64, threads, cpus int) float64 {
+	avail := threads
+	if cpus < avail {
+		avail = cpus
+	}
+	if floor := float64(avail) / 2; floor < minSpeedup {
+		return floor
+	}
+	return minSpeedup
+}
+
+// Gate checks the candidate document against the baseline document and
+// returns a human-readable report line per check. It fails (non-nil
+// error) when any 1-thread run regresses past MaxNsRatio of its
+// baseline counterpart, or when a gated configuration's speedup at
+// SpeedupThreads falls below the hardware-aware floor. Both documents
+// are committed artifacts, so the gate is deterministic: it judges the
+// recorded measurements, not a fresh (noisy) run on the CI machine.
+func Gate(doc, base *Doc, o GateOptions) ([]string, error) {
+	var report []string
+	failures := 0
+	checks := 0
+	for _, r := range doc.Runs {
+		if r.Label != o.Label || r.Threads != 1 {
+			continue
+		}
+		b, ok := base.Find(o.BaseLabel, r.Config, r.Method, 1)
+		if !ok || b.NsPerIter <= 0 {
+			continue
+		}
+		checks++
+		ratio := r.NsPerIter / b.NsPerIter
+		status := "ok"
+		if ratio > o.MaxNsRatio {
+			status = "REGRESSION"
+			failures++
+		}
+		report = append(report, fmt.Sprintf(
+			"gate ns %-16s t=1: %.0f vs %s %.0f ns/iter (ratio %.3f, limit %.2f) %s",
+			r.Config, r.NsPerIter, o.BaseLabel, b.NsPerIter, ratio, o.MaxNsRatio, status))
+	}
+	for _, cfg := range o.SpeedupConfigs {
+		one, okOne := findAnyMethod(doc, o.Label, cfg, 1)
+		many, okMany := findAnyMethod(doc, o.Label, cfg, o.SpeedupThreads)
+		if !okOne || !okMany || one.NsPerIter <= 0 || many.NsPerIter <= 0 {
+			failures++
+			report = append(report, fmt.Sprintf(
+				"gate speedup %-9s: missing %q runs at t=1 and t=%d MISSING",
+				cfg, o.Label, o.SpeedupThreads))
+			continue
+		}
+		checks++
+		speedup := one.NsPerIter / many.NsPerIter
+		need := requiredSpeedup(o.MinSpeedup, o.SpeedupThreads, doc.Host.CPUs)
+		status := "ok"
+		if speedup < need {
+			status = "REGRESSION"
+			failures++
+		}
+		report = append(report, fmt.Sprintf(
+			"gate speedup %-9s t=%d: %.2fx (need %.2fx on %d-cpu host) %s",
+			cfg, o.SpeedupThreads, speedup, need, doc.Host.CPUs, status))
+	}
+	if checks == 0 {
+		return report, fmt.Errorf("bench: gate matched no runs labeled %q against %q", o.Label, o.BaseLabel)
+	}
+	if failures > 0 {
+		return report, fmt.Errorf("bench: %d gate check(s) failed", failures)
+	}
+	return report, nil
+}
+
+// findAnyMethod is Find without pinning the method: each named config
+// has exactly one method, so the config name is already unambiguous.
+func findAnyMethod(d *Doc, label, config string, threads int) (Run, bool) {
+	for _, r := range d.Runs {
+		if r.Label == label && r.Config == config && r.Threads == threads {
+			return r, true
+		}
+	}
+	return Run{}, false
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func docWith(cpus int, runs ...Run) *Doc {
+	d := NewDoc()
+	d.Host.CPUs = cpus
+	d.Runs = runs
+	return d
+}
+
+func run(label, config, method string, threads int, ns float64) Run {
+	return Run{Label: label, Config: config, Method: method, Threads: threads, NsPerIter: ns}
+}
+
+func TestGatePasses(t *testing.T) {
+	base := docWith(8, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(8,
+		run("pr4", "fig2-bp", "bp", 1, 1050),
+		run("pr4", "fig2-bp", "bp", 8, 300),
+	)
+	report, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3"))
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, strings.Join(report, "\n"))
+	}
+	if len(report) != 2 {
+		t.Fatalf("want 2 report lines, got %d: %v", len(report), report)
+	}
+}
+
+func TestGateNsRegression(t *testing.T) {
+	base := docWith(8, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(8,
+		run("pr4", "fig2-bp", "bp", 1, 1200), // 20% slower: over the 10% limit
+		run("pr4", "fig2-bp", "bp", 8, 300),
+	)
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
+		t.Fatal("expected ns-ratio regression failure")
+	}
+}
+
+func TestGateSpeedupRegression(t *testing.T) {
+	base := docWith(8, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(8,
+		run("pr4", "fig2-bp", "bp", 1, 1000),
+		run("pr4", "fig2-bp", "bp", 8, 900), // 1.11x < 2x
+	)
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
+		t.Fatal("expected speedup regression failure")
+	}
+}
+
+func TestGateHardwareAwareFloor(t *testing.T) {
+	// On a 1-CPU host the 8-thread speedup floor drops to
+	// min(2.0, min(8,1)/2) = 0.5: no parallel speedup is achievable,
+	// but gross slowdowns (>2x) still fail.
+	base := docWith(1, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(1,
+		run("pr4", "fig2-bp", "bp", 1, 1000),
+		run("pr4", "fig2-bp", "bp", 8, 1500), // 0.67x >= 0.5 floor
+	)
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err != nil {
+		t.Fatalf("1-cpu host should pass the scaled floor: %v", err)
+	}
+	doc.Runs[1].NsPerIter = 2500 // 0.4x < 0.5 floor
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
+		t.Fatal("expected failure below the scaled floor")
+	}
+}
+
+func TestGateMissingRuns(t *testing.T) {
+	base := docWith(8, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(8, run("pr4", "fig2-bp", "bp", 1, 1000)) // no t=8 run
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
+		t.Fatal("expected failure on missing speedup runs")
+	}
+	empty := docWith(8)
+	if _, err := Gate(empty, base, GateOptions{Label: "pr4", BaseLabel: "pr3", MaxNsRatio: 1.1}); err == nil {
+		t.Fatal("expected failure when no runs match at all")
+	}
+}
+
+func TestRequiredSpeedup(t *testing.T) {
+	cases := []struct {
+		min          float64
+		threads, cpu int
+		want         float64
+	}{
+		{2.0, 8, 8, 2.0},
+		{2.0, 8, 4, 2.0},
+		{2.0, 8, 2, 1.0},
+		{2.0, 8, 1, 0.5},
+		{2.0, 2, 16, 1.0},
+	}
+	for _, c := range cases {
+		if got := requiredSpeedup(c.min, c.threads, c.cpu); got != c.want {
+			t.Errorf("requiredSpeedup(%g,%d,%d) = %g, want %g", c.min, c.threads, c.cpu, got, c.want)
+		}
+	}
+}
+
+func TestDeriveEfficiency(t *testing.T) {
+	d := docWith(8,
+		run("pr4", "fig2-bp", "bp", 1, 1000),
+		run("pr4", "fig2-bp", "bp", 4, 500),
+	)
+	d.Derive()
+	if d.Derived == nil || len(d.Derived.StrongScaling) != 1 {
+		t.Fatalf("derived scaling missing: %+v", d.Derived)
+	}
+	e := d.Derived.StrongScaling[0]
+	if e.Speedup != 2.0 || e.Efficiency != 0.5 {
+		t.Fatalf("scaling entry = %+v, want speedup 2 efficiency 0.5", e)
+	}
+}

@@ -240,10 +240,13 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	if o.JSON {
 		// Machine mode: out carries exactly one JSON document (the
 		// same encoding netalignd stores as result.json) and nothing
-		// else.
+		// else. The problem summary rides along so scripts can relate
+		// solver behaviour to the instance's nonzero skew.
+		doc := res.JSON()
+		doc.Problem = p.ProblemSummaryJSON()
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.JSON()); err != nil {
+		if err := enc.Encode(doc); err != nil {
 			return res, fmt.Errorf("cli: encoding result: %w", err)
 		}
 		if res.Stopped == core.StopNumerics {
@@ -313,9 +316,13 @@ func Verify(p *core.Problem, m *matching.Result, o VerifyOptions, out io.Writer)
 	return nil
 }
 
-// DescribeProblem writes the Table II-style one-line summary.
+// DescribeProblem writes the Table II-style one-line summary plus the
+// S row-nonzero skew (Section VI's imbalance observation, and the
+// quantity that decides how much nnz-balanced partitioning helps).
 func DescribeProblem(p *core.Problem, label string, out io.Writer) {
 	st := core.ProblemStats(label, p)
 	fmt.Fprintf(out, "problem: |V_A|=%d |V_B|=%d |E_L|=%d nnz(S)=%d alpha=%g beta=%g\n",
 		st.VA, st.VB, st.EL, st.NnzS, p.Alpha, p.Beta)
+	fmt.Fprintf(out, "S row nnz: max=%d mean=%.2f max/mean=%.2f gini=%.3f\n",
+		st.MaxSRow, st.MeanSRow, st.Imbalance, st.SRowGini)
 }

@@ -71,8 +71,21 @@ type BPOptions struct {
 	Chunk int
 	// Sched selects the scheduling policy for the S-indexed loops
 	// (default Dynamic, the paper's choice); the scaling studies vary
-	// it in place of the paper's NUMA memory-layout axis.
+	// it in place of the paper's NUMA memory-layout axis. Sched only
+	// applies under PartitionChunked: the default balanced partition
+	// replaces chunked scheduling entirely.
 	Sched parallel.Schedule
+	// Partition selects how the parallel loops split their index
+	// spaces: PartitionBalanced (default) precomputes contiguous
+	// per-worker ranges of near-equal nonzero count once per problem;
+	// PartitionChunked restores the legacy chunked schedules. The
+	// iterates and the result are bit-identical either way.
+	Partition Partition
+	// NoPool disables the per-run persistent worker pool, making every
+	// parallel region spawn goroutines as earlier versions did. Output
+	// is identical; the option exists for the scheduling studies and
+	// as an escape hatch.
+	NoPool bool
 	// Rounding is the matcher used to round iterates; nil selects
 	// exact matching, matching.Approx gives the paper's substitution.
 	// Unlike MR, BP's iterate sequence is independent of this choice —
@@ -234,6 +247,11 @@ func (p *Problem) bpAlign(ctx context.Context, o BPOptions) (*AlignResult, error
 		res.Err = err
 		return res, err
 	}
+	// The run's parallel-region dispatcher: a persistent worker pool
+	// (created once, parked between regions) plus the per-problem
+	// nnz-balanced partitions cached in the workspace.
+	e := newExec(p, ws, threads, chunk, sched, opts.Partition, opts.NoPool)
+	defer e.close()
 
 	y, z := ws.y, ws.z
 	yPrev, zPrev := ws.yPrev, ws.zPrev
@@ -363,41 +381,46 @@ func (p *Problem) bpAlign(ctx context.Context, o BPOptions) (*AlignResult, error
 			sk[k] = g*t + (1-g)*skPrev[k]
 		}
 	}
+	// The othermax scans read yPrev/zPrev through capture so the
+	// post-damping swaps stay visible; dispatched over L's vertex sets
+	// with the degree-balanced partitions.
+	omRowsBody := func(lo, hi int) { othermaxRowsRange(om, yPrev, p.L, lo, hi) }
+	omColsBody := func(lo, hi int) { othermaxColsRange(om2, zPrev, p.L, lo, hi) }
 	omTasks := []func(int){
 		func(t int) { othermaxColsInto(om2, zPrev, p.L, t, chunk) },
 		func(t int) { othermaxRowsInto(om, yPrev, p.L, t, chunk) },
 	}
 	othermaxScan := func() {
 		if opts.TaskParallelOthermax {
-			parallel.Tasks(threads, omTasks)
-		} else {
-			othermaxColsInto(om2, zPrev, p.L, threads, chunk)
-			othermaxRowsInto(om, yPrev, p.L, threads, chunk)
+			e.runTasks(omTasks)
+			return
 		}
+		e.forLCols(p.L.NB, omColsBody)
+		e.forLRows(p.L.NA, omRowsBody)
 	}
-	step1 := func() { sched.ForCtx(ctx, nnz, threads, chunk, boundF) }
-	step2 := func() { sched.ForCtx(ctx, mEL, threads, chunk, computeD) }
+	step1 := func() { e.forNNZ(ctx, nnz, boundF) }
+	step2 := func() { e.forSRows(ctx, mEL, computeD) }
 	step3 := func() {
 		othermaxScan()
-		parallel.ForStatic(mEL, threads, othermaxEdges)
+		e.forEdges(mEL, othermaxEdges)
 	}
-	step4 := func() { sched.ForCtx(ctx, nnz, threads, chunk, updateS) }
+	step4 := func() { e.forNNZ(ctx, nnz, updateS) }
 	step5 := func() {
-		parallel.ForStatic(mEL, threads, dampEdges)
-		sched.ForCtx(ctx, nnz, threads, chunk, dampS)
+		e.forEdges(mEL, dampEdges)
+		e.forNNZ(ctx, nnz, dampS)
 	}
 	step3Fused := func() {
 		othermaxScan()
-		parallel.ForStatic(mEL, threads, fusedEdges)
+		e.forEdges(mEL, fusedEdges)
 	}
-	step4Fused := func() { sched.ForCtx(ctx, nnz, threads, chunk, fusedS) }
+	step4Fused := func() { e.forNNZ(ctx, nnz, fusedS) }
 
 	// Pending rounding slots (the batch) and their parallel tasks.
 	pendLen := 0
 	var numericEvents atomic.Int64
 	slotTasks := make([]func(int), opts.Batch+1)
 	for i := range slotTasks {
-		s := &ws.slots[i]
+		s := ws.slots[i]
 		slotTasks[i] = func(taskThreads int) {
 			s.ok = false
 			// A corrupted (non-finite) heuristic copy is a numeric
@@ -414,7 +437,7 @@ func (p *Problem) bpAlign(ctx context.Context, o BPOptions) (*AlignResult, error
 	flushBody := func() {
 		if serial {
 			for i := 0; i < pendLen; i++ {
-				s := &ws.slots[i]
+				s := ws.slots[i]
 				if !finiteVector(s.heur) {
 					numericEvents.Add(1)
 					continue
@@ -431,9 +454,9 @@ func (p *Problem) bpAlign(ctx context.Context, o BPOptions) (*AlignResult, error
 		// after the barrier: task scheduling must not decide objective
 		// ties, or the selected matching (and a checkpointed resume)
 		// would vary run to run.
-		parallel.TasksCtx(ctx, threads, slotTasks[:pendLen])
+		e.runTasksCtx(ctx, slotTasks[:pendLen])
 		for i := 0; i < pendLen; i++ {
-			s := &ws.slots[i]
+			s := ws.slots[i]
 			if s.ok {
 				tr.Offer(s.iter, s.obj, &s.res, s.heur)
 			}
@@ -541,12 +564,12 @@ loop:
 
 		// Step 6: copy the damped y and z iterates into the next two
 		// batch slots; flush when the batch is full.
-		sy := &ws.slots[pendLen]
+		sy := ws.slots[pendLen]
 		sy.iter = iter
 		sy.heur = growFloat64(sy.heur, mEL)
 		copy(sy.heur, yPrev)
 		pendLen++
-		sz := &ws.slots[pendLen]
+		sz := ws.slots[pendLen]
 		sz.iter = iter
 		sz.heur = growFloat64(sz.heur, mEL)
 		copy(sz.heur, zPrev)

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"netalignmc/internal/stats"
+)
 
 // MarshalText encodes the stop reason as its String form, so JSON
 // documents carry "cancelled"/"deadline"/... instead of opaque ints.
@@ -47,6 +51,31 @@ type ResultJSON struct {
 	NumericFailures int        `json:"numericFailures,omitempty"`
 	Error           string     `json:"error,omitempty"`
 	MateA           []int      `json:"mateA"`
+	// Problem, when present, summarizes the instance the result was
+	// computed on, including the S row-nonzero skew that motivates the
+	// nnz-balanced partitioning (filled by `netalign -json`).
+	Problem *ProblemJSON `json:"problem,omitempty"`
+}
+
+// ProblemJSON is the machine-readable problem summary attached to
+// ResultJSON documents.
+type ProblemJSON struct {
+	VA       int        `json:"va"`
+	VB       int        `json:"vb"`
+	EL       int        `json:"el"`
+	NnzS     int        `json:"nnzS"`
+	SRowSkew stats.Skew `json:"sRowSkew"`
+}
+
+// ProblemSummaryJSON builds the serializable problem summary.
+func (p *Problem) ProblemSummaryJSON() *ProblemJSON {
+	return &ProblemJSON{
+		VA:       p.A.NumVertices(),
+		VB:       p.B.NumVertices(),
+		EL:       p.L.NumEdges(),
+		NnzS:     p.NNZS(),
+		SRowSkew: stats.SkewOfPtr(p.S.Ptr),
+	}
 }
 
 // JSON builds the serializable view of the result. The mate array is

@@ -40,8 +40,21 @@ type MROptions struct {
 	// Sched selects the scheduling policy for the S-indexed loops
 	// (default Dynamic, the paper's choice). The scheduling-policy
 	// axis substitutes for the paper's NUMA memory-layout axis in the
-	// scaling studies; see DESIGN.md §4.
+	// scaling studies; see DESIGN.md §4. Sched only applies under
+	// PartitionChunked: the default balanced partition replaces
+	// chunked scheduling entirely.
 	Sched parallel.Schedule
+	// Partition selects how the parallel loops split their index
+	// spaces: PartitionBalanced (default) precomputes contiguous
+	// per-worker ranges of near-equal nonzero count once per problem;
+	// PartitionChunked restores the legacy chunked schedules. The
+	// iterates and the result are bit-identical either way.
+	Partition Partition
+	// NoPool disables the per-run persistent worker pool, making every
+	// parallel region spawn goroutines as earlier versions did. Output
+	// is identical; the option exists for the scheduling studies and
+	// as an escape hatch.
+	NoPool bool
 	// Rounding is the bipartite matcher used in Step 3. nil selects
 	// exact matching; pass matching.Approx for the paper's
 	// substitution. Step 1's per-row matchings are always exact ("we
@@ -271,7 +284,12 @@ func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error
 		res.Err = err
 		return res, err
 	}
-	mrS := &ws.slots[0]
+	mrS := ws.slots[0]
+	// The run's parallel-region dispatcher: a persistent worker pool
+	// plus the per-problem nnz-balanced partitions cached in the
+	// workspace.
+	e := newExec(p, ws, threads, chunk, sched, opts.Partition, opts.NoPool)
+	defer e.close()
 
 	u := ws.u       // Lagrange multipliers (upper triangle only)
 	rowW := ws.rowW // β/2·S + U − Uᵀ values
@@ -330,8 +348,11 @@ func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error
 	// Per-worker row-matching scratch, preallocated outside the
 	// iteration (§IV-B: "We precompute the maximum memory required for
 	// p threads to run matching problems on the rows of S and
-	// preallocate this memory outside of the iteration").
-	nWorkers := parallel.Threads(threads)
+	// preallocate this memory outside of the iteration"). Sized by the
+	// dispatcher's worker-id bound — not Threads, which overestimates
+	// when S has fewer chunks than threads (the scratch-sizing
+	// contract; see exec.rowWorkers).
+	nWorkers := e.rowWorkers(p.S.NumRows)
 	rowMatchers := make([]*matching.SubsetMatcher, nWorkers)
 	rowSelected := make([][]int, nWorkers)
 	for i := range rowMatchers {
@@ -419,10 +440,10 @@ func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error
 		}
 	}
 	step1 := func() {
-		sched.ForCtx(ctx, nnz, threads, chunk, rowWKernel)
-		parallel.ForDynamicWorker(p.S.NumRows, threads, chunk, rowMatchKernel)
+		e.forNNZ(ctx, nnz, rowWKernel)
+		e.forSRowsWorker(p.S.NumRows, rowMatchKernel)
 	}
-	step2 := func() { parallel.ForStatic(mEL, threads, daxpyKernel) }
+	step2 := func() { e.forEdges(mEL, daxpyKernel) }
 	// Step 3: match w̄ on L's structure with the slot's reusable
 	// matcher, then re-base the matching on L's true weights.
 	step3 := func() {
@@ -433,7 +454,7 @@ func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error
 	step4 := func() {
 		x = mrS.res.IndicatorInto(p.L, mrS.x)
 		mrS.x = x
-		obj = p.Objective(x, threads)
+		obj = p.slotObjective(mrS, threads)
 		tr.Offer(iter, obj, &mrS.res, wbar)
 		upper = parallel.SumFloat64(mEL, threads, upperKernel)
 		if opts.Trace {
@@ -454,7 +475,7 @@ func (p *Problem) mrAlign(ctx context.Context, o MROptions) (*AlignResult, error
 			}
 		}
 	}
-	step5 := func() { sched.ForCtx(ctx, nnz, threads, chunk, updateUKernel) }
+	step5 := func() { e.forNNZ(ctx, nnz, updateUKernel) }
 
 	iter = startIter
 	for iter <= opts.Iterations {

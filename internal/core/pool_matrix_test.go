@@ -1,0 +1,82 @@
+package core_test
+
+// Matrix test for the scheduling overhaul: the worker pool and the
+// nnz-balanced partitions are pure dispatch rewires, so for a fixed
+// thread count the solver output must be bitwise identical across
+// {pool on, pool off} x {balanced, chunked} — objective AND the
+// alignment itself. Across thread counts only float reduction order
+// can differ, so objectives are compared there to 1e-9.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/matching"
+)
+
+func TestPoolPartitionMatrixBP(t *testing.T) {
+	p := smallSynthetic(t, 107)
+	poolPartitionMatrix(t, p, func(threads int, part core.Partition, noPool bool) *core.AlignResult {
+		return p.BPAlign(core.BPOptions{
+			Iterations: 10, Threads: threads, Chunk: 16,
+			Partition: part, NoPool: noPool,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+		})
+	})
+}
+
+func TestPoolPartitionMatrixMR(t *testing.T) {
+	p := smallSynthetic(t, 109)
+	poolPartitionMatrix(t, p, func(threads int, part core.Partition, noPool bool) *core.AlignResult {
+		return p.KlauAlign(core.MROptions{
+			Iterations: 10, Threads: threads, Chunk: 16,
+			Partition: part, NoPool: noPool,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+		})
+	})
+}
+
+func poolPartitionMatrix(t *testing.T, p *core.Problem, solve func(threads int, part core.Partition, noPool bool) *core.AlignResult) {
+	t.Helper()
+	var crossThreadRef float64
+	for _, threads := range []int{1, 2, 4, 8} {
+		var refObj uint64
+		var refMate []int
+		var refName string
+		for _, noPool := range []bool{false, true} {
+			for _, part := range []core.Partition{core.PartitionBalanced, core.PartitionChunked} {
+				name := fmt.Sprintf("threads=%d/noPool=%v/partition=%v", threads, noPool, part)
+				r := solve(threads, part, noPool)
+				if err := r.Matching.Validate(p.L); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if refMate == nil {
+					refObj = math.Float64bits(r.Objective)
+					refMate = r.Matching.MateA
+					refName = name
+					continue
+				}
+				if math.Float64bits(r.Objective) != refObj {
+					t.Fatalf("%s: objective %v not bitwise equal to %s's %v (pool/partition must not change results)",
+						name, r.Objective, refName, math.Float64frombits(refObj))
+				}
+				if len(r.Matching.MateA) != len(refMate) {
+					t.Fatalf("%s: mate length %d != %d", name, len(r.Matching.MateA), len(refMate))
+				}
+				for i := range refMate {
+					if r.Matching.MateA[i] != refMate[i] {
+						t.Fatalf("%s: mateA[%d] = %d, %s has %d", name, i, r.Matching.MateA[i], refName, refMate[i])
+					}
+				}
+			}
+		}
+		obj := math.Float64frombits(refObj)
+		if threads == 1 {
+			crossThreadRef = obj
+		} else if math.Abs(obj-crossThreadRef) > 1e-9 {
+			t.Fatalf("threads=%d: objective %g deviates from 1-thread %g", threads, obj, crossThreadRef)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"netalignmc/internal/matching"
 	"netalignmc/internal/parallel"
 	"netalignmc/internal/sparse"
+	"netalignmc/internal/stats"
 )
 
 // Problem is a network alignment instance: undirected graphs A and B,
@@ -70,7 +71,14 @@ func NewProblem(a, b *graph.Graph, l *bipartite.Graph, alpha, beta float64, thre
 func (p *Problem) buildS(threads int) error {
 	m := p.L.NumEdges()
 	rows := make([][]int32, m)
-	nWorkers := parallel.Threads(threads)
+	// Worker ids from ForDynamicWorker are in [0, PlannedWorkers), not
+	// [0, Threads): sizing by the planned count is the scratch-sizing
+	// contract (Threads overestimates when m is small relative to the
+	// chunk, allocating mark arrays no worker ever touches).
+	nWorkers := parallel.PlannedWorkers(m, threads, 256)
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
 	type markSet struct {
 		stamp []int64
 		epoch int64
@@ -232,6 +240,10 @@ type Stats struct {
 	MaxSRow   int
 	MeanSRow  float64
 	Imbalance float64
+	// SRowGini is the Gini coefficient of S's row nonzero counts
+	// (0 = perfectly uniform, → 1 = all nonzeros in one row): the
+	// skew summary that motivates the nnz-balanced partitioning.
+	SRowGini float64
 }
 
 // ProblemStats collects Table II statistics for a named problem.
@@ -263,6 +275,7 @@ func ProblemStats(name string, p *Problem) Stats {
 	if st.MeanSRow > 0 {
 		st.Imbalance = float64(st.MaxSRow) / st.MeanSRow
 	}
+	st.SRowGini = stats.SkewOfPtr(p.S.Ptr).Gini
 	return st
 }
 

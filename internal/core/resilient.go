@@ -222,6 +222,13 @@ type numericGuard struct {
 	failures    int
 	consecutive int
 	disabled    bool
+
+	// vec/fold implement the multi-thread scan without per-call
+	// closures: fold is created once per guard and reads whichever
+	// vector ok has bound to vec, keeping the per-iteration guard scan
+	// off the allocation budget.
+	vec  []float64
+	fold func(lo, hi int) float64
 }
 
 // newNumericGuard builds a guard from the options' limit field:
@@ -233,6 +240,9 @@ func newNumericGuard(limit float64) *numericGuard {
 	} else if limit < 0 {
 		g.disabled = true
 	}
+	g.fold = func(lo, hi int) float64 {
+		return maxAbsOrInfRange(g.vec, lo, hi)
+	}
 	return g
 }
 
@@ -241,8 +251,19 @@ func (g *numericGuard) ok(threads int, vecs ...[]float64) bool {
 	if g.disabled {
 		return true
 	}
+	if parallel.Threads(threads) == 1 {
+		for _, v := range vecs {
+			if maxAbsOrInfRange(v, 0, len(v)) > g.limit {
+				return false
+			}
+		}
+		return true
+	}
 	for _, v := range vecs {
-		if maxAbsOrInf(v, threads) > g.limit {
+		g.vec = v
+		m := parallel.ReduceFloat64(len(v), threads, g.fold, math.Max, 0)
+		g.vec = nil
+		if m > g.limit {
 			return false
 		}
 	}

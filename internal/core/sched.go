@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+
+	"netalignmc/internal/parallel"
+)
+
+// Partition selects how the solvers split their parallel index spaces
+// across workers.
+type Partition int
+
+const (
+	// PartitionBalanced (the default) derives contiguous per-worker
+	// ranges of near-equal cumulative nonzero count once per problem
+	// (see parallel.BalancedOffsets) and reuses them every iteration.
+	// The paper's S-indexed loops are the motivating case: "the
+	// non-zero distribution in S is highly irregular and imbalanced",
+	// so equal index ranges leave one worker with the heavy rows while
+	// chunked dynamic scheduling pays an atomic fetch-and-add per
+	// chunk. A cost-balanced static partition gets the even split
+	// without the shared counter.
+	PartitionBalanced Partition = iota
+	// PartitionChunked restores the legacy chunked scheduling: the
+	// options' Sched policy for the S-indexed loops and chunked dynamic
+	// for the row kernels.
+	PartitionChunked
+)
+
+// String returns the partition policy name.
+func (p Partition) String() string {
+	if p == PartitionChunked {
+		return "chunked"
+	}
+	return "balanced"
+}
+
+// partitionSet holds the balanced per-worker range boundaries of one
+// (problem, worker count) pair, cached in the workspace so a solve
+// derives them once and every iteration reuses them.
+type partitionSet struct {
+	prob    *Problem
+	workers int
+	sRows   []int // rows of S (= edges of L), cost = row nnz
+	lRows   []int // V_A vertices of L, cost = degree
+	lCols   []int // V_B vertices of L, cost = degree
+}
+
+// ensureParts returns the workspace's partition set for (p, workers),
+// rebuilding the offsets only when the problem or worker count changed.
+func (ws *Workspace) ensureParts(p *Problem, workers int) *partitionSet {
+	ps := &ws.parts
+	if ps.prob != p || ps.workers != workers {
+		ps.prob = p
+		ps.workers = workers
+		ps.sRows = parallel.BalancedOffsetsFromPtr(p.S.Ptr, workers, ps.sRows)
+		ps.lRows = parallel.BalancedOffsetsFromPtr(p.L.RowPtr, workers, ps.lRows)
+		ps.lCols = parallel.BalancedOffsetsFromPtr(p.L.ColPtr, workers, ps.lCols)
+	}
+	return ps
+}
+
+// exec routes the solvers' parallel regions: onto the run's persistent
+// worker pool (unless NoPool), with either the balanced per-problem
+// partitions or the legacy chunked schedules (Partition). Every loop it
+// dispatches writes disjoint indices elementwise, so the partitioning
+// choice cannot change the solver output: results are bit-identical
+// across pool on/off and balanced/chunked for a fixed thread count.
+// Reductions are not routed here — they keep the free functions' fixed
+// equal-split partition so their float combine order is stable.
+type exec struct {
+	pool     *parallel.Pool
+	sched    parallel.Schedule
+	threads  int
+	chunk    int
+	serial   bool
+	balanced bool
+	parts    *partitionSet
+}
+
+// newExec prepares the run's dispatcher: resolves the partition policy,
+// derives (or reuses) the balanced offsets, and starts the per-run
+// worker pool. The caller must close the exec when the solve ends.
+func newExec(p *Problem, ws *Workspace, threads, chunk int, sched parallel.Schedule, part Partition, noPool bool) *exec {
+	e := &exec{sched: sched, threads: threads, chunk: chunk}
+	t := parallel.Threads(threads)
+	if t == 1 {
+		e.serial = true
+		return e
+	}
+	e.balanced = part == PartitionBalanced
+	if e.balanced {
+		e.parts = ws.ensureParts(p, t)
+	}
+	if !noPool {
+		e.pool = parallel.NewPool(t)
+	}
+	return e
+}
+
+// close parks and releases the run's pool workers.
+func (e *exec) close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// forNNZ runs an elementwise sweep over the nonzero index space (or any
+// uniform-cost index space). Uniform cost makes the balanced partition
+// the equal static split; chunked keeps the options' Sched policy.
+func (e *exec) forNNZ(ctx context.Context, n int, body func(lo, hi int)) {
+	switch {
+	case e.serial:
+		e.sched.ForCtx(ctx, n, e.threads, e.chunk, body)
+	case e.balanced && e.pool != nil:
+		e.pool.ForStaticCtx(ctx, n, e.threads, e.chunk, body)
+	case e.balanced:
+		parallel.ForStaticCtx(ctx, n, e.threads, e.chunk, body)
+	case e.pool != nil:
+		e.pool.ForSchedCtx(ctx, e.sched, n, e.threads, e.chunk, body)
+	default:
+		e.sched.ForCtx(ctx, n, e.threads, e.chunk, body)
+	}
+}
+
+// forSRows runs body over the rows of S (the per-index cost is the row
+// nonzero count), using the cached nnz-balanced row partition.
+func (e *exec) forSRows(ctx context.Context, n int, body func(lo, hi int)) {
+	switch {
+	case e.serial:
+		e.sched.ForCtx(ctx, n, e.threads, e.chunk, body)
+	case e.balanced && e.pool != nil:
+		e.pool.ForOffsetsCtx(ctx, e.parts.sRows, e.chunk, body)
+	case e.balanced:
+		parallel.ForOffsetsCtx(ctx, e.parts.sRows, e.chunk, body)
+	case e.pool != nil:
+		e.pool.ForSchedCtx(ctx, e.sched, n, e.threads, e.chunk, body)
+	default:
+		e.sched.ForCtx(ctx, n, e.threads, e.chunk, body)
+	}
+}
+
+// forSRowsWorker is forSRows with a worker id for per-worker scratch.
+// Scratch must be sized by rowWorkers(n), the single source of truth
+// for how many distinct ids the body can observe.
+func (e *exec) forSRowsWorker(n int, body func(worker, lo, hi int)) {
+	switch {
+	case e.serial:
+		body(0, 0, n)
+	case e.balanced && e.pool != nil:
+		e.pool.ForOffsetsWorker(e.parts.sRows, body)
+	case e.balanced:
+		parallel.ForOffsetsWorker(e.parts.sRows, body)
+	case e.pool != nil:
+		e.pool.ForDynamicWorker(n, e.threads, e.chunk, body)
+	default:
+		parallel.ForDynamicWorker(n, e.threads, e.chunk, body)
+	}
+}
+
+// rowWorkers reports how many distinct worker ids forSRowsWorker(n, ·)
+// can hand out: the number callers must size per-worker scratch by.
+// (Sizing by Threads overestimates when n is small relative to the
+// chunk — the old contract bug — and underestimates nothing.)
+func (e *exec) rowWorkers(n int) int {
+	if e.serial {
+		return 1
+	}
+	if e.balanced {
+		return e.parts.workers
+	}
+	return parallel.PlannedWorkers(n, e.threads, e.chunk)
+}
+
+// forEdges runs an elementwise sweep over the edges of L. The cost is
+// uniform, so the equal static split is already balanced; the pool only
+// removes the per-region goroutine spawns.
+func (e *exec) forEdges(n int, body func(lo, hi int)) {
+	if e.pool != nil {
+		e.pool.ForStatic(n, e.threads, body)
+		return
+	}
+	parallel.ForStatic(n, e.threads, body)
+}
+
+// forLRows runs body over the V_A vertices of L (cost = degree) with
+// the cached degree-balanced partition.
+func (e *exec) forLRows(n int, body func(lo, hi int)) {
+	e.forDegrees(n, body, func() []int { return e.parts.lRows })
+}
+
+// forLCols runs body over the V_B vertices of L (cost = degree).
+func (e *exec) forLCols(n int, body func(lo, hi int)) {
+	e.forDegrees(n, body, func() []int { return e.parts.lCols })
+}
+
+func (e *exec) forDegrees(n int, body func(lo, hi int), offs func() []int) {
+	switch {
+	case e.serial:
+		if n > 0 {
+			body(0, n)
+		}
+	case e.balanced && e.pool != nil:
+		e.pool.ForOffsets(offs(), body)
+	case e.balanced:
+		parallel.ForOffsets(offs(), body)
+	case e.pool != nil:
+		e.pool.ForDynamic(n, e.threads, e.chunk, body)
+	default:
+		parallel.ForDynamic(n, e.threads, e.chunk, body)
+	}
+}
+
+// runTasks dispatches coarse-grained task parallelism (othermax task
+// mode, batched rounding) on the run pool when available.
+func (e *exec) runTasks(tasks []func(threads int)) {
+	if e.pool != nil {
+		e.pool.Tasks(e.threads, tasks)
+		return
+	}
+	parallel.Tasks(e.threads, tasks)
+}
+
+// runTasksCtx is runTasks with cooperative cancellation.
+func (e *exec) runTasksCtx(ctx context.Context, tasks []func(threads int)) error {
+	if e.pool != nil {
+		return e.pool.TasksCtx(ctx, e.threads, tasks)
+	}
+	return parallel.TasksCtx(ctx, e.threads, tasks)
+}

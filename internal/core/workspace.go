@@ -3,6 +3,7 @@ package core
 import (
 	"netalignmc/internal/bipartite"
 	"netalignmc/internal/matching"
+	"netalignmc/internal/parallel"
 )
 
 // Workspace is an arena of reusable solver buffers sized from the
@@ -33,11 +34,18 @@ type Workspace struct {
 	wbar               []float64
 
 	// Rounding state: one slot per concurrently rounded heuristic
-	// (BP's batch size; one for MR). roundKey records which matcher
-	// spec the slots were built for; roundL which candidate graph.
-	slots    []roundSlot
+	// (BP's batch size; one for MR). Slots are heap-stable pointers:
+	// each slot holds closures capturing itself (see slotObjective),
+	// so growing the slice must not move live slots. roundKey records
+	// which matcher spec the slots were built for; roundL which
+	// candidate graph.
+	slots    []*roundSlot
 	roundKey string
 	roundL   *bipartite.Graph
+
+	// parts caches the balanced per-worker partition boundaries for
+	// the current (problem, worker count); see Workspace.ensureParts.
+	parts partitionSet
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first
@@ -58,6 +66,16 @@ type roundSlot struct {
 	x     []float64
 	obj   float64
 	ok    bool
+
+	// Hoisted objective folds: a closure handed to the parallel
+	// reductions escapes, so building one per evaluation would
+	// heap-allocate every rounding. They are built once per
+	// (slot, problem) and read the slot's x field, which is re-bound
+	// before each evaluation; they are per-slot (not per-problem)
+	// because batched tasks evaluate slots concurrently.
+	objP   *Problem
+	mwFold func(lo, hi int) float64
+	qfFold func(lo, hi int) float64
 }
 
 func growFloat64(s []float64, n int) []float64 {
@@ -121,10 +139,9 @@ func (ws *Workspace) ensureRound(p *Problem, key string, mk func() (matching.Mat
 		if err != nil {
 			return err
 		}
-		ws.slots = append(ws.slots, roundSlot{match: m})
+		ws.slots = append(ws.slots, &roundSlot{match: m})
 	}
-	for i := range ws.slots {
-		s := &ws.slots[i]
+	for _, s := range ws.slots {
 		s.lw = *p.L // shares structure; W is repointed at the heuristic
 		s.lw.W = nil
 	}
@@ -161,6 +178,34 @@ func (p *Problem) roundSlotRun(s *roundSlot, threads int) {
 	s.match(&s.lw, threads, &s.res)
 	s.res.Rescore(p.L)
 	s.x = s.res.IndicatorInto(p.L, s.x)
-	s.obj = p.Objective(s.x, threads)
+	s.obj = p.slotObjective(s, threads)
 	s.ok = true
+}
+
+// slotObjective is p.Objective(s.x, threads) evaluated through the
+// slot's hoisted folds. The partitions and combine order match
+// MatchWeight and Overlap exactly, so the result is bit-identical to
+// Objective for the same thread count, without the per-call closures.
+func (p *Problem) slotObjective(s *roundSlot, threads int) float64 {
+	if parallel.Threads(threads) == 1 {
+		return p.Objective(s.x, 1)
+	}
+	if s.objP != p {
+		s.objP = p
+		s.mwFold = func(lo, hi int) float64 {
+			w := p.L.W
+			x := s.x
+			sum := 0.0
+			for e := lo; e < hi; e++ {
+				sum += w[e] * x[e]
+			}
+			return sum
+		}
+		s.qfFold = func(lo, hi int) float64 {
+			return p.S.QuadFormRange(s.x, s.x, lo, hi)
+		}
+	}
+	mw := parallel.SumFloat64(len(s.x), threads, s.mwFold)
+	quad := parallel.SumFloat64(p.S.NumRows, threads, s.qfFold)
+	return p.Alpha*mw + p.Beta*(quad/2)
 }

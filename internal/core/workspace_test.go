@@ -82,6 +82,47 @@ func TestMRSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestPooledSteadyStateLowAlloc pins the pool's point: multi-thread
+// iterations stop paying per-region goroutine spawns, so a warm
+// pooled solve stays under one allocation per iteration even at
+// Threads=4 (the remaining fraction is the occasional shared-pool
+// fallback inside reductions). Measured by the same delta method as
+// the Threads=1 zero-alloc tests.
+func TestPooledSteadyStateLowAlloc(t *testing.T) {
+	p := smallSynthetic(t, 105)
+	ws := core.NewWorkspace()
+	solves := map[string]func(iters int){
+		"bp-batch20": func(iters int) {
+			_, err := p.Align(context.Background(), core.Options{Method: core.MethodBP, BP: core.BPOptions{
+				Iterations: iters, Threads: 4, Batch: 20,
+				Matcher:        matching.MatcherSpec{Name: "approx"},
+				Workspace:      ws,
+				SkipFinalExact: true,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		},
+		"mr": func(iters int) {
+			_, err := p.Align(context.Background(), core.Options{Method: core.MethodMR, MR: core.MROptions{
+				Iterations: iters, Threads: 4,
+				Matcher:        matching.MatcherSpec{Name: "approx"},
+				Workspace:      ws,
+				SkipFinalExact: true,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, solve := range solves {
+		solve(4) // warm the workspace and matcher scratch
+		if got := allocsPerIter(t, solve); got >= 1 {
+			t.Errorf("%s: pooled 4-thread iteration allocates %.2f objects/iter, want < 1", name, got)
+		}
+	}
+}
+
 // TestFusedKernelsBitIdentical pins the fusion contract: identical
 // float operations in identical order, so the damped message iterates
 // (and everything downstream) are bitwise equal, not merely close.

@@ -76,18 +76,19 @@ func (g *WeightedGraph) Validate() error {
 // The same guarantees hold: valid maximal matching, weight ≥ ½·opt.
 func LocallyDominantGeneral(g *WeightedGraph, threads int) (mate []int, weight float64) {
 	n := g.NumVertices()
+	threads = parallel.Threads(threads)
 	st := &gldState{
 		g:         g,
 		mate:      make([]int32, n),
 		candidate: make([]int32, n),
 		queued:    make([]int32, n),
-		qNext:     make([]int32, n),
+		lock:      make([]int32, n),
+		local:     make([][]int32, threads),
 	}
 	for i := range st.mate {
 		st.mate[i] = -1
 		st.candidate[i] = ldUnset
 	}
-	threads = parallel.Threads(threads)
 	chunk := n/(4*threads) + 1
 
 	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
@@ -95,15 +96,17 @@ func LocallyDominantGeneral(g *WeightedGraph, threads int) (mate []int, weight f
 			st.setCandidate(int32(v), st.findMate(int32(v)))
 		}
 	})
-	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+	// Enqueuing sweeps dispatch with worker ids so each worker appends
+	// matched vertices to its own queue; the merge happens at promote.
+	parallel.ForDynamicWorker(n, threads, chunk, func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			st.processVertex(int32(v))
+			st.processVertex(w, int32(v))
 		}
 	})
 	st.promote()
 	for len(st.qCur) > 0 {
 		cur := st.qCur
-		parallel.ForDynamic(len(cur), threads, chunk, func(lo, hi int) {
+		parallel.ForDynamicWorker(len(cur), threads, chunk, func(w, lo, hi int) {
 			for qi := lo; qi < hi; qi++ {
 				u := cur[qi]
 				ulo, uhi := st.g.Ptr[u], st.g.Ptr[u+1]
@@ -114,7 +117,7 @@ func LocallyDominantGeneral(g *WeightedGraph, threads int) (mate []int, weight f
 					}
 					c := atomic.LoadInt32(&st.candidate[v])
 					if c == u || c == ldUnset {
-						st.processVertex(v)
+						st.processVertex(w, v)
 					}
 				}
 			}
@@ -191,8 +194,10 @@ func SuitorGeneral(g *WeightedGraph, threads int) (mate []int, weight float64) {
 		st.suitor[i] = -1
 	}
 	threads = parallel.Threads(threads)
-	chunk := n/(4*threads) + 1
-	parallel.ForDynamic(n, threads, chunk, func(lo, hi int) {
+	// Proposal cost tracks degree, so partition proposers by their
+	// adjacency size (prefix sums of Ptr) instead of vertex count.
+	parts := parallel.BalancedOffsetsFromPtr(g.Ptr, threads, nil)
+	parallel.ForOffsets(parts, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			st.propose(int32(v))
 		}
@@ -294,9 +299,11 @@ type gldState struct {
 	mate      []int32
 	candidate []int32
 	queued    []int32
+	lock      []int32
 	qCur      []int32
-	qNext     []int32
-	qNextLen  atomic.Int64
+	// local[w] is worker w's private next-round queue, merged into
+	// qCur by promote (same contention-free scheme as ldState).
+	local [][]int32
 }
 
 func (st *gldState) weightOf(u, v int32) float64 {
@@ -338,7 +345,7 @@ func (st *gldState) candidateOf(v int32) int32 {
 	return c
 }
 
-func (st *gldState) processVertex(v int32) {
+func (st *gldState) processVertex(w int, v int32) {
 	for {
 		if atomic.LoadInt32(&st.mate[v]) != -1 {
 			return
@@ -352,38 +359,57 @@ func (st *gldState) processVertex(v int32) {
 			return
 		}
 		if st.tryMatch(v, c) {
-			st.enqueue(v)
-			st.enqueue(c)
+			st.enqueue(w, v)
+			st.enqueue(w, c)
 			return
 		}
 	}
 }
 
+// tryMatch claims the pair under both endpoint locks (id order) so
+// mate entries are monotone: -1 → final partner, never rolled back.
+// See ldState.tryMatch for why a CAS-then-rollback scheme is wrong.
 func (st *gldState) tryMatch(v, c int32) bool {
 	lo, hi := v, c
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	if !atomic.CompareAndSwapInt32(&st.mate[lo], -1, hi) {
-		return false
+	st.lockVertex(lo)
+	st.lockVertex(hi)
+	ok := atomic.LoadInt32(&st.mate[lo]) == -1 && atomic.LoadInt32(&st.mate[hi]) == -1
+	if ok {
+		atomic.StoreInt32(&st.mate[lo], hi)
+		atomic.StoreInt32(&st.mate[hi], lo)
 	}
-	if !atomic.CompareAndSwapInt32(&st.mate[hi], -1, lo) {
-		atomic.StoreInt32(&st.mate[lo], -1)
-		return false
-	}
-	return true
+	st.unlockVertex(hi)
+	st.unlockVertex(lo)
+	return ok
 }
 
-func (st *gldState) enqueue(v int32) {
+func (st *gldState) lockVertex(v int32) {
+	for !atomic.CompareAndSwapInt32(&st.lock[v], 0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (st *gldState) unlockVertex(v int32) { atomic.StoreInt32(&st.lock[v], 0) }
+
+func (st *gldState) enqueue(w int, v int32) {
 	if !atomic.CompareAndSwapInt32(&st.queued[v], 0, 1) {
 		return
 	}
-	slot := st.qNextLen.Add(1) - 1
-	st.qNext[slot] = v
+	st.local[w] = append(st.local[w], v)
 }
 
 func (st *gldState) promote() {
-	nn := int(st.qNextLen.Load())
-	st.qCur = append(st.qCur[:0], st.qNext[:nn]...)
-	st.qNextLen.Store(0)
+	total := 0
+	for _, q := range st.local {
+		total += len(q)
+	}
+	st.qCur = growInt32(st.qCur, total)
+	k := 0
+	for w := range st.local {
+		k += copy(st.qCur[k:], st.local[w])
+		st.local[w] = st.local[w][:0]
+	}
 }

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"netalignmc/internal/bipartite"
@@ -61,12 +62,15 @@ type LDStats struct {
 // (MATCHVERTEX). Matched vertices enter a queue. Phase 2 repeatedly
 // processes the queue: when u is matched, every neighbor v whose
 // candidate was u recomputes its candidate and re-tests dominance;
-// newly matched vertices enter the next round's queue. Queue appends
-// use an atomic fetch-and-add, the Go equivalent of the
-// __sync_fetch_and_add the paper uses; candidate/mate words are
+// newly matched vertices enter the next round's queue. Each worker
+// appends to its own local queue — no shared counter, no contention —
+// and the locals are merged into the next round's work list by
+// prefix-sum compaction at the round barrier. Candidate/mate words are
 // accessed with sequentially consistent atomics and matches are
 // claimed with compare-and-swap so concurrent discoveries of
-// overlapping pairs resolve safely.
+// overlapping pairs resolve safely; the matching itself is the unique
+// greedy matching under (weight, id) dominance, so the merge order of
+// the local queues cannot change the result.
 func LocallyDominant(g *bipartite.Graph, threads int, opts LocallyDominantOptions) *Result {
 	return LocallyDominantInto(g, threads, opts, nil, nil)
 }
@@ -93,6 +97,7 @@ func LocallyDominantInto(g *bipartite.Graph, threads int, opts LocallyDominantOp
 	st := &scratch.st
 	st.prepare(g)
 	p := parallel.Threads(threads)
+	st.ensureLocal(p)
 	if opts.SortedAdjacency {
 		st.buildSortedAdjacency(p)
 	} else {
@@ -113,58 +118,44 @@ func LocallyDominantInto(g *bipartite.Graph, threads int, opts LocallyDominantOp
 	switch {
 	case opts.OneSidedInit && p == 1:
 		for a := 0; a < g.NA; a++ {
-			st.processVertex(int32(a))
+			st.processVertex(0, int32(a))
 		}
 	case opts.OneSidedInit:
 		// Spawn only from V_A: compute a's candidate and test
 		// dominance by scanning the candidate's adjacency directly.
-		parallel.ForDynamic(g.NA, p, chunk, func(lo, hi int) {
-			for a := lo; a < hi; a++ {
-				st.processVertex(int32(a))
-			}
-		})
+		// Worker-id dispatch routes enqueues to per-worker queues.
+		parallel.ForDynamicWorker(g.NA, p, chunk, st.phase1OneSided)
 	case p == 1:
 		for v := 0; v < n; v++ {
 			st.setCandidate(int32(v), st.findMate(int32(v)))
 		}
 		for v := 0; v < n; v++ {
-			st.processVertex(int32(v))
+			st.processVertex(0, int32(v))
 		}
 	default:
-		parallel.ForDynamic(n, p, chunk, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				st.setCandidate(int32(v), st.findMate(int32(v)))
-			}
-		})
-		parallel.ForDynamic(n, p, chunk, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				st.processVertex(int32(v))
-			}
-		})
+		parallel.ForDynamic(n, p, chunk, st.phase1Cand)
+		parallel.ForDynamicWorker(n, p, chunk, st.phase1Proc)
 	}
 
-	// Phase 1 enqueued the newly matched vertices into qNext; promote
-	// them to the current queue (the paper's Q_C ← Q_N pointer swap).
+	// Phase 1 enqueued the newly matched vertices into the per-worker
+	// queues; merge them into the current work list (the paper's
+	// Q_C ← Q_N swap, here a compaction of the worker locals).
 	st.promoteQueue()
 
-	// Phase 2: drain rounds until no new matches occur.
+	// Phase 2: drain rounds until no new matches occur. Workers append
+	// follow-up vertices to their local queues; the barrier between
+	// rounds merges them.
 	for len(st.qCur) > 0 {
 		if opts.Stats != nil {
 			opts.Stats.QueueSizes = append(opts.Stats.QueueSizes, len(st.qCur))
 			opts.Stats.Rounds++
 		}
-		cur := st.qCur
-		st.qNextLen.Store(0)
 		if p == 1 {
-			for _, u := range cur {
-				st.processNeighbors(u)
+			for _, u := range st.qCur {
+				st.processNeighbors(0, u)
 			}
 		} else {
-			parallel.ForDynamic(len(cur), p, chunk, func(lo, hi int) {
-				for qi := lo; qi < hi; qi++ {
-					st.processNeighbors(cur[qi])
-				}
-			})
+			parallel.ForDynamicWorker(len(st.qCur), p, chunk, st.phase2Body)
 		}
 		st.promoteQueue()
 	}
@@ -193,28 +184,29 @@ func LocallyDominantInto(g *bipartite.Graph, threads int, opts LocallyDominantOp
 
 // processNeighbors re-examines u's neighbors after u was matched: any
 // unmatched neighbor whose candidate was u (or is still unset) must
-// recompute its candidate and re-test dominance.
-func (st *ldState) processNeighbors(u int32) {
+// recompute its candidate and re-test dominance. w is the calling
+// worker's id, routing enqueues to its local queue.
+func (st *ldState) processNeighbors(w int, u int32) {
 	g := st.g
 	if int(u) < g.NA {
 		lo, hi := g.RowRange(int(u))
 		for e := lo; e < hi; e++ {
-			st.maybeReprocess(u, int32(g.NA+g.EdgeB[e]))
+			st.maybeReprocess(w, u, int32(g.NA+g.EdgeB[e]))
 		}
 		return
 	}
 	for _, e := range g.ColEdgesOf(int(u) - g.NA) {
-		st.maybeReprocess(u, int32(g.EdgeA[e]))
+		st.maybeReprocess(w, u, int32(g.EdgeA[e]))
 	}
 }
 
-func (st *ldState) maybeReprocess(u, v int32) {
+func (st *ldState) maybeReprocess(w int, u, v int32) {
 	if atomic.LoadInt32(&st.mate[v]) != -1 {
 		return
 	}
 	c := atomic.LoadInt32(&st.candidate[v])
 	if c == u || c == ldUnset {
-		st.processVertex(v)
+		st.processVertex(w, v)
 	}
 }
 
@@ -241,9 +233,22 @@ type ldState struct {
 	mate      []int32 // -1 unmatched, else partner vertex id
 	candidate []int32 // -2 unset, -1 no unmatched neighbor, else vertex id
 	queued    []int32 // 0/1 dedup flags for queue membership
+	lock      []int32 // per-vertex spinlocks guarding match commits
 	qCur      []int32
-	qNext     []int32
-	qNextLen  atomic.Int64
+	// local[w] is worker w's private next-round queue; promoteQueue
+	// compacts the locals into qCur at each round barrier. The `queued`
+	// CAS flags guarantee each vertex enters at most one local queue
+	// per run, so the locals together never exceed n entries.
+	local [][]int32
+
+	// Hoisted loop bodies for the parallel phases: handing a fresh
+	// closure to every For* call would heap-allocate per round; these
+	// are built once per state and read st's current fields at call
+	// time.
+	phase1OneSided func(w, lo, hi int)
+	phase1Cand     func(lo, hi int)
+	phase1Proc     func(w, lo, hi int)
+	phase2Body     func(w, lo, hi int)
 
 	// Sorted-adjacency acceleration (optional): per combined vertex,
 	// the incident (neighbor, weight) pairs in decreasing (weight, id)
@@ -261,7 +266,7 @@ func (st *ldState) prepare(g *bipartite.Graph) {
 	st.mate = growInt32(st.mate, n)
 	st.candidate = growInt32(st.candidate, n)
 	st.queued = growInt32(st.queued, n)
-	st.qNext = growInt32(st.qNext, n)
+	st.lock = growInt32(st.lock, n)
 	if cap(st.qCur) < n {
 		st.qCur = make([]int32, 0, n)
 	} else {
@@ -271,8 +276,43 @@ func (st *ldState) prepare(g *bipartite.Graph) {
 		st.mate[i] = -1
 		st.candidate[i] = ldUnset
 		st.queued[i] = 0
+		st.lock[i] = 0
 	}
-	st.qNextLen.Store(0)
+	if st.phase2Body == nil {
+		st.phase1OneSided = func(w, lo, hi int) {
+			for a := lo; a < hi; a++ {
+				st.processVertex(w, int32(a))
+			}
+		}
+		st.phase1Cand = func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				st.setCandidate(int32(v), st.findMate(int32(v)))
+			}
+		}
+		st.phase1Proc = func(w, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				st.processVertex(w, int32(v))
+			}
+		}
+		st.phase2Body = func(w, lo, hi int) {
+			cur := st.qCur
+			for qi := lo; qi < hi; qi++ {
+				st.processNeighbors(w, cur[qi])
+			}
+		}
+	}
+}
+
+// ensureLocal sizes the per-worker queue headers for p workers (worker
+// ids from ForDynamicWorker are always below the thread count) and
+// resets their lengths, keeping capacity from previous runs.
+func (st *ldState) ensureLocal(p int) {
+	for len(st.local) < p {
+		st.local = append(st.local, nil)
+	}
+	for w := range st.local {
+		st.local[w] = st.local[w][:0]
+	}
 }
 
 // buildSortedAdjacency materializes the per-vertex sorted incidence
@@ -392,8 +432,9 @@ func (st *ldState) candidateOf(v int32) int32 {
 // processVertex recomputes v's candidate and matches the edge if it is
 // locally dominant (Algorithm 3 with CAS claiming). The retry loop
 // handles the race where v's chosen candidate is matched by another
-// thread between the dominance check and the claim.
-func (st *ldState) processVertex(v int32) {
+// thread between the dominance check and the claim. w is the calling
+// worker's id for queue routing.
+func (st *ldState) processVertex(w int, v int32) {
 	for {
 		if atomic.LoadInt32(&st.mate[v]) != -1 {
 			return
@@ -407,47 +448,75 @@ func (st *ldState) processVertex(v int32) {
 			return
 		}
 		if st.tryMatch(v, c) {
-			st.enqueue(v)
-			st.enqueue(c)
+			st.enqueue(w, v)
+			st.enqueue(w, c)
 			return
 		}
 		// Claim failed: v or c was matched concurrently; re-examine.
 	}
 }
 
-// tryMatch atomically claims the pair (v, c), claiming the lower id
-// first so concurrent overlapping claims cannot both succeed.
+// tryMatch atomically claims the pair (v, c) under the two endpoint
+// locks, taken in id order so overlapping claims cannot deadlock. Both
+// mate words are checked before either is written, so the mate array
+// is monotone: entries only ever go from -1 to the final partner.
+// (A CAS-then-rollback scheme is not equivalent — during the rollback
+// window other threads' FINDMATE scans see the vertex as matched, skip
+// it, and can commit a non-dominant edge, silently breaking the greedy
+// equivalence. The transient is rare under loose scheduling but shows
+// up readily once regions dispatch on the hot worker pool.)
 func (st *ldState) tryMatch(v, c int32) bool {
 	lo, hi := v, c
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	if !atomic.CompareAndSwapInt32(&st.mate[lo], -1, hi) {
-		return false
+	st.lockVertex(lo)
+	st.lockVertex(hi)
+	ok := atomic.LoadInt32(&st.mate[lo]) == -1 && atomic.LoadInt32(&st.mate[hi]) == -1
+	if ok {
+		atomic.StoreInt32(&st.mate[lo], hi)
+		atomic.StoreInt32(&st.mate[hi], lo)
 	}
-	if !atomic.CompareAndSwapInt32(&st.mate[hi], -1, lo) {
-		atomic.StoreInt32(&st.mate[lo], -1)
-		return false
-	}
-	return true
+	st.unlockVertex(hi)
+	st.unlockVertex(lo)
+	return ok
 }
 
-// promoteQueue makes the vertices queued since the last barrier the
-// current round's work list and resets the next-round queue.
+func (st *ldState) lockVertex(v int32) {
+	for !atomic.CompareAndSwapInt32(&st.lock[v], 0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (st *ldState) unlockVertex(v int32) {
+	atomic.StoreInt32(&st.lock[v], 0)
+}
+
+// promoteQueue compacts the per-worker queues into the current round's
+// work list: the write offsets are the prefix sums of the local
+// lengths, so the merge needs no shared counter and runs once per
+// round barrier instead of once per append.
 func (st *ldState) promoteQueue() {
-	nn := int(st.qNextLen.Load())
-	st.qCur = append(st.qCur[:0], st.qNext[:nn]...)
-	st.qNextLen.Store(0)
+	total := 0
+	for _, q := range st.local {
+		total += len(q)
+	}
+	st.qCur = growInt32(st.qCur, total)
+	k := 0
+	for w := range st.local {
+		k += copy(st.qCur[k:], st.local[w])
+		st.local[w] = st.local[w][:0]
+	}
 }
 
-// enqueue adds v to the next-round queue once per run, using an atomic
-// fetch-and-add for the slot index (the paper's __sync_fetch_and_add)
-// and a CAS dedup flag so both discovering threads of a pair cannot
-// double-queue an endpoint.
-func (st *ldState) enqueue(v int32) {
+// enqueue adds v to worker w's local queue once per run; the CAS dedup
+// flag ensures both discovering threads of a pair cannot double-queue
+// an endpoint. The local append replaces the shared fetch-and-add slot
+// counter of the original formulation: no cross-worker cache-line
+// traffic on the hot enqueue path.
+func (st *ldState) enqueue(w int, v int32) {
 	if !atomic.CompareAndSwapInt32(&st.queued[v], 0, 1) {
 		return
 	}
-	slot := st.qNextLen.Add(1) - 1
-	st.qNext[slot] = v
+	st.local[w] = append(st.local[w], v)
 }

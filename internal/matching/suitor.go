@@ -59,12 +59,20 @@ func SuitorInto(g *bipartite.Graph, threads int, scratch *SuitorScratch, out *Re
 			st.propose(int32(a))
 		}
 	} else {
-		chunk := g.NA/(4*p) + 1
-		parallel.ForDynamic(g.NA, p, chunk, func(lo, hi int) {
-			for a := lo; a < hi; a++ {
-				st.propose(int32(a))
+		// Partition the proposers by incident-edge count rather than
+		// vertex count: proposal cost is dominated by the neighborhood
+		// scans, and L's degree distribution makes an equal vertex
+		// split uneven. The offsets are derived from L's row pointer in
+		// O(p log n) and cached in the scratch.
+		if st.proposeBody == nil {
+			st.proposeBody = func(lo, hi int) {
+				for a := lo; a < hi; a++ {
+					st.propose(int32(a))
+				}
 			}
-		})
+		}
+		st.parts = parallel.BalancedOffsetsFromPtr(g.RowPtr, p, st.parts)
+		parallel.ForOffsets(st.parts, st.proposeBody)
 	}
 
 	if out == nil {
@@ -93,6 +101,12 @@ type suitorState struct {
 	suitor []int32  // standing proposer of each V_B vertex, -1 none
 	offerW []uint64 // float64 bits of that proposal's weight
 	lock   []int32  // per-vertex spinlocks
+
+	// parts caches the nnz-balanced proposer partition; proposeBody is
+	// the hoisted parallel loop body (built once per state so repeat
+	// calls allocate no closures).
+	parts       []int
+	proposeBody func(lo, hi int)
 }
 
 func (st *suitorState) lockVertex(b int32) {

@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkOffsets validates the structural invariants of a partition.
+func checkOffsets(t *testing.T, offsets []int, n, parts int) {
+	t.Helper()
+	if len(offsets) != parts+1 {
+		t.Fatalf("len(offsets) = %d, want %d", len(offsets), parts+1)
+	}
+	if offsets[0] != 0 || offsets[parts] != n {
+		t.Fatalf("offsets endpoints = [%d, %d], want [0, %d]", offsets[0], offsets[parts], n)
+	}
+	for k := 0; k < parts; k++ {
+		if offsets[k] > offsets[k+1] {
+			t.Fatalf("offsets not monotone at %d: %v", k, offsets)
+		}
+	}
+}
+
+// partCost sums costs[lo:hi] treating negatives as zero.
+func partCost(costs []int32, lo, hi int) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		if costs[i] > 0 {
+			s += int64(costs[i])
+		}
+	}
+	return s
+}
+
+// adversarialCosts returns the skew shapes the balanced partitioner
+// must survive: one giant row, all-zero rows, fewer rows than parts,
+// and power-law-ish random skew.
+func adversarialCosts(rng *rand.Rand) map[string][]int32 {
+	giant := make([]int32, 1000)
+	for i := range giant {
+		giant[i] = 1
+	}
+	giant[500] = 1 << 20
+	skewed := make([]int32, 2048)
+	for i := range skewed {
+		skewed[i] = int32(rng.Intn(3))
+		if rng.Intn(64) == 0 {
+			skewed[i] = int32(1 + rng.Intn(10000))
+		}
+	}
+	return map[string][]int32{
+		"giant-row":  giant,
+		"all-zero":   make([]int32, 257),
+		"n-lt-parts": {5, 1, 9},
+		"empty":      {},
+		"single":     {42},
+		"skewed":     skewed,
+		"negatives":  {3, -7, 2, -1, 5, 0, 8},
+	}
+}
+
+func TestBalancedOffsetsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for name, costs := range adversarialCosts(rng) {
+		for _, parts := range []int{1, 2, 3, 8, 17} {
+			offsets := BalancedOffsets(costs, parts, nil)
+			checkOffsets(t, offsets, len(costs), parts)
+			total := partCost(costs, 0, len(costs))
+			var maxCost int64
+			for _, c := range costs {
+				if int64(c) > maxCost {
+					maxCost = int64(c)
+				}
+			}
+			// Balance guarantee: no part exceeds an even share by more
+			// than one maximal element.
+			bound := total/int64(parts) + maxCost + 1
+			for k := 0; k < parts; k++ {
+				if pc := partCost(costs, offsets[k], offsets[k+1]); pc > bound {
+					t.Errorf("%s parts=%d: part %d cost %d exceeds bound %d (offsets %v)",
+						name, parts, k, pc, bound, offsets)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedOffsetsFromPtrMatchesCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, costs := range adversarialCosts(rng) {
+		// FromPtr requires a valid CSR pointer, i.e. nonnegative costs.
+		if name == "negatives" {
+			continue
+		}
+		ptr := make([]int, len(costs)+1)
+		ptr[0] = 3 // nonzero base: FromPtr must handle ptr[0] != 0
+		for i, c := range costs {
+			ptr[i+1] = ptr[i] + int(c)
+		}
+		for _, parts := range []int{1, 2, 3, 8, 17} {
+			want := BalancedOffsets(costs, parts, nil)
+			got := BalancedOffsetsFromPtr(ptr, parts, nil)
+			checkOffsets(t, got, len(costs), parts)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s parts=%d: FromPtr %v != BalancedOffsets %v", name, parts, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedOffsetsReusesBuffer(t *testing.T) {
+	buf := make([]int, 16)
+	out := BalancedOffsets([]int32{1, 2, 3, 4}, 4, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("BalancedOffsets did not reuse the provided buffer")
+	}
+}
+
+func TestForBalancedCoversIndexSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for name, costs := range adversarialCosts(rng) {
+		for _, p := range []int{1, 2, 4, 9} {
+			cov := newCoverage(len(costs))
+			ForBalanced(costs, p, cov.mark)
+			cov.checkExact(t, name)
+		}
+	}
+}
+
+func TestForOffsetsWorkerIsPartIndex(t *testing.T) {
+	offsets := []int{0, 0, 5, 5, 12, 20} // includes empty parts
+	var mu sync.Mutex
+	seen := map[int][2]int{}
+	ForOffsetsWorker(offsets, func(w, lo, hi int) {
+		mu.Lock()
+		seen[w] = [2]int{lo, hi}
+		mu.Unlock()
+	})
+	// Part k must run with worker id k; empty parts must be skipped.
+	want := map[int][2]int{1: {0, 5}, 3: {5, 12}, 4: {12, 20}}
+	if len(seen) != len(want) {
+		t.Fatalf("seen = %v, want %v", seen, want)
+	}
+	for k, r := range want {
+		if seen[k] != r {
+			t.Fatalf("part %d ran as %v, want %v", k, seen[k], r)
+		}
+	}
+}
+
+// TestForGuidedAdversarial is the ForGuided property test: every index
+// is visited exactly once under adversarial (n, p, minChunk) shapes,
+// including n < p, minChunk > n, and heavy skew in the per-index cost
+// (simulated by a variable-latency body).
+func TestForGuidedAdversarial(t *testing.T) {
+	cases := []struct{ n, p, minChunk int }{
+		{0, 4, 1}, {1, 8, 1}, {3, 8, 1}, {7, 3, 100},
+		{100, 7, 1}, {1000, 4, 13}, {17, 17, 2}, {64, 2, 0},
+	}
+	for _, c := range cases {
+		cov := newCoverage(c.n)
+		var spin atomic.Int64
+		ForGuided(c.n, c.p, c.minChunk, func(lo, hi int) {
+			// Skewed cost: early chunks burn more time, exercising the
+			// shrinking-grab redistribution.
+			for i := 0; i < (c.n-lo)*10; i++ {
+				spin.Add(1)
+			}
+			cov.mark(lo, hi)
+		})
+		cov.checkExact(t, "ForGuided")
+	}
+}

@@ -5,7 +5,7 @@
 // with OpenMP "parallel for" loops, using a dynamic schedule with a
 // chunk size of 1000 for the loops indexed by the (highly imbalanced)
 // nonzeros of the overlap matrix S, and a static schedule elsewhere.
-// This package reproduces those two scheduling policies on top of
+// This package reproduces those scheduling policies on top of
 // goroutines:
 //
 //   - ForStatic partitions [0,n) into one contiguous block per worker,
@@ -14,17 +14,26 @@
 //     mirroring OpenMP's schedule(dynamic, chunk).
 //   - ForGuided hands out geometrically shrinking chunks, mirroring
 //     schedule(guided); it is used only by the ablation benchmarks.
+//   - ForBalanced / ForOffsets split the index space by cumulative
+//     cost (nnz) instead of index count, the balanced partitioning
+//     the solvers use for the power-law-skewed S sweeps.
 //
 // All loop bodies receive index *ranges* ([lo,hi)) rather than single
 // indices so the per-index dispatch overhead is paid once per chunk,
 // which matters for the very short bodies in the sparse kernels.
 //
-// Workers are plain goroutines created per call. Goroutine creation is
-// tens of nanoseconds; the kernels here run for microseconds to
-// milliseconds per call, so a persistent worker pool is not needed and
-// the per-call structure keeps the package trivially correct (no
-// leaked state between loops, synchronization only at loop end, just
-// as in the paper's implementation).
+// Execution happens on persistent worker pools (Pool), mirroring an
+// OpenMP runtime's thread team: the solvers create one pool per run,
+// and the free functions below dispatch on a process-wide shared pool
+// that is started lazily on first use. Dispatching on a parked pool is
+// allocation-free (descriptor writes plus channel wakes), which is
+// what keeps the solver hot loops at zero allocations per iteration.
+// When a pool is unavailable — the shared pool is busy with another
+// region, the request wants more workers than the pool has, or a body
+// nests another parallel region — the constructs fall back to the
+// original spawn-per-call path, which stays correct (goroutine
+// creation is tens of nanoseconds) and is counted in Stats for
+// observability.
 package parallel
 
 import (
@@ -88,6 +97,16 @@ func ForStatic(n, p int, body func(lo, hi int)) {
 	if p > n {
 		p = n
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		sp.ForStatic(n, p, body)
+		return
+	}
+	forStaticSpawn(n, p, body)
+}
+
+func forStaticSpawn(n, p int, body func(lo, hi int)) {
+	spawnRegionsCount.Add(1)
 	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -123,10 +142,19 @@ func ForDynamic(n, p, chunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	maxWorkers := (n + chunk - 1) / chunk
-	if p > maxWorkers {
-		p = maxWorkers
+	if mw := (n + chunk - 1) / chunk; p > mw {
+		p = mw
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		sp.ForDynamic(n, p, chunk, body)
+		return
+	}
+	forDynamicSpawn(n, p, chunk, body)
+}
+
+func forDynamicSpawn(n, p, chunk int, body func(lo, hi int)) {
+	spawnRegionsCount.Add(1)
 	// step is assigned exactly once so the goroutines capture it by
 	// value; capturing the reassigned parameter directly would move it
 	// to the heap and cost an allocation even on the serial fast path.
@@ -161,8 +189,9 @@ func ForDynamic(n, p, chunk int, body func(lo, hi int)) {
 // paper preallocates "the maximum memory required for p threads to run
 // matching problems on the rows of S" outside the iteration; the
 // worker index selects the scratch instance race-free). It returns the
-// number of workers actually launched; bodies receive worker ids in
-// [0, workers).
+// number of workers actually used; bodies receive worker ids in
+// [0, workers), and the count equals PlannedWorkers(n, p, chunk) so
+// scratch can be sized before the call.
 func ForDynamicWorker(n, p, chunk int, body func(worker, lo, hi int)) (workers int) {
 	p = Threads(p)
 	if n <= 0 {
@@ -175,10 +204,18 @@ func ForDynamicWorker(n, p, chunk int, body func(worker, lo, hi int)) (workers i
 		body(0, 0, n)
 		return 1
 	}
-	maxWorkers := (n + chunk - 1) / chunk
-	if p > maxWorkers {
-		p = maxWorkers
+	if mw := (n + chunk - 1) / chunk; p > mw {
+		p = mw
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		return sp.ForDynamicWorker(n, p, chunk, body)
+	}
+	return forDynamicWorkerSpawn(n, p, chunk, body)
+}
+
+func forDynamicWorkerSpawn(n, p, chunk int, body func(worker, lo, hi int)) (workers int) {
+	spawnRegionsCount.Add(1)
 	step := chunk // single assignment: captured by value, keeps chunk off the heap
 	var pb panicBox
 	var next atomic.Int64
@@ -221,6 +258,16 @@ func ForGuided(n, p, minChunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		sp.ForGuided(n, p, minChunk, body)
+		return
+	}
+	forGuidedSpawn(n, p, minChunk, body)
+}
+
+func forGuidedSpawn(n, p, minChunk int, body func(lo, hi int)) {
+	spawnRegionsCount.Add(1)
 	var mu sync.Mutex
 	next := 0
 	grab := func() (int, int) {
@@ -311,7 +358,9 @@ func (s Schedule) For(n, p, chunk int, body func(lo, hi int)) {
 // problem). Tasks themselves may run nested parallel loops; the worker
 // count available to each task is reported to it so nested loops can
 // divide threads the way the paper describes (batch of r roundings
-// with T threads gives each task max(1, T/r) threads).
+// with T threads gives each task max(1, T/r) threads). Tasks always
+// spawns (it is coarse-grained and its tasks nest parallel regions, so
+// parking it on a pool would only serialize the nested dispatch).
 func Tasks(p int, tasks []func(threads int)) {
 	p = Threads(p)
 	n := len(tasks)
@@ -387,6 +436,15 @@ func ForStaticCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) e
 	if p > n {
 		p = n
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		return sp.ForStaticCtx(ctx, n, p, chunk, body)
+	}
+	return forStaticCtxSpawn(ctx, n, p, chunk, body)
+}
+
+func forStaticCtxSpawn(ctx context.Context, n, p, chunk int, body func(lo, hi int)) error {
+	spawnRegionsCount.Add(1)
 	done := ctx.Done()
 	var pb panicBox
 	var wg sync.WaitGroup
@@ -441,10 +499,18 @@ func ForDynamicCtx(ctx context.Context, n, p, chunk int, body func(lo, hi int)) 
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	maxWorkers := (n + chunk - 1) / chunk
-	if p > maxWorkers {
-		p = maxWorkers
+	if mw := (n + chunk - 1) / chunk; p > mw {
+		p = mw
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		return sp.ForDynamicCtx(ctx, n, p, chunk, body)
+	}
+	return forDynamicCtxSpawn(ctx, n, p, chunk, body)
+}
+
+func forDynamicCtxSpawn(ctx context.Context, n, p, chunk int, body func(lo, hi int)) error {
+	spawnRegionsCount.Add(1)
 	step := chunk // single assignment: captured by value, keeps chunk off the heap
 	done := ctx.Done()
 	var pb panicBox
@@ -488,6 +554,25 @@ func ForGuidedCtx(ctx context.Context, n, p, minChunk int, body func(lo, hi int)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	p = Threads(p)
+	if n <= 0 {
+		return nil
+	}
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	if p == 1 {
+		body(0, n)
+		return ctx.Err()
+	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		return sp.ForGuidedCtx(ctx, n, p, minChunk, body)
+	}
+	return forGuidedCtxSpawn(ctx, n, p, minChunk, body)
+}
+
+func forGuidedCtxSpawn(ctx context.Context, n, p, minChunk int, body func(lo, hi int)) error {
 	done := ctx.Done()
 	cancelled := func() bool {
 		select {
@@ -497,7 +582,7 @@ func ForGuidedCtx(ctx context.Context, n, p, minChunk int, body func(lo, hi int)
 			return false
 		}
 	}
-	ForGuided(n, p, minChunk, func(lo, hi int) {
+	forGuidedSpawn(n, p, minChunk, func(lo, hi int) {
 		if cancelled() {
 			return
 		}
@@ -549,9 +634,10 @@ func TasksCtx(ctx context.Context, p int, tasks []func(threads int)) error {
 
 // ReduceFloat64 computes a parallel reduction of fn over [0, n): each
 // worker folds its chunk into a private partial using the caller's
-// chunk reducer, and the partials are combined with combine. It is
-// used for objective evaluations (dot products, overlap counts) that
-// the paper folds into its parallel loops.
+// chunk reducer, and the partials are combined with combine (in worker
+// order, so the result is deterministic for a given worker count). It
+// is used for objective evaluations (dot products, overlap counts)
+// that the paper folds into its parallel loops.
 func ReduceFloat64(n, p int, chunkFold func(lo, hi int) float64, combine func(a, b float64) float64, init float64) float64 {
 	p = Threads(p)
 	if n <= 0 {
@@ -563,6 +649,15 @@ func ReduceFloat64(n, p int, chunkFold func(lo, hi int) float64, combine func(a,
 	if p > n {
 		p = n
 	}
+	if sp := acquireShared(p); sp != nil {
+		defer releaseShared()
+		return sp.Reduce(n, p, chunkFold, combine, init)
+	}
+	return reduceSpawn(n, p, chunkFold, combine, init)
+}
+
+func reduceSpawn(n, p int, chunkFold func(lo, hi int) float64, combine func(a, b float64) float64, init float64) float64 {
+	spawnRegionsCount.Add(1)
 	partials := make([]float64, p)
 	var pb panicBox
 	var wg sync.WaitGroup

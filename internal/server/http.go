@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+
+	"netalignmc/internal/parallel"
 )
 
 // maxBodyBytes bounds an uploaded job body (problems are uploaded
@@ -271,6 +273,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, step := range steps {
 		fmt.Fprintf(w, "%s{step=%q} %g\n", stepName, step, m.StepSeconds[step])
 	}
+	// Parallel-region scheduler health: pool utilization and how often
+	// regions fell off the zero-allocation pool path.
+	sched := parallel.Stats()
+	gauge("netalignd_sched_pool_workers", "Parked parallel-pool workers alive.", float64(sched.PoolWorkers))
+	gauge("netalignd_sched_workers_busy", "Pool workers executing a region right now.", float64(sched.WorkersBusy))
+	counter("netalignd_sched_pool_regions_total", "Parallel regions dispatched on a worker pool.", sched.PoolRegions)
+	counter("netalignd_sched_spawn_regions_total", "Parallel regions that fell back to goroutine spawning.", sched.SpawnRegions)
+	counter("netalignd_sched_shared_busy_fallbacks_total", "Free-function regions that found the shared pool occupied.", sched.SharedBusyFallbacks)
 }
 
 // PublishExpvars registers the manager snapshot under the "netalignd"
@@ -279,5 +289,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) PublishExpvars() {
 	expvar.Publish("netalignd", expvar.Func(func() any {
 		return s.mgr.Snapshot()
+	}))
+	expvar.Publish("netalignd_sched", expvar.Func(func() any {
+		return parallel.Stats()
 	}))
 }

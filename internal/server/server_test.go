@@ -513,6 +513,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"netalignd_jobs_submitted_total 1",
 		"netalignd_jobs_completed_total 1",
 		"netalignd_solve_step_seconds",
+		"netalignd_sched_pool_workers",
+		"netalignd_sched_pool_regions_total",
+		"netalignd_sched_spawn_regions_total",
+		"netalignd_sched_shared_busy_fallbacks_total",
+		"netalignd_sched_workers_busy",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

@@ -1,0 +1,72 @@
+package stats
+
+import "sort"
+
+// Skew summarizes the imbalance of a nonnegative cost distribution —
+// in this codebase, the row-nonzero counts of the overlap matrix S,
+// whose skew is what motivates nnz-balanced loop partitioning over
+// equal index splits (the paper: "the non-zero distribution in S is
+// highly irregular and imbalanced").
+type Skew struct {
+	// N is the number of costs (rows).
+	N int `json:"n"`
+	// Max and Mean describe the heaviest and average cost.
+	Max  int     `json:"max"`
+	Mean float64 `json:"mean"`
+	// MaxOverMean is the classic load-imbalance factor: the slowdown
+	// of an equal split whose unlucky worker receives the heaviest
+	// element's row neighborhood.
+	MaxOverMean float64 `json:"max_over_mean"`
+	// Gini is the Gini coefficient of the distribution: 0 when every
+	// row carries the same load, approaching 1 as the load concentrates
+	// in a vanishing fraction of rows.
+	Gini float64 `json:"gini"`
+}
+
+// SkewOf computes the skew summary of explicit costs. Negative entries
+// are treated as zero.
+func SkewOf(costs []int) Skew {
+	s := Skew{N: len(costs)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]int, len(costs))
+	copy(sorted, costs)
+	for i, c := range sorted {
+		if c < 0 {
+			sorted[i] = 0
+		}
+	}
+	sort.Ints(sorted)
+	total := 0.0
+	weighted := 0.0 // Σ (i+1)·x_i over the ascending order
+	for i, c := range sorted {
+		total += float64(c)
+		weighted += float64(i+1) * float64(c)
+		if c > s.Max {
+			s.Max = c
+		}
+	}
+	s.Mean = total / float64(s.N)
+	if s.Mean > 0 {
+		s.MaxOverMean = float64(s.Max) / s.Mean
+	}
+	if total > 0 {
+		n := float64(s.N)
+		s.Gini = (2*weighted)/(n*total) - (n+1)/n
+	}
+	return s
+}
+
+// SkewOfPtr computes the skew of the row sizes of a CSR-style pointer
+// array: cost i is ptr[i+1]-ptr[i].
+func SkewOfPtr(ptr []int) Skew {
+	if len(ptr) < 2 {
+		return Skew{}
+	}
+	costs := make([]int, len(ptr)-1)
+	for i := range costs {
+		costs[i] = ptr[i+1] - ptr[i]
+	}
+	return SkewOf(costs)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSkewUniform(t *testing.T) {
+	s := SkewOf([]int{4, 4, 4, 4})
+	if s.Gini != 0 {
+		t.Fatalf("uniform distribution gini = %g, want 0", s.Gini)
+	}
+	if s.Max != 4 || s.Mean != 4 || s.MaxOverMean != 1 {
+		t.Fatalf("uniform summary wrong: %+v", s)
+	}
+}
+
+func TestSkewAllInOneRow(t *testing.T) {
+	// n-1 zeros and one heavy row: Gini = (n-1)/n.
+	s := SkewOf([]int{0, 0, 0, 12})
+	want := 3.0 / 4.0
+	if math.Abs(s.Gini-want) > 1e-12 {
+		t.Fatalf("concentrated gini = %g, want %g", s.Gini, want)
+	}
+	if s.MaxOverMean != 4 {
+		t.Fatalf("max/mean = %g, want 4", s.MaxOverMean)
+	}
+}
+
+func TestSkewEdgeCases(t *testing.T) {
+	if s := SkewOf(nil); s.N != 0 || s.Gini != 0 {
+		t.Fatalf("empty skew: %+v", s)
+	}
+	if s := SkewOf([]int{0, 0}); s.Gini != 0 || s.MaxOverMean != 0 {
+		t.Fatalf("all-zero skew: %+v", s)
+	}
+	// Negative entries clamp to zero rather than corrupting the sums.
+	if s := SkewOf([]int{-5, 10}); s.Max != 10 || s.Mean != 5 {
+		t.Fatalf("negative clamp: %+v", s)
+	}
+}
+
+func TestSkewOfPtr(t *testing.T) {
+	// Rows of size 1, 3, 0, 4 from a CSR pointer with base 2.
+	ptr := []int{2, 3, 6, 6, 10}
+	s := SkewOfPtr(ptr)
+	if s.N != 4 || s.Max != 4 || s.Mean != 2 {
+		t.Fatalf("ptr skew: %+v", s)
+	}
+	direct := SkewOf([]int{1, 3, 0, 4})
+	if s != direct {
+		t.Fatalf("ptr skew %+v != direct %+v", s, direct)
+	}
+	if s := SkewOfPtr(nil); s.N != 0 {
+		t.Fatalf("nil ptr skew: %+v", s)
+	}
+}
+
+func TestSkewGiniMonotone(t *testing.T) {
+	// Moving mass from a light row to a heavy one must not decrease
+	// Gini.
+	lo := SkewOf([]int{5, 5, 5, 5}).Gini
+	mid := SkewOf([]int{3, 5, 5, 7}).Gini
+	hi := SkewOf([]int{1, 1, 1, 17}).Gini
+	if !(lo <= mid && mid <= hi) {
+		t.Fatalf("gini not monotone under concentration: %g, %g, %g", lo, mid, hi)
+	}
+}
