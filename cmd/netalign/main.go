@@ -77,6 +77,7 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "periodically write a resumable checkpoint to this file (atomic rename)")
 		ckptEvery  = flag.Int("checkpoint-every", 10, "iterations between checkpoints (with -checkpoint)")
 		resume     = flag.String("resume", "", "resume from a checkpoint written by a previous run on the same problem")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory shared across runs (ignored with -resume or -timeout)")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -118,7 +119,7 @@ func run() int {
 		Threads: *threads,
 		Timing: *timing, Trace: *trace,
 		Timeout: *timeout, CheckpointPath: *checkpoint,
-		CheckpointEvery: *ckptEvery, ResumePath: *resume,
+		CheckpointEvery: *ckptEvery, ResumePath: *resume, CacheDir: *cacheDir,
 		JSON: *jsonOut, Progress: *progress, ProgressEvery: *progressEvery,
 		ProgressOut: os.Stderr, Ctx: ctx,
 	}, os.Stdout)

@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -58,6 +59,8 @@ func run() int {
 	ckptEvery := fs.Int("checkpoint-every", 10, "default checkpoint interval in iterations")
 	threads := fs.Int("threads", 0, "default threads per solve (0 = GOMAXPROCS/workers)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to stop on shutdown")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes (0 disables caching and coalescing)")
+	cacheDisk := fs.Bool("cache-disk", true, "persist cached results under <spool>/cache, surviving restarts")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: netalignd [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serve network-alignment solves as durable jobs over HTTP/JSON.\n\nFlags:\n")
@@ -69,12 +72,18 @@ func run() int {
 	log.SetPrefix("netalignd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	cacheDir := ""
+	if *cacheDisk && *cacheBytes > 0 {
+		cacheDir = filepath.Join(*spool, "cache")
+	}
 	mgr, err := server.NewManager(server.Config{
 		Spool:           *spool,
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CheckpointEvery: *ckptEvery,
 		Threads:         *threads,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        cacheDir,
 	})
 	if err != nil {
 		log.Print(err)

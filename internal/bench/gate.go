@@ -14,10 +14,14 @@ type GateOptions struct {
 	MaxNsRatio float64
 	// MinSpeedup is the target multi-thread speedup over the
 	// candidate's own 1-thread run. The enforced floor is
-	// hardware-aware: min(MinSpeedup, min(threads, host CPUs)/2), so a
-	// document recorded on a machine with fewer cores than the gated
-	// thread count is held to what that machine could plausibly
-	// deliver rather than an unreachable target.
+	// hardware-aware: min(MinSpeedup, min(threads, host CPUs)/2),
+	// clamped below at 1.0 — so a document recorded on a machine with
+	// fewer cores than the gated thread count is held to what that
+	// machine could plausibly deliver rather than an unreachable
+	// target, but never to less than parity (a sub-1.0 floor would
+	// pass runs where adding threads made the solver slower). On
+	// hosts with fewer than 2 usable CPUs the speedup check is
+	// skipped with a notice instead of passing vacuously.
 	MinSpeedup float64
 	// SpeedupThreads is the thread count the speedup gate inspects.
 	SpeedupThreads int
@@ -42,16 +46,23 @@ func DefaultGateOptions(label, baseLabel string) GateOptions {
 }
 
 // requiredSpeedup is the hardware-aware speedup floor for a document
-// recorded on a host with the given CPU count.
+// recorded on a host with the given CPU count. The floor is clamped
+// at 1.0: min(threads, cpus)/2 degenerates below parity on 1–2 CPU
+// runners (0.5 on one CPU), which would accept a candidate whose
+// multi-thread run is slower than its own 1-thread run.
 func requiredSpeedup(minSpeedup float64, threads, cpus int) float64 {
 	avail := threads
 	if cpus < avail {
 		avail = cpus
 	}
-	if floor := float64(avail) / 2; floor < minSpeedup {
-		return floor
+	floor := minSpeedup
+	if f := float64(avail) / 2; f < floor {
+		floor = f
 	}
-	return minSpeedup
+	if floor < 1 {
+		floor = 1
+	}
+	return floor
 }
 
 // Gate checks the candidate document against the baseline document and
@@ -84,7 +95,19 @@ func Gate(doc, base *Doc, o GateOptions) ([]string, error) {
 			"gate ns %-16s t=1: %.0f vs %s %.0f ns/iter (ratio %.3f, limit %.2f) %s",
 			r.Config, r.NsPerIter, o.BaseLabel, b.NsPerIter, ratio, o.MaxNsRatio, status))
 	}
+	skipped := 0
 	for _, cfg := range o.SpeedupConfigs {
+		if avail := min(o.SpeedupThreads, doc.Host.CPUs); avail < 2 {
+			// A host that can't run 2 threads in parallel can't exhibit
+			// a meaningful speedup; a clamped 1.0 floor would only test
+			// "not slower", which measurement noise decides. Skip
+			// loudly instead of passing vacuously.
+			skipped++
+			report = append(report, fmt.Sprintf(
+				"gate speedup %-9s t=%d: SKIPPED (%d-cpu host cannot exhibit parallel speedup)",
+				cfg, o.SpeedupThreads, doc.Host.CPUs))
+			continue
+		}
 		one, okOne := findAnyMethod(doc, o.Label, cfg, 1)
 		many, okMany := findAnyMethod(doc, o.Label, cfg, o.SpeedupThreads)
 		if !okOne || !okMany || one.NsPerIter <= 0 || many.NsPerIter <= 0 {
@@ -106,7 +129,7 @@ func Gate(doc, base *Doc, o GateOptions) ([]string, error) {
 			"gate speedup %-9s t=%d: %.2fx (need %.2fx on %d-cpu host) %s",
 			cfg, o.SpeedupThreads, speedup, need, doc.Host.CPUs, status))
 	}
-	if checks == 0 {
+	if checks == 0 && skipped == 0 {
 		return report, fmt.Errorf("bench: gate matched no runs labeled %q against %q", o.Label, o.BaseLabel)
 	}
 	if failures > 0 {

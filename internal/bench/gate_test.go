@@ -54,20 +54,55 @@ func TestGateSpeedupRegression(t *testing.T) {
 }
 
 func TestGateHardwareAwareFloor(t *testing.T) {
-	// On a 1-CPU host the 8-thread speedup floor drops to
-	// min(2.0, min(8,1)/2) = 0.5: no parallel speedup is achievable,
-	// but gross slowdowns (>2x) still fail.
+	// On a 4-CPU host the 8-thread floor scales down to
+	// min(2.0, min(8,4)/2) = 2.0; on a 2-CPU host it drops to the
+	// 1.0 clamp — parity is still required, so a multi-thread run
+	// slower than its own 1-thread run fails.
+	base := docWith(2, run("pr3", "fig2-bp", "bp", 1, 1000))
+	doc := docWith(2,
+		run("pr4", "fig2-bp", "bp", 1, 1000),
+		run("pr4", "fig2-bp", "bp", 8, 900), // 1.11x >= 1.0 floor
+	)
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err != nil {
+		t.Fatalf("2-cpu host should pass the clamped floor: %v", err)
+	}
+	doc.Runs[1].NsPerIter = 1500 // 0.67x < 1.0 floor
+	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
+		t.Fatal("expected failure below the clamped floor")
+	}
+}
+
+func TestGateSpeedupSkippedOnOneCPU(t *testing.T) {
+	// A 1-CPU host cannot exhibit a parallel speedup; the check is
+	// skipped with a notice instead of degenerating into a sub-parity
+	// floor, and the skip alone (with the ns-ratio check present) does
+	// not fail the gate.
 	base := docWith(1, run("pr3", "fig2-bp", "bp", 1, 1000))
 	doc := docWith(1,
 		run("pr4", "fig2-bp", "bp", 1, 1000),
-		run("pr4", "fig2-bp", "bp", 8, 1500), // 0.67x >= 0.5 floor
+		run("pr4", "fig2-bp", "bp", 8, 2500), // would fail any floor — ignored
 	)
-	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err != nil {
-		t.Fatalf("1-cpu host should pass the scaled floor: %v", err)
+	report, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3"))
+	if err != nil {
+		t.Fatalf("1-cpu host should skip the speedup check: %v\n%s", err, strings.Join(report, "\n"))
 	}
-	doc.Runs[1].NsPerIter = 2500 // 0.4x < 0.5 floor
-	if _, err := Gate(doc, base, DefaultGateOptions("pr4", "pr3")); err == nil {
-		t.Fatal("expected failure below the scaled floor")
+	found := false
+	for _, line := range report {
+		if strings.Contains(line, "SKIPPED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report has no SKIPPED notice: %v", report)
+	}
+	// With only the (skipped) speedup check matching, the gate still
+	// reports rather than erroring with "matched no runs".
+	onlySpeedup := GateOptions{
+		Label: "pr4", BaseLabel: "none", MaxNsRatio: 1.1,
+		MinSpeedup: 2.0, SpeedupThreads: 8, SpeedupConfigs: []string{"fig2-bp"},
+	}
+	if _, err := Gate(doc, base, onlySpeedup); err != nil {
+		t.Fatalf("skip-only gate should pass with notice: %v", err)
 	}
 }
 
@@ -92,8 +127,12 @@ func TestRequiredSpeedup(t *testing.T) {
 		{2.0, 8, 8, 2.0},
 		{2.0, 8, 4, 2.0},
 		{2.0, 8, 2, 1.0},
-		{2.0, 8, 1, 0.5},
+		// Clamp boundary: min(8,1)/2 = 0.5 would accept multi-thread
+		// runs slower than 1-thread; the floor never drops below 1.0.
+		{2.0, 8, 1, 1.0},
+		{2.0, 2, 1, 1.0},
 		{2.0, 2, 16, 1.0},
+		{0.8, 8, 8, 1.0}, // even an explicit sub-parity target is clamped
 	}
 	for _, c := range cases {
 		if got := requiredSpeedup(c.min, c.threads, c.cpu); got != c.want {

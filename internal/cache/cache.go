@@ -1,0 +1,301 @@
+// Package cache implements the content-addressed result cache behind
+// netalignd's request deduplication (and `netalign -cache-dir`). The
+// solvers are deterministic given a canonical problem and an output-
+// affecting option set — a property the solver test matrix pins
+// bit-identically across thread counts, pools and partitions — so a
+// finished result is a pure function of its cache key and can be
+// replayed for every later identical request.
+//
+// A key is the SHA-256 of the canonicalized problem bytes (the exact
+// bytes the server spools as problem.txt) plus the canonical option
+// fingerprint from core.Options.CacheFingerprint. Thread count,
+// partition mode, pooling and kernel fusion are excluded from the
+// fingerprint because they cannot change the output bits.
+//
+// The cache has two tiers:
+//
+//   - a memory tier: an LRU bounded by total serialized-result bytes
+//     (not entry count, so one huge alignment cannot silently pin the
+//     budget), and
+//   - an optional disk tier: one file per key, written atomically
+//     (temp file + fsync + rename + parent-directory fsync) and
+//     validated against a stored SHA-256 of the payload on every
+//     load, so a torn or corrupted file is detected, deleted and
+//     reported as a miss rather than served.
+//
+// The disk tier survives restarts; the memory tier refills from it on
+// demand.
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"netalignmc/internal/problemio"
+)
+
+// Key is a content address: the SHA-256 of a canonical problem plus
+// an option fingerprint.
+type Key [sha256.Size]byte
+
+// String returns the key in hex (the disk tier's file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor derives the cache key for a canonicalized problem and a
+// canonical option fingerprint (core.Options.CacheFingerprint). Both
+// parts are length-prefixed before hashing so no (problem, options)
+// pair can collide with a different split of the same concatenation.
+func KeyFor(problem []byte, fingerprint string) Key {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(problem)))
+	h.Write(n[:])
+	h.Write(problem)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(fingerprint)))
+	h.Write(n[:])
+	h.Write([]byte(fingerprint))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// ErrCorrupt reports a disk entry whose payload failed hash (or
+// header) validation; the entry is removed when detected.
+var ErrCorrupt = errors.New("cache: corrupt disk entry")
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Get calls answered from either tier.
+	Hits int64 `json:"hits"`
+	// DiskHits counts the subset of Hits answered from the disk tier
+	// (memory misses that the disk tier recovered).
+	DiskHits int64 `json:"diskHits"`
+	// Misses counts Get calls answered by neither tier.
+	Misses int64 `json:"misses"`
+	// Evictions counts memory-tier entries dropped by the LRU byte
+	// bound (disk copies, when present, survive eviction).
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts disk entries rejected by hash validation.
+	Corrupt int64 `json:"corrupt"`
+	// Bytes and Entries describe the memory tier right now.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// Cache is the two-tier result cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	dir      string
+
+	hits, diskHits, misses, evictions, corrupt int64
+}
+
+// New builds a cache whose memory tier holds at most maxBytes of
+// serialized results. dir, when non-empty, enables the disk tier
+// under that directory (created if needed). maxBytes must be
+// positive.
+func New(maxBytes int64, dir string) (*Cache, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive byte bound %d", maxBytes)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: disk tier: %w", err)
+		}
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		dir:      dir,
+	}, nil
+}
+
+// Get returns the cached result bytes for key. A memory miss falls
+// through to the disk tier (when enabled); a disk hit is promoted
+// back into the memory LRU. The returned slice is shared — callers
+// must not modify it.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).data, true
+	}
+	if c.dir == "" {
+		c.misses++
+		return nil, false
+	}
+	data, err := LoadDisk(c.dir, key)
+	switch {
+	case err == nil:
+		c.hits++
+		c.diskHits++
+		c.insertLocked(key, data)
+		return data, true
+	case errors.Is(err, ErrCorrupt):
+		c.corrupt++
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a result. The write goes through to the disk tier first
+// (when enabled) so the entry survives eviction and restarts; disk
+// write failures degrade to a memory-only entry rather than erroring
+// the solve that produced the result. A payload larger than the
+// whole memory bound is kept on disk only.
+func (c *Cache) Put(key Key, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir != "" {
+		_ = StoreDisk(c.dir, key, data)
+	}
+	if int64(len(data)) > c.maxBytes {
+		return
+	}
+	c.insertLocked(key, data)
+}
+
+// insertLocked adds (or refreshes) a memory entry and evicts from the
+// LRU tail until the byte bound holds. Callers hold c.mu.
+func (c *Cache) insertLocked(key Key, data []byte) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, data: data})
+		c.bytes += int64(len(data))
+	}
+	for c.bytes > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*entry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.data))
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
+		Evictions: c.evictions, Corrupt: c.corrupt,
+		Bytes: c.bytes, Entries: len(c.items),
+	}
+}
+
+// diskHeader is the first line of a disk entry: the key it claims to
+// answer, the SHA-256 of the payload that follows, and its length.
+type diskHeader struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+// diskPath returns the disk tier file for a key.
+func diskPath(dir string, key Key) string {
+	return filepath.Join(dir, key.String()+".res")
+}
+
+// LoadDisk reads and validates one disk-tier entry: fs.ErrNotExist
+// when absent, ErrCorrupt (and the file is removed) when the header
+// or the payload hash does not check out. It is exported so the
+// netalign CLI can share a daemon's warm entries without running a
+// full Cache.
+func LoadDisk(dir string, key Key) ([]byte, error) {
+	path := diskPath(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(reason string) error {
+		_ = os.Remove(path)
+		return fmt.Errorf("%w: %s: %s", ErrCorrupt, key, reason)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, corrupt("missing header")
+	}
+	var h diskHeader
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		return nil, corrupt("bad header")
+	}
+	data := raw[nl+1:]
+	if h.Key != key.String() || h.Bytes != len(data) {
+		return nil, corrupt("header mismatch")
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != h.SHA256 {
+		return nil, corrupt("payload hash mismatch")
+	}
+	return data, nil
+}
+
+// StoreDisk writes one disk-tier entry atomically: temp file, fsync,
+// rename, parent-directory fsync — the same discipline as the job
+// spool, so a crash never leaves a half-written entry under the
+// final name.
+func StoreDisk(dir string, key Key, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: disk tier: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	header, err := json.Marshal(diskHeader{
+		Key: key.String(), SHA256: hex.EncodeToString(sum[:]), Bytes: len(data),
+	})
+	if err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	path := diskPath(dir, key)
+	tmp, err := os.CreateTemp(dir, key.String()+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(append(header, '\n'), data...)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if err := problemio.SyncDir(dir); err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	return nil
+}

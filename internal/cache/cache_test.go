@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func key(s string) Key { return KeyFor([]byte(s), "fp") }
+
+func TestKeyForSensitivity(t *testing.T) {
+	base := KeyFor([]byte("problem"), "bp;iters=10")
+	if KeyFor([]byte("problem"), "bp;iters=11") == base {
+		t.Error("fingerprint change did not change the key")
+	}
+	if KeyFor([]byte("problem!"), "bp;iters=10") == base {
+		t.Error("problem change did not change the key")
+	}
+	// Length prefixing: moving a byte across the part boundary must
+	// not produce the same key.
+	if KeyFor([]byte("problemb"), "p;iters=10") == KeyFor([]byte("problem"), "bp;iters=10") {
+		t.Error("boundary shift collided")
+	}
+	if KeyFor([]byte("problem"), "bp;iters=10") != base {
+		t.Error("identical inputs produced different keys")
+	}
+}
+
+func TestMemoryHitMissAndLRUEviction(t *testing.T) {
+	c, err := New(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key("a"), bytes.Repeat([]byte{'a'}, 40))
+	c.Put(key("b"), bytes.Repeat([]byte{'b'}, 40))
+	if got, ok := c.Get(key("a")); !ok || len(got) != 40 || got[0] != 'a' {
+		t.Fatalf("get a = %q, %v", got, ok)
+	}
+	// "a" is now most recently used; inserting 40 more bytes must
+	// evict "b", the LRU entry.
+	c.Put(key("c"), bytes.Repeat([]byte{'c'}, 40))
+	if _, ok := c.Get(key("b")); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.Get(key("c")); !ok {
+		t.Error("new entry c missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries, 80 bytes", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 3 hits / 2 misses", st)
+	}
+
+	// An oversized payload never enters the memory tier.
+	c.Put(key("huge"), bytes.Repeat([]byte{'h'}, 200))
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Errorf("oversized put blew the byte bound: %+v", st)
+	}
+}
+
+func TestDiskTierRoundTripAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"objective":42}`)
+	c1.Put(key("job"), payload)
+
+	// A fresh cache over the same directory — as after a daemon
+	// restart — serves the entry from disk and promotes it.
+	c2, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key("job"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk get = %q, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats after disk hit = %+v", st)
+	}
+	// The promoted copy answers the next Get from memory.
+	if _, ok := c2.Get(key("job")); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Errorf("second get not served from memory: %+v", st)
+	}
+}
+
+func TestDiskCorruptEntryDetectedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	k := key("job")
+	if err := StoreDisk(dir, k, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.String()+".res")
+
+	corrupt := func(t *testing.T, mutate func([]byte) []byte) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDisk(dir, k); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("LoadDisk on corrupt entry: %v, want ErrCorrupt", err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+			t.Error("corrupt entry not removed")
+		}
+	}
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		corrupt(t, func(raw []byte) []byte {
+			raw[len(raw)-1] ^= 0xff
+			return raw
+		})
+	})
+	if err := StoreDisk(dir, k, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("truncated payload", func(t *testing.T) {
+		corrupt(t, func(raw []byte) []byte { return raw[:len(raw)-3] })
+	})
+	if err := StoreDisk(dir, k, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("mangled header", func(t *testing.T) {
+		corrupt(t, func(raw []byte) []byte { return append([]byte("not json"), raw...) })
+	})
+
+	// Through the Cache: a corrupt entry is a counted miss, not a hit.
+	if err := StoreDisk(dir, k, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	_ = os.WriteFile(path, raw, 0o644)
+	c, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Errorf("stats after corrupt get = %+v", st)
+	}
+}
+
+func TestLoadDiskAbsent(t *testing.T) {
+	if _, err := LoadDisk(t.TempDir(), key("missing")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("absent entry: %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestPutRefreshSameKey(t *testing.T) {
+	c, err := New(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key("a"), bytes.Repeat([]byte{'1'}, 30))
+	c.Put(key("a"), bytes.Repeat([]byte{'2'}, 50))
+	got, ok := c.Get(key("a"))
+	if !ok || len(got) != 50 || got[0] != '2' {
+		t.Fatalf("refreshed entry = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 50 {
+		t.Errorf("stats after refresh = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(1<<12, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("k%d", (w+i)%16))
+				c.Put(k, bytes.Repeat([]byte{byte(w)}, 64))
+				c.Get(k)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

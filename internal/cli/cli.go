@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"netalignmc/internal/cache"
 	"netalignmc/internal/core"
 	"netalignmc/internal/gen"
 	"netalignmc/internal/matching"
@@ -110,6 +112,15 @@ type AlignOptions struct {
 	// ResumePath, when set, resumes the run from a checkpoint written
 	// by a previous invocation with the same problem and method.
 	ResumePath string
+	// CacheDir, when set, is a content-addressed result cache shared
+	// across invocations (the same disk format netalignd's cache tier
+	// uses). Before solving, Align hashes the canonical problem bytes
+	// plus the output-affecting options and replays a stored result on
+	// a hit; after a complete deterministic run (stopped on
+	// max-iterations or convergence) it stores the result. Ignored
+	// when Timeout or ResumePath is set — those runs' outcomes depend
+	// on state outside the key.
+	CacheDir string
 
 	// JSON replaces the human-readable summary on out with the
 	// machine-readable core.ResultJSON encoding.
@@ -212,29 +223,73 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 		mrObserver = reporter.MRObserver()
 	}
 
+	// Result cache: key the canonical problem bytes plus the
+	// output-affecting option fingerprint. A hit replays the stored
+	// result — guaranteed bit-identical to what the solve would
+	// produce, because the solver output is a pure function of the key.
+	var cacheKey cache.Key
+	useCache := false
+	if o.CacheDir != "" && o.ResumePath == "" && o.Timeout == 0 {
+		fp, ok := core.Options{
+			Method: method,
+			BP:     core.BPOptions{Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch, Matcher: spec},
+			MR:     core.MROptions{Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep, Matcher: spec},
+		}.CacheFingerprint()
+		if ok {
+			var buf bytes.Buffer
+			if err := problemio.Write(&buf, p); err == nil {
+				cacheKey = cache.KeyFor(buf.Bytes(), fp)
+				useCache = true
+			}
+		}
+	}
+
 	start := time.Now()
-	// Options carries both methods' option sets; Align reads only the
-	// selected one.
-	res, runErr := p.Align(ctx, core.Options{
-		Method: method,
-		BP: core.BPOptions{
-			Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
-			Threads: o.Threads, Matcher: spec, FuseKernels: o.Fused,
-			Timer: timer, Trace: o.Trace,
-			Observer: bpObserver,
-			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		},
-		MR: core.MROptions{
-			Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
-			Threads: o.Threads, Matcher: spec,
-			Timer: timer, Trace: o.Trace,
-			Observer: mrObserver,
-			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
-		},
-	})
+	var res *core.AlignResult
+	var runErr error
+	cached := false
+	if useCache {
+		if data, err := cache.LoadDisk(o.CacheDir, cacheKey); err == nil {
+			var doc core.ResultJSON
+			if json.Unmarshal(data, &doc) == nil {
+				if r, err := doc.Restore(p); err == nil {
+					res, cached = r, true
+				}
+			}
+		}
+	}
+	if !cached {
+		// Options carries both methods' option sets; Align reads only
+		// the selected one.
+		res, runErr = p.Align(ctx, core.Options{
+			Method: method,
+			BP: core.BPOptions{
+				Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
+				Threads: o.Threads, Matcher: spec, FuseKernels: o.Fused,
+				Timer: timer, Trace: o.Trace,
+				Observer: bpObserver,
+				Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+			},
+			MR: core.MROptions{
+				Iterations: o.Iters, Gamma: o.Gamma, MStep: o.MStep,
+				Threads: o.Threads, Matcher: spec,
+				Timer: timer, Trace: o.Trace,
+				Observer: mrObserver,
+				Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
+			},
+		})
+	}
 	elapsed := time.Since(start)
 	if runErr != nil {
 		return res, fmt.Errorf("cli: %s run: %w", method, runErr)
+	}
+	if useCache && !cached &&
+		(res.Stopped == core.StopMaxIter || res.Stopped == core.StopConverged) {
+		// Only deterministic completions enter the cache; cancelled and
+		// numerics outcomes depend on when the run was interrupted.
+		if data, err := json.Marshal(res.JSON()); err == nil {
+			_ = cache.StoreDisk(o.CacheDir, cacheKey, data)
+		}
 	}
 
 	if o.JSON {
@@ -269,6 +324,9 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	fmt.Fprintf(out, "stopped:      %s\n", res.Stopped)
 	if res.NumericFailures > 0 {
 		fmt.Fprintf(out, "numeric guard tripped %d time(s)\n", res.NumericFailures)
+	}
+	if cached {
+		fmt.Fprintf(out, "cached:       result replayed from %s\n", o.CacheDir)
 	}
 	fmt.Fprintf(out, "elapsed:      %v\n", elapsed.Round(time.Millisecond))
 	if timer != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"netalignmc/internal/matching"
 	"netalignmc/internal/stats"
 )
 
@@ -76,6 +78,57 @@ func (p *Problem) ProblemSummaryJSON() *ProblemJSON {
 		NnzS:     p.NNZS(),
 		SRowSkew: stats.SkewOfPtr(p.S.Ptr),
 	}
+}
+
+// Restore rebuilds an AlignResult from its JSON encoding against the
+// problem it was computed on: the matching's MateB side and per-edge
+// weight are re-derived from MateA over p.L. The CLI's result cache
+// uses it to replay a stored result exactly as if the solve had just
+// run. It fails when the document's mate array does not fit p.L —
+// the guard against replaying a result onto the wrong problem.
+func (d *ResultJSON) Restore(p *Problem) (*AlignResult, error) {
+	r := &AlignResult{
+		Objective:       d.Objective,
+		MatchWeight:     d.MatchWeight,
+		Overlap:         d.Overlap,
+		BestIter:        d.BestIter,
+		Iterations:      d.Iterations,
+		Evaluations:     d.Evaluations,
+		Stopped:         d.Stopped,
+		Converged:       d.Converged,
+		NumericFailures: d.NumericFailures,
+	}
+	if d.Error != "" {
+		r.Err = errors.New(d.Error)
+	}
+	if d.MateA == nil {
+		return r, nil
+	}
+	if len(d.MateA) != p.L.NA {
+		return nil, fmt.Errorf("core: restore: mate array has %d entries, problem has %d A-vertices", len(d.MateA), p.L.NA)
+	}
+	m := &matching.Result{
+		MateA: append([]int(nil), d.MateA...),
+		MateB: make([]int, p.L.NB),
+	}
+	for i := range m.MateB {
+		m.MateB[i] = -1
+	}
+	for a, b := range m.MateA {
+		if b < 0 {
+			continue
+		}
+		if b >= p.L.NB {
+			return nil, fmt.Errorf("core: restore: mate %d -> %d out of range (NB=%d)", a, b, p.L.NB)
+		}
+		m.MateB[b] = a
+		m.Card++
+		if e, ok := p.L.Find(a, b); ok {
+			m.Weight += p.L.W[e]
+		}
+	}
+	r.Matching = m
+	return r, nil
 }
 
 // JSON builds the serializable view of the result. The mate array is

@@ -9,12 +9,19 @@
 package faults
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrCrash is the sentinel returned by Plan.Crash at an armed crash
+// point. Code under test treats it as the process dying at that
+// instant: the operation aborts with whatever has already reached the
+// disk, and the test then exercises recovery over that state.
+var ErrCrash = errors.New("faults: simulated crash")
 
 // NaNInjection corrupts a solver vector at a named step.
 type NaNInjection struct {
@@ -40,6 +47,7 @@ type Plan struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	nan     []NaNInjection
+	crashes map[string]bool
 	strikes atomic.Int64
 }
 
@@ -88,6 +96,39 @@ func (p *Plan) CorruptVector(step string, iter int, vec []float64) {
 
 // Strikes reports how many times the plan has delivered a fault.
 func (p *Plan) Strikes() int { return int(p.strikes.Load()) }
+
+// WithCrash arms a one-shot simulated crash at the named point and
+// returns the plan for chaining. Point names are chosen by the code
+// under test — the spool's atomic writes, for example, expose
+// "before-rename:<file>" and "after-rename:<file>" so durability
+// tests can kill a write on either side of its rename.
+func (p *Plan) WithCrash(point string) *Plan {
+	p.mu.Lock()
+	if p.crashes == nil {
+		p.crashes = make(map[string]bool)
+	}
+	p.crashes[point] = true
+	p.mu.Unlock()
+	return p
+}
+
+// Crash implements a crash hook: it returns ErrCrash the first time
+// an armed point is reached (disarming it, so recovery code running
+// afterwards is not re-struck) and nil otherwise. A nil plan never
+// crashes, so production paths can call hooks unconditionally.
+func (p *Plan) Crash(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.crashes[point] {
+		return nil
+	}
+	delete(p.crashes, point)
+	p.strikes.Add(1)
+	return ErrCrash
+}
 
 // PanicOnIndex wraps a parallel-loop body so it panics with value msg
 // the first time its range covers index target (exactly once across

@@ -350,9 +350,29 @@ func ReadCheckpoint(r io.Reader) (*core.Checkpoint, error) {
 	return c, nil
 }
 
+// SyncDir fsyncs a directory, making a preceding rename inside it
+// durable. Atomic write paths (checkpoint, spool, cache) must call it
+// after os.Rename: the rename itself only reaches the disk when the
+// parent directory's metadata does, so a crash in between can roll
+// the directory back to the old entry — or leave neither — even
+// though the file's own contents were synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // WriteCheckpointFile writes a checkpoint atomically: to a temporary
-// file in the destination directory, synced, then renamed into place,
-// so an interrupted run never leaves a truncated checkpoint behind.
+// file in the destination directory, synced, then renamed into place
+// (with a parent-directory fsync), so an interrupted run never leaves
+// a truncated checkpoint behind and a completed rename survives a
+// crash.
 func WriteCheckpointFile(path string, c *core.Checkpoint) error {
 	dir, base := ".", path
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
@@ -376,6 +396,9 @@ func WriteCheckpointFile(path string, c *core.Checkpoint) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("problemio: checkpoint rename: %w", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("problemio: checkpoint dir sync: %w", err)
 	}
 	return nil
 }

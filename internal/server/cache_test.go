@@ -1,0 +1,542 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"netalignmc/internal/faults"
+)
+
+// cacheConfig returns a test config with the result cache enabled.
+func cacheConfig(dir string) Config {
+	return Config{Workers: 1, CacheBytes: 16 << 20, CacheDir: dir}
+}
+
+// waitJob polls a job through the manager until it reaches want.
+func waitJob(t *testing.T, mgr *Manager, id string, want State, timeout time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := mgr.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := j.Status()
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s, want %s", id, st.State, timeout, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func rawResult(t *testing.T, mgr *Manager, id string) []byte {
+	t.Helper()
+	data, err := mgr.Result(id)
+	if err != nil {
+		t.Fatalf("result %s: %v", id, err)
+	}
+	return data
+}
+
+func TestCacheHitSecondSubmit(t *testing.T) {
+	mgr, _ := newTestServer(t, cacheConfig(""))
+	j1, err := mgr.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, j1.ID, StateDone, 30*time.Second)
+	if m := mgr.Snapshot(); m.CacheHits != 0 || m.CacheMisses != 1 {
+		t.Fatalf("after first solve: hits=%d misses=%d, want 0/1", m.CacheHits, m.CacheMisses)
+	}
+
+	// The identical second submission completes at submit time: no
+	// queueing, no solver iterations, same bytes.
+	j2, err := mgr.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j2.Status()
+	if st.State != StateDone {
+		t.Fatalf("cached submit state = %s, want done immediately", st.State)
+	}
+	if st.Iter != 0 {
+		t.Fatalf("cached job ran %d iterations, want 0", st.Iter)
+	}
+	if m := mgr.Snapshot(); m.CacheHits != 1 {
+		t.Fatalf("cacheHits = %d, want 1", m.CacheHits)
+	}
+	if r1, r2 := rawResult(t, mgr, j1.ID), rawResult(t, mgr, j2.ID); !bytes.Equal(r1, r2) {
+		t.Fatalf("cached result differs from original:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	mgr, _ := newTestServer(t, cacheConfig(""))
+	j, err := mgr.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, j.ID, StateDone, 30*time.Second)
+
+	// submitAndWait returns whether the submission was a cache hit.
+	submitAndWait := func(spec Spec) bool {
+		t.Helper()
+		before := mgr.Snapshot().CacheHits
+		nj, err := mgr.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := mgr.Snapshot().CacheHits == before+1
+		if hit {
+			if st := nj.Status(); st.State != StateDone || st.Iter != 0 {
+				t.Fatalf("hit job state=%s iter=%d, want done/0", st.State, st.Iter)
+			}
+		} else {
+			waitJob(t, mgr, nj.ID, StateDone, 30*time.Second)
+		}
+		return hit
+	}
+
+	// Execution-layer knobs leave the key unchanged.
+	threads := smallSpec()
+	threads.Threads = 4
+	if !submitAndWait(threads) {
+		t.Error("thread-count change missed the cache")
+	}
+	progress := smallSpec()
+	progress.ProgressEvery = 5
+	progress.CheckpointEvery = 3
+	if !submitAndWait(progress) {
+		t.Error("progress/checkpoint cadence change missed the cache")
+	}
+
+	// Output-affecting changes must miss.
+	seed := smallSpec()
+	seed.Generator.Seed = 8
+	if submitAndWait(seed) {
+		t.Error("generator seed change hit the cache")
+	}
+	alpha := smallSpec()
+	alpha.Alpha, alpha.Beta = 1.5, 2
+	if submitAndWait(alpha) {
+		t.Error("alpha change hit the cache")
+	}
+	iters := smallSpec()
+	iters.Iterations = 21
+	if submitAndWait(iters) {
+		t.Error("iteration-budget change hit the cache")
+	}
+	matcher := smallSpec()
+	matcher.Approx = false
+	matcher.Matcher = "suitor"
+	if submitAndWait(matcher) {
+		t.Error("matcher change hit the cache")
+	}
+}
+
+func TestCoalescingSingleFlight(t *testing.T) {
+	mgr, _ := newTestServer(t, cacheConfig(""))
+
+	// Occupy the single worker so the coalescing target stays queued
+	// while the concurrent submissions land.
+	blocker, err := mgr.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, blocker.ID, StateRunning, 30*time.Second)
+
+	spec := smallSpec()
+	spec.Iterations = 40
+	spec.CheckpointEvery = 5
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := mgr.Submit(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if m := mgr.Snapshot(); m.Coalesced != n-1 {
+		t.Fatalf("coalesced = %d, want %d", m.Coalesced, n-1)
+	}
+
+	if _, err := mgr.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	var results [][]byte
+	withCheckpoint := 0
+	for _, id := range ids {
+		st := waitJob(t, mgr, id, StateDone, 60*time.Second)
+		if st.Iter == 0 {
+			t.Errorf("job %s reports 0 iterations; followers mirror the shared execution", id)
+		}
+		results = append(results, rawResult(t, mgr, id))
+		if _, err := os.Stat(mgr.Store().CheckpointPath(id)); err == nil {
+			withCheckpoint++
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Errorf("result %d differs from result 0", i)
+		}
+	}
+	// Exactly one of the n jobs actually executed (solver checkpoints
+	// land only in the primary's spool directory).
+	if withCheckpoint != 1 {
+		t.Errorf("%d job dirs hold checkpoints, want exactly 1 (single execution)", withCheckpoint)
+	}
+	// The completed counter increments just after the terminal state
+	// becomes visible; give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Snapshot().Completed != int64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("completed = %d, want %d", mgr.Snapshot().Completed, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancelFollowerDetaches(t *testing.T) {
+	mgr, _ := newTestServer(t, cacheConfig(""))
+	blocker, err := mgr.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, blocker.ID, StateRunning, 30*time.Second)
+
+	spec := smallSpec()
+	prim, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mgr.Snapshot(); m.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", m.Coalesced)
+	}
+	st, err := mgr.Cancel(follower.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled follower state = %s", st.State)
+	}
+	// The primary is unaffected: unblock the worker and it completes.
+	if _, err := mgr.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, prim.ID, StateDone, 60*time.Second)
+}
+
+func TestCancelQueuedPrimaryPromotesFollower(t *testing.T) {
+	mgr, _ := newTestServer(t, cacheConfig(""))
+	blocker, err := mgr.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr, blocker.ID, StateRunning, 30*time.Second)
+
+	spec := smallSpec()
+	prim, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Cancel(prim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled primary state = %s", st.State)
+	}
+	// The follower was promoted: once the worker frees up it runs and
+	// completes on its own.
+	if _, err := mgr.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	fst := waitJob(t, mgr, follower.ID, StateDone, 60*time.Second)
+	if fst.Iter == 0 {
+		t.Error("promoted follower reports 0 iterations; it should have solved")
+	}
+}
+
+func TestCacheDiskTierSurvivesRestart(t *testing.T) {
+	cacheDir := t.TempDir()
+	spool1 := t.TempDir()
+	cfg := cacheConfig(cacheDir)
+	cfg.Spool = spool1
+	mgr1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := mgr1.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr1, j1.ID, StateDone, 30*time.Second)
+	want := rawResult(t, mgr1, j1.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh manager over a fresh spool but the same cache directory
+	// serves the result from the disk tier without solving.
+	cfg.Spool = t.TempDir()
+	mgr2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr2.Shutdown(ctx)
+	}()
+	j2, err := mgr2.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Status(); st.State != StateDone || st.Iter != 0 {
+		t.Fatalf("disk-cached submit state=%s iter=%d, want done/0", st.State, st.Iter)
+	}
+	m := mgr2.Snapshot()
+	if m.CacheHits != 1 || m.CacheDiskHits != 1 {
+		t.Fatalf("hits=%d diskHits=%d, want 1/1", m.CacheHits, m.CacheDiskHits)
+	}
+	if got := rawResult(t, mgr2, j2.ID); !bytes.Equal(got, want) {
+		t.Fatal("disk-tier result differs from the original run")
+	}
+}
+
+func TestCacheCorruptDiskEntryReSolves(t *testing.T) {
+	cacheDir := t.TempDir()
+	cfg := cacheConfig(cacheDir)
+	cfg.Spool = t.TempDir()
+	mgr1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := mgr1.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr1, j1.ID, StateDone, 30*time.Second)
+	want := rawResult(t, mgr1, j1.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in every disk-tier entry.
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.res"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no disk-tier entries (err %v)", err)
+	}
+	for _, path := range entries {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg.Spool = t.TempDir()
+	mgr2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr2.Shutdown(ctx)
+	}()
+	j2, err := mgr2.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupt entry is detected, removed, and the job solves for
+	// real — producing the same bytes again.
+	waitJob(t, mgr2, j2.ID, StateDone, 30*time.Second)
+	m := mgr2.Snapshot()
+	if m.CacheHits != 0 || m.CacheCorrupt != 1 {
+		t.Fatalf("hits=%d corrupt=%d, want 0/1", m.CacheHits, m.CacheCorrupt)
+	}
+	if got := rawResult(t, mgr2, j2.ID); !bytes.Equal(got, want) {
+		t.Fatal("re-solved result differs from the original run")
+	}
+}
+
+func TestSubmitCrashAfterRenameRecovered(t *testing.T) {
+	spool := t.TempDir()
+	mgr1, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the submit just after job.json's rename: the directory
+	// entry reached the disk (and the dir was about to be fsynced), so
+	// the job is durable and must be recovered — not lost — by the
+	// next startup.
+	plan := faults.NewPlan(1).WithCrash("after-rename:job.json")
+	mgr1.Store().SetCrashHook(plan.Crash)
+	if _, err := mgr1.Submit(smallSpec()); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("submit with armed crash: %v, want ErrCrash", err)
+	}
+	if plan.Strikes() != 1 {
+		t.Fatalf("strikes = %d, want 1", plan.Strikes())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr2.Shutdown(ctx)
+	}()
+	jobs := mgr2.List()
+	if len(jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(jobs))
+	}
+	if m := mgr2.Snapshot(); m.Resumed != 1 {
+		t.Fatalf("resumed = %d, want 1", m.Resumed)
+	}
+	waitJob(t, mgr2, jobs[0].ID, StateDone, 30*time.Second)
+}
+
+func TestSubmitCrashBeforeRenameSkipped(t *testing.T) {
+	spool := t.TempDir()
+	mgr1, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash before job.json's rename: the record never reached its
+	// final name, so recovery must skip the orphan directory without
+	// failing the whole spool.
+	plan := faults.NewPlan(1).WithCrash("before-rename:job.json")
+	mgr1.Store().SetCrashHook(plan.Crash)
+	if _, err := mgr1.Submit(smallSpec()); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("submit with armed crash: %v, want ErrCrash", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr2.Shutdown(ctx)
+	}()
+	if jobs := mgr2.List(); len(jobs) != 0 {
+		t.Fatalf("recovered %d jobs from a half-written spool, want 0", len(jobs))
+	}
+	// The spool still works.
+	j, err := mgr2.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, mgr2, j.ID, StateDone, 30*time.Second)
+}
+
+func TestBrokerLaggedSubscriber(t *testing.T) {
+	b := newBroker()
+	sub, cancel := b.subscribe()
+	defer cancel()
+	// Overflow the buffer without reading: the excess is dropped but
+	// the subscriber is marked lagged.
+	for i := 0; i < subscriberBuffer+16; i++ {
+		b.publish("progress", i)
+	}
+	drained := 0
+	for len(sub.Events()) > 0 {
+		<-sub.Events()
+		drained++
+	}
+	if drained != subscriberBuffer {
+		t.Fatalf("drained %d events, want %d buffered", drained, subscriberBuffer)
+	}
+	if !sub.TakeLagged() {
+		t.Fatal("subscriber not marked lagged after overflow")
+	}
+	if sub.TakeLagged() {
+		t.Fatal("lagged mark not cleared by TakeLagged")
+	}
+	// A subscriber that keeps up is never marked.
+	b.publish("progress", 1)
+	<-sub.Events()
+	if sub.TakeLagged() {
+		t.Fatal("keeping-up subscriber marked lagged")
+	}
+}
+
+func TestResultStreamedWithContentLength(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := submitOK(t, ts, smallSpec())
+	waitState(t, ts, id, StateDone, 30*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.ContentLength <= 0 {
+		t.Fatalf("Content-Length = %d, want the result size", resp.ContentLength)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != resp.ContentLength {
+		t.Fatalf("body %d bytes, Content-Length %d", buf.Len(), resp.ContentLength)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 
 	"netalignmc/internal/parallel"
 )
@@ -141,7 +143,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, errNotReady, "job %s is %s; result not ready", j.ID, st.State)
 		return
 	}
-	data, err := s.mgr.Result(j.ID)
+	rc, size, err := s.mgr.OpenResult(j.ID)
 	if errors.Is(err, fs.ErrNotExist) {
 		// Terminal without a result: failed before producing one (or
 		// cancelled while still queued).
@@ -152,9 +154,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
+	defer rc.Close()
+	// Stream from the spool file instead of buffering: a result's
+	// matching scales with the problem, and holding the whole document
+	// per in-flight request multiplies peak memory by concurrency.
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	_, _ = io.Copy(w, rc)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -176,9 +183,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 //	event: state     — a JobStatus snapshot (sent on subscribe and on
 //	                   every state change)
 //	event: progress  — a core.ProgressEvent per observed iteration
+//	event: lagged    — a JobStatus snapshot, sent when this consumer
+//	                   was too slow and progress events were dropped
 //
-// The stream ends when the job reaches a terminal state or the client
-// disconnects.
+// The contract is at-least-once-snapshot: individual progress events
+// may be lost to a slow consumer, but the gap is always announced via
+// a "lagged" event carrying the job's current state, and a final state
+// snapshot always ends a completed stream. The stream ends when the
+// job reaches a terminal state or the client disconnects.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
@@ -192,7 +204,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	// Subscribe before snapshotting the state so no transition between
 	// the snapshot and the subscription is missed.
-	ch, cancel := j.events.subscribe()
+	sub, cancel := j.events.subscribe()
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -216,7 +228,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev, ok := <-ch:
+		case ev, ok := <-sub.Events():
 			if !ok {
 				// Broker closed: the job is terminal. Send a final
 				// state snapshot so late transitions are never lost.
@@ -225,6 +237,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					writeEvent(Event{Type: "state", Data: final})
 				}
 				return
+			}
+			if sub.TakeLagged() {
+				// This consumer missed events while stalled; announce
+				// the gap with a current snapshot before resuming the
+				// buffered stream.
+				snap, err := json.Marshal(j.Status())
+				if err == nil && !writeEvent(Event{Type: "lagged", Data: snap}) {
+					return
+				}
 			}
 			if !writeEvent(ev) {
 				return
@@ -263,6 +284,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("netalignd_jobs_failed_total", "Jobs finished failed.", m.Failed)
 	counter("netalignd_jobs_cancelled_total", "Jobs cancelled.", m.Cancelled)
 	counter("netalignd_jobs_numerics_total", "Jobs stopped by the numeric guard.", m.Numerics)
+	counter("netalignd_jobs_coalesced_total", "Submissions coalesced onto an identical inflight job.", m.Coalesced)
+	if m.CacheEnabled {
+		counter("netalignd_cache_hits_total", "Result-cache hits (memory or disk).", m.CacheHits)
+		counter("netalignd_cache_disk_hits_total", "Result-cache hits served from the disk tier.", m.CacheDiskHits)
+		counter("netalignd_cache_misses_total", "Result-cache misses.", m.CacheMisses)
+		counter("netalignd_cache_evictions_total", "Result-cache entries evicted by the byte bound.", m.CacheEvicted)
+		counter("netalignd_cache_corrupt_total", "Corrupt disk-tier entries detected and removed.", m.CacheCorrupt)
+		gauge("netalignd_cache_bytes", "Serialized result bytes held in memory.", float64(m.CacheBytes))
+		gauge("netalignd_cache_entries", "Results held in the memory tier.", float64(m.CacheEntries))
+	}
 	const stepName = "netalignd_solve_step_seconds"
 	fmt.Fprintf(w, "# HELP %s Cumulative solver time per pipeline stage.\n# TYPE %s counter\n", stepName, stepName)
 	steps := make([]string, 0, len(m.StepSeconds))

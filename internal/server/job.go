@@ -204,6 +204,36 @@ func (s *Spec) matcherText() string {
 	return "exact"
 }
 
+// cacheFingerprint renders the spec's output-affecting solver options
+// as the canonical fingerprint the result cache keys on (see
+// core.Options.CacheFingerprint). Thread counts, progress and
+// checkpoint cadence are absent on purpose: the solve is bit-identical
+// across them. The second return is false when the spec cannot be
+// cached (unparsable matcher — unreachable for validated specs).
+func (s *Spec) cacheFingerprint() (string, bool) {
+	mspec, err := matching.ParseMatcherSpec(s.matcherText())
+	if err != nil {
+		return "", false
+	}
+	opts := core.Options{
+		Method: core.MethodBP,
+		BP: core.BPOptions{
+			Iterations: s.Iterations, Gamma: s.Gamma, Batch: s.Batch,
+			Matcher: mspec,
+		},
+	}
+	if s.methodName() == "mr" {
+		opts = core.Options{
+			Method: core.MethodMR,
+			MR: core.MROptions{
+				Iterations: s.Iterations, Gamma: s.Gamma, MStep: s.MStep,
+				Matcher: mspec,
+			},
+		}
+	}
+	return opts.CacheFingerprint()
+}
+
 // BuildProblem materializes the spec's problem source. threads bounds
 // the parallelism of S construction.
 func (s *Spec) BuildProblem(threads int) (*core.Problem, error) {

@@ -1,14 +1,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netalignmc/internal/cache"
 	"netalignmc/internal/core"
 	"netalignmc/internal/matching"
 	"netalignmc/internal/problemio"
@@ -45,6 +49,15 @@ type Config struct {
 	// Threads is the default per-solve thread count when a spec does
 	// not set one (default GOMAXPROCS/Workers, at least 1).
 	Threads int
+	// CacheBytes bounds the in-memory result cache (serialized
+	// result.json bytes). Zero or negative disables the cache and
+	// request coalescing entirely, which is the library default; the
+	// netalignd binary turns it on.
+	CacheBytes int64
+	// CacheDir, when non-empty and the cache is enabled, adds a disk
+	// tier under that directory which survives restarts (entries are
+	// hash-validated on load).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +98,18 @@ type Job struct {
 
 	iter   atomic.Int64
 	events *broker
+
+	// Result-cache linkage. cacheKey/hasKey are set once at submit (or
+	// recovery) and never change. primary and followers implement
+	// single-flight coalescing: a follower is a job whose identical
+	// submission attached to an already-inflight primary instead of
+	// running; the primary fans its progress and final result out to
+	// its followers. Both fields are mutated only under m.mu plus the
+	// owning job's mu, and read under the owning job's mu alone.
+	cacheKey  cache.Key
+	hasKey    bool
+	primary   *Job
+	followers []*Job
 }
 
 // metaLocked snapshots the durable record; callers hold j.mu.
@@ -126,6 +151,7 @@ type Counters struct {
 	Submitted, Resumed, Rejected           atomic.Int64
 	Completed, Failed, Cancelled, Numerics atomic.Int64
 	Interrupted/* requeued by drain or crash */ atomic.Int64
+	Coalesced/* submissions attached to an inflight identical job */ atomic.Int64
 }
 
 // Manager owns the job lifecycle: a FIFO queue with a depth limit
@@ -136,6 +162,11 @@ type Manager struct {
 	store *Store
 	timer *stats.StepTimer
 	start time.Time
+	// cache is the content-addressed result cache (nil when disabled).
+	// Keys hash the canonicalized problem bytes plus the spec's
+	// output-affecting option fingerprint, so a hit is guaranteed to be
+	// the bit-identical result the solve would have produced.
+	cache *cache.Cache
 
 	draining atomic.Bool
 
@@ -143,8 +174,12 @@ type Manager struct {
 	cond   *sync.Cond
 	queue  []*Job
 	jobs   map[string]*Job
-	closed bool
-	wg     sync.WaitGroup
+	// inflight is the single-flight table: at most one queued/running
+	// job per cache key; identical submissions attach to it as
+	// followers instead of solving again.
+	inflight map[cache.Key]*Job
+	closed   bool
+	wg       sync.WaitGroup
 
 	counters Counters
 }
@@ -160,11 +195,19 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:   cfg,
-		store: store,
-		timer: stats.NewStepTimer(),
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
+		cfg:      cfg,
+		store:    store,
+		timer:    stats.NewStepTimer(),
+		start:    time.Now(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[cache.Key]*Job),
+	}
+	if cfg.CacheBytes > 0 {
+		c, err := cache.New(cfg.CacheBytes, cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: result cache: %w", err)
+		}
+		m.cache = c
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if err := m.recover(); err != nil {
@@ -219,6 +262,23 @@ func (m *Manager) recover() error {
 		if err := m.store.SaveMeta(j.metaLocked()); err != nil {
 			return err
 		}
+		// Re-key recovered jobs so their eventual results land in the
+		// cache and later identical submissions coalesce onto them. The
+		// canonical problem bytes are already in the spool. When several
+		// recovered jobs share a key, the first claims the single-flight
+		// slot and the rest just run (their finishes skip the foreign
+		// inflight entry).
+		if m.cache != nil {
+			if fp, ok := j.Spec.cacheFingerprint(); ok {
+				if pb, err := m.store.LoadProblemBytes(j.ID); err == nil {
+					j.cacheKey = cache.KeyFor(pb, fp)
+					j.hasKey = true
+					if _, taken := m.inflight[j.cacheKey]; !taken {
+						m.inflight[j.cacheKey] = j
+					}
+				}
+			}
+		}
 		m.jobs[j.ID] = j
 		m.queue = append(m.queue, j)
 		m.counters.Resumed.Add(1)
@@ -227,9 +287,14 @@ func (m *Manager) recover() error {
 }
 
 // Submit validates the spec, materializes and canonicalizes the
-// problem into the spool, and enqueues the job. It fails with
+// problem into the spool, and enqueues the job. With the result cache
+// enabled, a submission whose (problem, options) key hits the cache
+// returns an already-completed job without solving, and one identical
+// to a queued/running job coalesces onto it as a follower (one
+// execution, two job ids, byte-identical results). Submit fails with
 // ErrQueueFull when the queue is at its depth limit and ErrDraining
-// during shutdown.
+// during shutdown; cache hits and coalesced joins consume no queue
+// slot and are admitted even at the depth limit.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
@@ -245,10 +310,41 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if m.draining.Load() {
 		return nil, ErrDraining
 	}
+	// Serialize the problem once: the spool write and the cache key use
+	// the same bytes, so they can never disagree.
+	var buf bytes.Buffer
+	if err := problemio.Write(&buf, p); err != nil {
+		return nil, fmt.Errorf("server: canonicalize problem: %w", err)
+	}
+	pb := buf.Bytes()
+	var key cache.Key
+	cacheable := false
+	if m.cache != nil && spec.TimeoutSec == 0 {
+		// Timed jobs are excluded: a deadline makes the outcome
+		// wall-clock-dependent, and coalescing one onto an unbounded
+		// primary would void its deadline.
+		if fp, ok := spec.cacheFingerprint(); ok {
+			key = cache.KeyFor(pb, fp)
+			cacheable = true
+		}
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if cacheable {
+		if data, ok := m.cache.Get(key); ok {
+			j, err := m.admitCachedLocked(spec, pb, data)
+			m.mu.Unlock()
+			return j, err
+		}
+		if prim, ok := m.inflight[key]; ok {
+			j, err := m.attachFollowerLocked(spec, pb, key, prim)
+			m.mu.Unlock()
+			return j, err
+		}
 	}
 	if len(m.queue) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
@@ -263,11 +359,12 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j := &Job{
 		ID: id, Spec: spec, state: StateQueued,
 		created: time.Now(), events: newBroker(),
+		cacheKey: key, hasKey: cacheable,
 	}
 	// Persist before enqueueing so a crash in between recovers the
 	// job instead of losing it.
 	if err := m.store.CreateJob(id); err == nil {
-		err = m.store.SaveProblem(id, p)
+		err = m.store.SaveProblemBytes(id, pb)
 	}
 	if err == nil {
 		err = m.store.SaveMeta(j.metaLocked())
@@ -276,11 +373,95 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
+	if cacheable {
+		m.inflight[key] = j
+	}
 	m.jobs[id] = j
 	m.queue = append(m.queue, j)
 	m.counters.Submitted.Add(1)
 	m.cond.Signal()
 	m.mu.Unlock()
+	return j, nil
+}
+
+// admitCachedLocked creates an already-completed job from a cached
+// result: the spool record is fully persisted (problem, result, done
+// meta), so the job is indistinguishable from one that ran — except
+// its iteration counter stays at zero and no solver work happens.
+// Called with m.mu held.
+func (m *Manager) admitCachedLocked(spec Spec, problem, result []byte) (*Job, error) {
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	j := &Job{
+		ID: id, Spec: spec, state: StateDone,
+		created: now, finished: now, events: newBroker(),
+	}
+	if err := m.store.CreateJob(id); err == nil {
+		err = m.store.SaveProblemBytes(id, problem)
+	}
+	if err == nil {
+		err = m.store.SaveResultBytes(id, result)
+	}
+	if err == nil {
+		err = m.store.SaveMeta(j.metaLocked())
+	}
+	if err != nil {
+		return nil, err
+	}
+	j.events.close()
+	m.jobs[id] = j
+	m.counters.Submitted.Add(1)
+	m.counters.Completed.Add(1)
+	return j, nil
+}
+
+// attachFollowerLocked coalesces a submission onto the inflight
+// primary solving the same key. The follower gets its own id and spool
+// record but never enters the queue; it mirrors the primary's state
+// and receives its progress events and final result bytes. Called with
+// m.mu held.
+func (m *Manager) attachFollowerLocked(spec Spec, problem []byte, key cache.Key, prim *Job) (*Job, error) {
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID: id, Spec: spec, created: time.Now(), events: newBroker(),
+		cacheKey: key, hasKey: true,
+	}
+	prim.mu.Lock()
+	j.state = StateQueued
+	if prim.state == StateRunning {
+		j.state = StateRunning
+		j.started = prim.started
+		j.iter.Store(prim.iter.Load())
+	}
+	j.primary = prim
+	prim.followers = append(prim.followers, j)
+	prim.mu.Unlock()
+	if err := m.store.CreateJob(id); err == nil {
+		err = m.store.SaveProblemBytes(id, problem)
+	}
+	if err == nil {
+		err = m.store.SaveMeta(j.metaLocked())
+	}
+	if err != nil {
+		prim.mu.Lock()
+		for i, f := range prim.followers {
+			if f == j {
+				prim.followers = append(prim.followers[:i], prim.followers[i+1:]...)
+				break
+			}
+		}
+		prim.mu.Unlock()
+		return nil, err
+	}
+	m.jobs[id] = j
+	m.counters.Submitted.Add(1)
+	m.counters.Coalesced.Add(1)
 	return j, nil
 }
 
@@ -316,7 +497,10 @@ func (m *Manager) List() []*JobStatus {
 
 // Cancel requests cooperative cancellation. A queued job is finalized
 // immediately; a running job's context is cancelled and the solver
-// stops in bounded time, reporting its best partial matching. Cancel
+// stops in bounded time, reporting its best partial matching. A
+// coalesced follower detaches and finalizes cancelled while its
+// primary keeps solving for the remaining subscribers; cancelling a
+// primary with followers promotes them to run for themselves. Cancel
 // is idempotent: terminal jobs report their state unchanged.
 func (m *Manager) Cancel(id string) (*JobStatus, error) {
 	m.mu.Lock()
@@ -326,6 +510,30 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 		return nil, ErrNotFound
 	}
 	j.mu.Lock()
+	if prim := j.primary; prim != nil && !j.state.Terminal() {
+		// Coalesced follower: detach, finalize cancelled. The primary's
+		// solve is untouched — other jobs still depend on it.
+		j.primary = nil
+		j.cancelRequested = true
+		j.state = StateCancelled
+		j.finished = time.Now()
+		meta := j.metaLocked()
+		j.mu.Unlock()
+		prim.mu.Lock()
+		for i, f := range prim.followers {
+			if f == j {
+				prim.followers = append(prim.followers[:i], prim.followers[i+1:]...)
+				break
+			}
+		}
+		prim.mu.Unlock()
+		m.mu.Unlock()
+		m.counters.Cancelled.Add(1)
+		_ = m.store.SaveMeta(meta)
+		j.events.publish("state", j.Status())
+		j.events.close()
+		return j.Status(), nil
+	}
 	switch {
 	case j.state.Terminal():
 		j.mu.Unlock()
@@ -348,6 +556,14 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 			m.mu.Unlock()
 			return j.Status(), nil
 		}
+		var followers []*Job
+		if j.hasKey {
+			if m.inflight[j.cacheKey] == j {
+				delete(m.inflight, j.cacheKey)
+			}
+			followers = j.followers
+			j.followers = nil
+		}
 		j.state = StateCancelled
 		j.finished = time.Now()
 		meta := j.metaLocked()
@@ -357,6 +573,7 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 		_ = m.store.SaveMeta(meta)
 		j.events.publish("state", j.Status())
 		j.events.close()
+		m.promoteFollowers(followers)
 		return j.Status(), nil
 	default: // running
 		j.cancelRequested = true
@@ -373,6 +590,11 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 // Result returns the raw result.json bytes of a finished job.
 func (m *Manager) Result(id string) ([]byte, error) {
 	return m.store.LoadResult(id)
+}
+
+// OpenResult opens a finished job's result.json for streaming.
+func (m *Manager) OpenResult(id string) (io.ReadCloser, int64, error) {
+	return m.store.OpenResult(id)
 }
 
 // worker pops jobs until shutdown.
@@ -395,8 +617,58 @@ func (m *Manager) worker() {
 }
 
 // finish moves a job to a terminal state, persisting the result (when
-// one exists) and the record, then ends the event stream.
+// one exists) before the state becomes visible, then ends the event
+// stream. For a single-flight primary the cache insert, the inflight
+// unlink and the follower snapshot share one m.mu section (so no new
+// follower can attach to a decided job, and a concurrent identical
+// submission either coalesces or hits the cache — never re-runs);
+// it then fans out: a shareable result (a deterministic run that
+// stopped on max-iterations or convergence) completes every follower
+// with the same bytes; any other outcome promotes the followers to
+// run for themselves.
 func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg string) {
+	// Persist the result before the terminal state becomes visible: a
+	// client that polls the job to done and immediately fetches the
+	// result must find result.json on disk.
+	var data []byte
+	if result != nil {
+		var err error
+		if data, err = json.Marshal(result); err == nil {
+			err = m.store.SaveResultBytes(j.ID, data)
+		}
+		if err != nil && errMsg == "" {
+			// The run succeeded but its result could not be persisted;
+			// surface that instead of silently reporting done.
+			state = StateFailed
+			errMsg = err.Error()
+			data = nil
+		}
+	}
+	// Only fully deterministic completions are shareable: cancelled,
+	// deadline and numerics outcomes depend on when the run was
+	// interrupted, so neither the cache nor a follower may reuse them.
+	shareable := state == StateDone && data != nil &&
+		(result.Stopped == core.StopMaxIter || result.Stopped == core.StopConverged)
+	var followers []*Job
+	if j.hasKey {
+		m.mu.Lock()
+		// The cache insert and the inflight unlink share one critical
+		// section with Submit's lookup, so a concurrent identical
+		// submission always lands somewhere: before this point it
+		// attaches as a follower, after it it hits the cache — there is
+		// no window where it would silently re-run.
+		if shareable && m.cache != nil {
+			m.cache.Put(j.cacheKey, data)
+		}
+		if m.inflight[j.cacheKey] == j {
+			delete(m.inflight, j.cacheKey)
+		}
+		j.mu.Lock()
+		followers = j.followers
+		j.followers = nil
+		j.mu.Unlock()
+		m.mu.Unlock()
+	}
 	j.mu.Lock()
 	j.state = state
 	j.errMsg = errMsg
@@ -404,18 +676,6 @@ func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg st
 	j.cancel = nil
 	meta := j.metaLocked()
 	j.mu.Unlock()
-	if result != nil {
-		if err := m.store.SaveResult(j.ID, result); err != nil && errMsg == "" {
-			// The run succeeded but its result could not be persisted;
-			// surface that instead of silently reporting done.
-			state = StateFailed
-			j.mu.Lock()
-			j.state = state
-			j.errMsg = err.Error()
-			meta = j.metaLocked()
-			j.mu.Unlock()
-		}
-	}
 	_ = m.store.SaveMeta(meta)
 	switch state {
 	case StateDone:
@@ -429,6 +689,106 @@ func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg st
 	}
 	j.events.publish("state", j.Status())
 	j.events.close()
+	if len(followers) > 0 {
+		if shareable {
+			iter := j.iter.Load()
+			for _, f := range followers {
+				m.completeFollower(f, data, iter)
+			}
+		} else {
+			m.promoteFollowers(followers)
+		}
+	}
+}
+
+// completeFollower finalizes a coalesced follower with the primary's
+// result bytes, copied verbatim so the two jobs' result documents are
+// byte-identical.
+func (m *Manager) completeFollower(f *Job, data []byte, iter int64) {
+	err := m.store.SaveResultBytes(f.ID, data)
+	f.iter.Store(iter)
+	f.mu.Lock()
+	f.primary = nil
+	f.state = StateDone
+	if err != nil {
+		f.state = StateFailed
+		f.errMsg = err.Error()
+	}
+	f.finished = time.Now()
+	meta := f.metaLocked()
+	f.mu.Unlock()
+	_ = m.store.SaveMeta(meta)
+	if meta.State == StateDone {
+		m.counters.Completed.Add(1)
+	} else {
+		m.counters.Failed.Add(1)
+	}
+	f.events.publish("state", f.Status())
+	f.events.close()
+}
+
+// promoteFollowers re-admits the followers of a primary that ended
+// without a shareable result. If another job holding the same key is
+// already inflight (admitted between the old primary's unlink and
+// now), everyone coalesces onto it; otherwise the first follower is
+// promoted to primary — enqueued, re-registered in the single-flight
+// table — and the rest follow it. During shutdown the followers are
+// instead parked queued in the spool, to be recovered and rerun by the
+// next startup.
+func (m *Manager) promoteFollowers(followers []*Job) {
+	if len(followers) == 0 {
+		return
+	}
+	key := followers[0].cacheKey
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		for _, f := range followers {
+			f.mu.Lock()
+			f.primary = nil
+			f.state = StateQueued
+			f.started = time.Time{}
+			f.resumes++
+			meta := f.metaLocked()
+			f.mu.Unlock()
+			m.counters.Interrupted.Add(1)
+			_ = m.store.SaveMeta(meta)
+			f.events.publish("state", f.Status())
+		}
+		return
+	}
+	p, rest := followers[0], followers[1:]
+	var promotedMeta *Meta
+	if cur, ok := m.inflight[key]; ok {
+		// cur cannot have snapshotted its followers yet: the snapshot
+		// and the inflight removal happen atomically under m.mu, and cur
+		// is still registered.
+		p, rest = cur, followers
+	} else {
+		p.mu.Lock()
+		p.primary = nil
+		p.state = StateQueued
+		p.started = time.Time{}
+		p.iter.Store(0)
+		promotedMeta = p.metaLocked()
+		p.mu.Unlock()
+		m.inflight[key] = p
+		m.queue = append(m.queue, p)
+		m.cond.Signal()
+	}
+	for _, f := range rest {
+		f.mu.Lock()
+		f.primary = p
+		f.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.followers = append(p.followers, rest...)
+	p.mu.Unlock()
+	m.mu.Unlock()
+	if promotedMeta != nil {
+		_ = m.store.SaveMeta(promotedMeta)
+		p.events.publish("state", p.Status())
+	}
 }
 
 // run executes one job on the calling worker goroutine.
@@ -457,6 +817,24 @@ func (m *Manager) run(j *Job) {
 	defer cancel()
 	_ = m.store.SaveMeta(meta)
 	j.events.publish("state", j.Status())
+	// Followers attached while the job was queued mirror the
+	// transition to running; ones attaching from here on mirror it at
+	// attach time.
+	j.mu.Lock()
+	started := j.started
+	mirror := append([]*Job(nil), j.followers...)
+	j.mu.Unlock()
+	for _, f := range mirror {
+		f.mu.Lock()
+		if f.state == StateQueued {
+			f.state = StateRunning
+			f.started = started
+		}
+		fmeta := f.metaLocked()
+		f.mu.Unlock()
+		_ = m.store.SaveMeta(fmeta)
+		f.events.publish("state", f.Status())
+	}
 
 	spec := j.Spec
 	threads := spec.Threads
@@ -478,6 +856,15 @@ func (m *Manager) run(j *Job) {
 	reporter := core.NewProgressReporter(p, spec.ProgressEvery, func(ev core.ProgressEvent) {
 		j.iter.Store(int64(ev.Iter))
 		j.events.publish("progress", ev)
+		// Fan progress out to coalesced followers: their SSE streams
+		// see the shared execution's iterations as their own.
+		j.mu.Lock()
+		fs := append([]*Job(nil), j.followers...)
+		j.mu.Unlock()
+		for _, f := range fs {
+			f.iter.Store(int64(ev.Iter))
+			f.events.publish("progress", ev)
+		}
 	})
 	ckptEvery := spec.CheckpointEvery
 	if ckptEvery == 0 {
@@ -524,18 +911,40 @@ func (m *Manager) run(j *Job) {
 		m.finish(j, StateFailed, nil, runErr.Error())
 	case res.Stopped == core.StopCancelled && !userCancelled && m.draining.Load():
 		// Interrupted by shutdown, not by the user: requeue so the
-		// next startup resumes from the latest checkpoint.
+		// next startup resumes from the latest checkpoint. Followers
+		// detach and park queued too — each recovers as its own job
+		// (and re-coalesces at that startup via the inflight re-key).
+		var followers []*Job
+		m.mu.Lock()
+		if j.hasKey && m.inflight[j.cacheKey] == j {
+			delete(m.inflight, j.cacheKey)
+		}
 		j.mu.Lock()
+		followers = j.followers
+		j.followers = nil
 		j.state = StateQueued
 		j.cancel = nil
 		j.started = time.Time{}
 		j.resumes++
 		meta := j.metaLocked()
 		j.mu.Unlock()
+		m.mu.Unlock()
 		m.counters.Interrupted.Add(1)
 		_ = m.store.SaveMeta(meta)
 		j.events.publish("state", j.Status())
 		j.events.close()
+		for _, f := range followers {
+			f.mu.Lock()
+			f.primary = nil
+			f.state = StateQueued
+			f.started = time.Time{}
+			f.resumes++
+			fmeta := f.metaLocked()
+			f.mu.Unlock()
+			m.counters.Interrupted.Add(1)
+			_ = m.store.SaveMeta(fmeta)
+			f.events.publish("state", f.Status())
+		}
 	case res.Stopped == core.StopCancelled:
 		m.finish(j, StateCancelled, res.JSON(), "")
 	case res.Stopped == core.StopNumerics:
@@ -619,6 +1028,15 @@ type Metrics struct {
 	Failed        int64              `json:"failed"`
 	Cancelled     int64              `json:"cancelled"`
 	Numerics      int64              `json:"numerics"`
+	Coalesced     int64              `json:"coalesced"`
+	CacheEnabled  bool               `json:"cacheEnabled"`
+	CacheHits     int64              `json:"cacheHits"`
+	CacheDiskHits int64              `json:"cacheDiskHits"`
+	CacheMisses   int64              `json:"cacheMisses"`
+	CacheEvicted  int64              `json:"cacheEvicted"`
+	CacheCorrupt  int64              `json:"cacheCorrupt"`
+	CacheBytes    int64              `json:"cacheBytes"`
+	CacheEntries  int                `json:"cacheEntries"`
 	StepSeconds   map[string]float64 `json:"stepSeconds"`
 }
 
@@ -639,7 +1057,7 @@ func (m *Manager) Snapshot() Metrics {
 	for step, d := range m.timer.Snapshot() {
 		steps[step] = d.Seconds()
 	}
-	return Metrics{
+	out := Metrics{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		QueueDepth:    depth,
 		Running:       running,
@@ -651,6 +1069,19 @@ func (m *Manager) Snapshot() Metrics {
 		Failed:        m.counters.Failed.Load(),
 		Cancelled:     m.counters.Cancelled.Load(),
 		Numerics:      m.counters.Numerics.Load(),
+		Coalesced:     m.counters.Coalesced.Load(),
 		StepSeconds:   steps,
 	}
+	if m.cache != nil {
+		st := m.cache.Stats()
+		out.CacheEnabled = true
+		out.CacheHits = st.Hits
+		out.CacheDiskHits = st.DiskHits
+		out.CacheMisses = st.Misses
+		out.CacheEvicted = st.Evictions
+		out.CacheCorrupt = st.Corrupt
+		out.CacheBytes = st.Bytes
+		out.CacheEntries = st.Entries
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 )
 
 // Event is one server-sent event: a type tag and a pre-marshaled JSON
@@ -14,26 +15,48 @@ type Event struct {
 
 // broker fans one job's event stream out to any number of SSE
 // subscribers. Publishing never blocks the solver: a subscriber whose
-// buffer is full simply misses events (progress is a stream of
-// snapshots, so dropped events cost nothing but granularity). Closing
-// the broker ends every subscription; subscribing to a closed broker
-// yields an already-closed channel so handlers fall through cleanly.
+// buffer is full misses the event but is marked lagged, and the SSE
+// handler turns that mark into a synthetic "lagged" event carrying a
+// fresh job snapshot on the subscriber's next read. The stream
+// contract is therefore at-least-once-snapshot: individual progress
+// events may be dropped under consumer stall, but every subscriber is
+// told when a gap happened and receives the current state, so no
+// consumer can silently act on a stale picture. Closing the broker
+// ends every subscription; subscribing to a closed broker yields an
+// already-closed channel so handlers fall through cleanly.
 type broker struct {
 	mu     sync.Mutex
-	subs   map[chan Event]struct{}
+	subs   map[*subscription]struct{}
 	closed bool
 }
 
+// subscription is one consumer's view of a broker's stream.
+type subscription struct {
+	ch     chan Event
+	lagged atomic.Bool
+}
+
+// Events returns the subscriber's event channel; it is closed when the
+// broker closes or the subscription is cancelled.
+func (s *subscription) Events() <-chan Event { return s.ch }
+
+// TakeLagged reports whether events were dropped since the last call,
+// clearing the mark. The consumer reacts by emitting a synthetic
+// "lagged" event with a current snapshot before forwarding the next
+// buffered event.
+func (s *subscription) TakeLagged() bool { return s.lagged.Swap(false) }
+
 // subscriberBuffer bounds each subscriber's in-flight events; at the
 // default one-event-per-iteration cadence this absorbs multi-second
-// consumer stalls before granularity degrades.
+// consumer stalls before the lagged path engages.
 const subscriberBuffer = 256
 
 func newBroker() *broker {
-	return &broker{subs: make(map[chan Event]struct{})}
+	return &broker{subs: make(map[*subscription]struct{})}
 }
 
-// publish marshals v and fans the event out without blocking.
+// publish marshals v and fans the event out without blocking. A
+// subscriber with a full buffer misses the event and is marked lagged.
 func (b *broker) publish(typ string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -45,31 +68,32 @@ func (b *broker) publish(typ string, v any) {
 	if b.closed {
 		return
 	}
-	for ch := range b.subs {
+	for sub := range b.subs {
 		select {
-		case ch <- ev:
-		default: // slow consumer: drop
+		case sub.ch <- ev:
+		default: // slow consumer: drop, but leave a mark
+			sub.lagged.Store(true)
 		}
 	}
 }
 
 // subscribe registers a new subscriber; the returned cancel must be
 // called when the consumer is done.
-func (b *broker) subscribe() (<-chan Event, func()) {
-	ch := make(chan Event, subscriberBuffer)
+func (b *broker) subscribe() (*subscription, func()) {
+	sub := &subscription{ch: make(chan Event, subscriberBuffer)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		close(ch)
-		return ch, func() {}
+		close(sub.ch)
+		return sub, func() {}
 	}
-	b.subs[ch] = struct{}{}
+	b.subs[sub] = struct{}{}
 	b.mu.Unlock()
-	return ch, func() {
+	return sub, func() {
 		b.mu.Lock()
-		if _, ok := b.subs[ch]; ok {
-			delete(b.subs, ch)
-			close(ch)
+		if _, ok := b.subs[sub]; ok {
+			delete(b.subs, sub)
+			close(sub.ch)
 		}
 		b.mu.Unlock()
 	}
@@ -83,8 +107,8 @@ func (b *broker) close() {
 		return
 	}
 	b.closed = true
-	for ch := range b.subs {
-		delete(b.subs, ch)
-		close(ch)
+	for sub := range b.subs {
+		delete(b.subs, sub)
+		close(sub.ch)
 	}
 }

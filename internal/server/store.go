@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -25,10 +27,28 @@ import (
 //	<spool>/<id>/checkpoint.ckpt — latest solver checkpoint (atomic)
 //	<spool>/<id>/result.json     — final core.ResultJSON
 //
-// All writes are atomic (temp file + rename), so a crash never leaves
-// a truncated record behind; recovery trusts whatever renamed last.
+// All writes are atomic (temp file + fsync + rename + parent-dir
+// fsync), so a crash never leaves a truncated record behind and a
+// completed rename is durable; recovery trusts whatever renamed last.
 type Store struct {
 	dir string
+	// crash, when non-nil, simulates a process crash at named points
+	// inside the atomic write paths (see internal/faults.Plan.Crash);
+	// tests only. The hook returning an error aborts the remaining
+	// steps exactly as a real crash would.
+	crash func(point string) error
+}
+
+// SetCrashHook installs a simulated-crash hook (tests only; nil
+// removes it).
+func (s *Store) SetCrashHook(h func(point string) error) { s.crash = h }
+
+// crashAt consults the crash hook.
+func (s *Store) crashAt(point string) error {
+	if s.crash == nil {
+		return nil
+	}
+	return s.crash(point)
 }
 
 var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
@@ -63,10 +83,16 @@ func (s *Store) CreateJob(id string) error {
 	return nil
 }
 
-// writeFileAtomic writes data via a temp file and rename.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+// atomicWrite writes data via a temp file, fsync, rename, and a
+// parent-directory fsync. The final fsync is what makes the rename
+// itself durable: without it a crash can roll the directory entry
+// back to the previous version (resurrecting a superseded job state)
+// or drop it entirely (orphaning the job), even though the file's own
+// contents were synced. The crash points bracket the rename so the
+// durability tests can kill the write on either side of it.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -82,7 +108,16 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := s.crashAt("before-rename:" + base); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if err := s.crashAt("after-rename:" + base); err != nil {
+		return err
+	}
+	return problemio.SyncDir(dir)
 }
 
 // SaveMeta persists a job record.
@@ -91,7 +126,7 @@ func (s *Store) SaveMeta(m *Meta) error {
 	if err != nil {
 		return fmt.Errorf("server: meta %s: %w", m.ID, err)
 	}
-	if err := writeFileAtomic(filepath.Join(s.JobDir(m.ID), "job.json"), data); err != nil {
+	if err := s.atomicWrite(filepath.Join(s.JobDir(m.ID), "job.json"), data); err != nil {
 		return fmt.Errorf("server: meta %s: %w", m.ID, err)
 	}
 	return nil
@@ -118,27 +153,28 @@ func (s *Store) LoadMeta(id string) (*Meta, error) {
 
 // SaveProblem canonicalizes the problem to the job's problem.txt.
 func (s *Store) SaveProblem(id string, p *core.Problem) error {
-	path := filepath.Join(s.JobDir(id), "problem.txt")
-	tmp, err := os.CreateTemp(s.JobDir(id), "problem.txt.tmp*")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := problemio.Write(&buf, p); err != nil {
 		return fmt.Errorf("server: problem %s: %w", id, err)
 	}
-	defer os.Remove(tmp.Name())
-	if err := problemio.Write(tmp, p); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: problem %s: %w", id, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: problem %s: %w", id, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: problem %s: %w", id, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	return s.SaveProblemBytes(id, buf.Bytes())
+}
+
+// SaveProblemBytes persists already-canonicalized problem bytes. The
+// manager serializes each problem once — hashing the bytes for the
+// result cache and spooling the same bytes here — so the cache key and
+// the durable spool can never disagree.
+func (s *Store) SaveProblemBytes(id string, data []byte) error {
+	if err := s.atomicWrite(filepath.Join(s.JobDir(id), "problem.txt"), data); err != nil {
 		return fmt.Errorf("server: problem %s: %w", id, err)
 	}
 	return nil
+}
+
+// LoadProblemBytes returns the raw canonical problem.txt bytes (the
+// exact bytes the result cache keys hash).
+func (s *Store) LoadProblemBytes(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.JobDir(id), "problem.txt"))
 }
 
 // LoadProblem reads the job's canonical problem. Every run — first or
@@ -173,7 +209,15 @@ func (s *Store) SaveResult(id string, r *core.ResultJSON) error {
 	if err != nil {
 		return fmt.Errorf("server: result %s: %w", id, err)
 	}
-	if err := writeFileAtomic(filepath.Join(s.JobDir(id), "result.json"), data); err != nil {
+	return s.SaveResultBytes(id, data)
+}
+
+// SaveResultBytes persists already-serialized result.json bytes (the
+// path cache hits and coalesced followers take: the primary's bytes
+// are copied verbatim, so every coalesced job's result is
+// byte-identical).
+func (s *Store) SaveResultBytes(id string, data []byte) error {
+	if err := s.atomicWrite(filepath.Join(s.JobDir(id), "result.json"), data); err != nil {
 		return fmt.Errorf("server: result %s: %w", id, err)
 	}
 	return nil
@@ -182,6 +226,23 @@ func (s *Store) SaveResult(id string, r *core.ResultJSON) error {
 // LoadResult returns the raw result.json bytes, or fs.ErrNotExist.
 func (s *Store) LoadResult(id string) ([]byte, error) {
 	return os.ReadFile(filepath.Join(s.JobDir(id), "result.json"))
+}
+
+// OpenResult opens result.json for streaming and reports its size, so
+// the HTTP layer can io.Copy it with a Content-Length instead of
+// buffering the whole document. Returns fs.ErrNotExist when the job
+// has no result yet.
+func (s *Store) OpenResult(id string) (io.ReadCloser, int64, error) {
+	f, err := os.Open(filepath.Join(s.JobDir(id), "result.json"))
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, info.Size(), nil
 }
 
 // ListJobs returns the ids of every job directory, sorted, skipping

@@ -3,7 +3,10 @@
 #
 #   1. build the daemon and start it on a private port/spool
 #   2. submit a small generator job, poll it to done, read the result
-#   3. submit a long job, wait for its first checkpoint, kill -9 the
+#   3. resubmit the identical job and verify it is served from the
+#      result cache: admitted already-done, iter=0, cache-hit metric
+#      incremented, same objective
+#   4. submit a long job, wait for its first checkpoint, kill -9 the
 #      daemon mid-run, restart it on the same spool, and verify the
 #      job resumes (resumes >= 1) and completes
 #
@@ -63,12 +66,26 @@ echo "== start"
 start_daemon
 
 echo "== quick job: submit, poll, result"
+SPEC='{"method":"bp","iterations":20,"approx":true,"threads":1,
+       "generator":{"n":40,"dbar":3,"seed":7}}'
 ID=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
-    -d '{"method":"bp","iterations":20,"approx":true,"threads":1,
-         "generator":{"n":40,"dbar":3,"seed":7}}' | json "['id']")
+    -d "$SPEC" | json "['id']")
 poll_state "$ID" done 100
 OBJ=$(curl -fs "$BASE/v1/jobs/$ID/result" | json "['objective']")
 echo "   job $ID done, objective $OBJ"
+
+echo "== cache: resubmit the identical job, expect an instant hit"
+ID2=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$SPEC" | json "['id']")
+STATE2=$(curl -fs "$BASE/v1/jobs/$ID2" | json "['state']")
+[ "$STATE2" = done ] || { echo "resubmission $ID2 is $STATE2, want done"; exit 1; }
+ITER2=$(curl -fs "$BASE/v1/jobs/$ID2" | json "['iter']")
+[ "$ITER2" = 0 ] || { echo "cached job $ID2 ran $ITER2 iterations, want 0"; exit 1; }
+HITS=$(curl -fs "$BASE/metrics" | awk '/^netalignd_cache_hits_total/ {print $2}')
+[ "${HITS:-0}" -ge 1 ] || { echo "cache_hits_total=$HITS after identical resubmit, want >= 1"; exit 1; }
+OBJ2=$(curl -fs "$BASE/v1/jobs/$ID2/result" | json "['objective']")
+[ "$OBJ2" = "$OBJ" ] || { echo "cached objective $OBJ2 != original $OBJ"; exit 1; }
+echo "   job $ID2 served from cache (hits=$HITS, objective matches)"
 
 echo "== kill/resume: submit long job, kill -9 mid-run, restart"
 ID=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
