@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-go cover vet faults fuzz examples reproduce serve smoke clean
+.PHONY: all build test race bench bench-go cover vet faults chaos fuzz examples reproduce serve smoke clean
 
 all: build test
 
@@ -23,6 +23,14 @@ race:
 # malformed inputs.
 faults:
 	$(GO) test -race -run Fault ./...
+
+# I/O chaos harness + self-healing lifecycle suite: one-shot and
+# persistent injected faults (EIO/ENOSPC/short write) at every
+# registered fault point, retry/quarantine/requeue arcs, the stall
+# watchdog, and pressure-driven load shedding — under the race
+# detector with real parallelism.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestChaos|TestRetry|TestQuarantine|TestCrashLoop|TestWatchProgress|TestStall|TestPressure|TestCheckpointFault' ./internal/server/ ./internal/faults/
 
 # Brief fuzzing of the three file-format readers (the seed corpora
 # also run as part of every plain `make test`).

@@ -15,12 +15,16 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit (202; 400 bad spec, 429 queue
-//	                            full, 503 draining)
-//	GET    /v1/jobs             list jobs
+//	POST   /v1/jobs             submit (202; 400 bad spec, 413 body too
+//	                            large, 429 queue full or memory
+//	                            pressure, 503 draining or disk
+//	                            pressure)
+//	GET    /v1/jobs             list jobs (?state= filters, e.g.
+//	                            ?state=quarantined)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result final result JSON (409 until terminal)
 //	GET    /v1/jobs/{id}/events live progress (SSE)
+//	POST   /v1/jobs/{id}/requeue rerun a quarantined job (409 otherwise)
 //	DELETE /v1/jobs/{id}        cooperative cancel
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text metrics
@@ -61,6 +65,11 @@ func run() int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to stop on shutdown")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes (0 disables caching and coalescing)")
 	cacheDisk := fs.Bool("cache-disk", true, "persist cached results under <spool>/cache, surviving restarts")
+	retryBudget := fs.Int("retry-budget", 3, "retries per job before quarantine (-1 disables retries: failures are terminal)")
+	stallTimeout := fs.Duration("stall-timeout", 2*time.Minute, "quarantine-countable cancel of a run whose iterations stop advancing this long, scaled up for large problems (0 disables)")
+	crashLoopLimit := fs.Int("crash-loop-limit", 3, "quarantine a job found mid-running across this many consecutive daemon restarts (-1 disables)")
+	minDiskBytes := fs.Int64("min-disk-bytes", 0, "spool free-space floor: degrade below 2x, refuse submissions below it (0 disables)")
+	maxRSSBytes := fs.Int64("max-rss-bytes", 0, "shed new submissions with 429 while process RSS exceeds this (0 disables)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: netalignd [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serve network-alignment solves as durable jobs over HTTP/JSON.\n\nFlags:\n")
@@ -84,6 +93,11 @@ func run() int {
 		Threads:         *threads,
 		CacheBytes:      *cacheBytes,
 		CacheDir:        cacheDir,
+		RetryBudget:     *retryBudget,
+		StallTimeout:    *stallTimeout,
+		CrashLoopLimit:  *crashLoopLimit,
+		MinDiskBytes:    *minDiskBytes,
+		MaxRSSBytes:     *maxRSSBytes,
 	})
 	if err != nil {
 		log.Print(err)
@@ -92,7 +106,16 @@ func run() int {
 	api := server.NewServer(mgr)
 	api.PublishExpvars()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: api}
+	// Slow-client protection. WriteTimeout bounds ordinary responses;
+	// SSE streams opt out per write via http.NewResponseController, so
+	// it does not cap a long solve's event stream.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -40,8 +40,17 @@ import (
 	"path/filepath"
 	"sync"
 
+	"netalignmc/internal/faults"
 	"netalignmc/internal/problemio"
 )
+
+// Fault points of the disk tier's atomic entry write (see
+// internal/faults): the payload write supports injected
+// EIO/ENOSPC/short-writes, the rename injected errors.
+func init() {
+	faults.RegisterWritePoint("cache:write")
+	faults.RegisterPoint("cache:rename")
+}
 
 // Key is a content address: the SHA-256 of a canonical problem plus
 // an option fingerprint.
@@ -105,6 +114,12 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	items    map[Key]*list.Element
 	dir      string
+	// diskOff, when true, bypasses the disk tier on both Get and Put
+	// (memory-only operation). The pressure monitor flips it under
+	// disk pressure so a nearly-full spool volume stops accumulating
+	// cache entries; existing disk entries are kept and become
+	// readable again when pressure clears.
+	diskOff bool
 
 	hits, diskHits, misses, evictions, corrupt int64
 }
@@ -142,7 +157,7 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 		c.hits++
 		return el.Value.(*entry).data, true
 	}
-	if c.dir == "" {
+	if c.dir == "" || c.diskOff {
 		c.misses++
 		return nil, false
 	}
@@ -168,7 +183,7 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 func (c *Cache) Put(key Key, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.dir != "" {
+	if c.dir != "" && !c.diskOff {
 		_ = StoreDisk(c.dir, key, data)
 	}
 	if int64(len(data)) > c.maxBytes {
@@ -200,6 +215,24 @@ func (c *Cache) insertLocked(key Key, data []byte) {
 		c.bytes -= int64(len(e.data))
 		c.evictions++
 	}
+}
+
+// SetDiskEnabled turns the disk tier on or off at runtime (a no-op
+// for a cache built without one). Disabling does not delete existing
+// entries — they are simply not consulted or extended until the tier
+// is re-enabled, which is the degraded ("memory-only") mode the
+// pressure monitor enters when the spool volume runs low.
+func (c *Cache) SetDiskEnabled(on bool) {
+	c.mu.Lock()
+	c.diskOff = !on
+	c.mu.Unlock()
+}
+
+// DiskEnabled reports whether the disk tier is present and active.
+func (c *Cache) DiskEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir != "" && !c.diskOff
 }
 
 // Stats snapshots the counters.
@@ -280,7 +313,7 @@ func StoreDisk(dir string, key Key, data []byte) error {
 		return fmt.Errorf("cache: disk entry %s: %w", key, err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(append(header, '\n'), data...)); err != nil {
+	if _, err := faults.WriteOp("cache:write", tmp, append(append(header, '\n'), data...)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cache: disk entry %s: %w", key, err)
 	}
@@ -289,6 +322,9 @@ func StoreDisk(dir string, key Key, data []byte) error {
 		return fmt.Errorf("cache: disk entry %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if err := faults.Inject("cache:rename"); err != nil {
 		return fmt.Errorf("cache: disk entry %s: %w", key, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {

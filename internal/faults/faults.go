@@ -48,6 +48,8 @@ type Plan struct {
 	rng     *rand.Rand
 	nan     []NaNInjection
 	crashes map[string]bool
+	// io holds the armed I/O faults by point name (see io.go).
+	io      map[string]*ioFault
 	strikes atomic.Int64
 }
 

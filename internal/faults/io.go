@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// I/O fault injection. Durable write paths (the job spool, the solver
+// checkpoint, the result-cache disk tier) expose *named fault points*:
+// each instrumented operation consults the process-wide active Plan
+// (nil in production — one atomic load per file operation) and, when a
+// fault is armed at its point, fails the way a sick disk would —
+// a generic I/O error, ENOSPC, or a short write that delivers only a
+// prefix of the payload before erroring.
+//
+// Points self-register at package init so chaos tests can enumerate
+// every instrumented operation (Points / WritePoints) and walk the
+// full failure surface without maintaining a hand-written list.
+
+// IOKind selects how an armed I/O fault fails.
+type IOKind int
+
+const (
+	// IOErr fails the operation with a generic injected I/O error
+	// (the moral equivalent of EIO) before any bytes are written.
+	IOErr IOKind = iota
+	// IONoSpace fails the operation with an injected out-of-space
+	// error (the moral equivalent of ENOSPC) before any bytes are
+	// written.
+	IONoSpace
+	// IOShortWrite writes only the first half of the payload, then
+	// fails with io.ErrShortWrite — a torn write. Only write points
+	// (WriteOp) can deliver it; at plain Inject points it degrades to
+	// IOErr.
+	IOShortWrite
+)
+
+// String names the kind for test output.
+func (k IOKind) String() string {
+	switch k {
+	case IOErr:
+		return "eio"
+	case IONoSpace:
+		return "enospc"
+	case IOShortWrite:
+		return "short-write"
+	}
+	return fmt.Sprintf("IOKind(%d)", int(k))
+}
+
+// Sentinel errors delivered by armed I/O faults. They deliberately do
+// not wrap syscall errnos so the package stays portable; code under
+// test should treat any error from a durable write as a transient
+// I/O failure, which is exactly how the job lifecycle classifies them.
+var (
+	// ErrIO is the injected generic I/O failure.
+	ErrIO = errors.New("faults: injected I/O error")
+	// ErrNoSpace is the injected no-space-left-on-device failure.
+	ErrNoSpace = errors.New("faults: injected ENOSPC")
+)
+
+// ioFault is one armed fault: its kind and how many strikes remain
+// (times <= 0 means it re-strikes forever — a persistently failing
+// device rather than a transient glitch).
+type ioFault struct {
+	kind  IOKind
+	times int
+}
+
+// WithIO arms an I/O fault at the named point and returns the plan
+// for chaining. times is how many operations it strikes before
+// disarming; times <= 0 strikes every time (persistent fault). Arming
+// a point twice replaces the earlier fault.
+func (p *Plan) WithIO(point string, kind IOKind, times int) *Plan {
+	p.mu.Lock()
+	if p.io == nil {
+		p.io = make(map[string]*ioFault)
+	}
+	p.io[point] = &ioFault{kind: kind, times: times}
+	p.mu.Unlock()
+	return p
+}
+
+// fireIO consults (and decrements) the armed fault at point.
+func (p *Plan) fireIO(point string) (IOKind, bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.io[point]
+	if !ok {
+		return 0, false
+	}
+	if f.times > 0 {
+		f.times--
+		if f.times == 0 {
+			delete(p.io, point)
+		}
+	}
+	p.strikes.Add(1)
+	return f.kind, true
+}
+
+// active is the process-wide plan consulted by Inject and WriteOp.
+// Production never installs one, so the hooks cost a single atomic
+// load per instrumented file operation.
+var active atomic.Pointer[Plan]
+
+// SetActive installs p as the process-wide fault plan and returns a
+// restore function that reinstates the previous plan. Tests must call
+// the restore (typically via t.Cleanup) so plans cannot leak across
+// tests; passing nil clears injection.
+func SetActive(p *Plan) (restore func()) {
+	prev := active.Swap(p)
+	return func() { active.Store(prev) }
+}
+
+// Inject consults the active plan at a named (non-write) fault point:
+// it returns the armed fault's error, or nil when nothing is armed.
+// IOShortWrite armed at an Inject-only point degrades to ErrIO.
+func Inject(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	kind, ok := p.fireIO(point)
+	if !ok {
+		return nil
+	}
+	if kind == IONoSpace {
+		return fmt.Errorf("%s: %w", point, ErrNoSpace)
+	}
+	return fmt.Errorf("%s: %w", point, ErrIO)
+}
+
+// WriteOp performs w.Write(data) subject to any fault armed at the
+// named write point: IOErr/IONoSpace fail before writing a byte, and
+// IOShortWrite delivers only the first half of data before failing
+// with io.ErrShortWrite — modelling a torn write that the durable
+// paths' temp-file-plus-rename discipline must contain.
+func WriteOp(point string, w io.Writer, data []byte) (int, error) {
+	p := active.Load()
+	if p == nil {
+		return w.Write(data)
+	}
+	kind, ok := p.fireIO(point)
+	if !ok {
+		return w.Write(data)
+	}
+	switch kind {
+	case IONoSpace:
+		return 0, fmt.Errorf("%s: %w", point, ErrNoSpace)
+	case IOShortWrite:
+		n, err := w.Write(data[:len(data)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%s: %w", point, io.ErrShortWrite)
+	default:
+		return 0, fmt.Errorf("%s: %w", point, ErrIO)
+	}
+}
+
+// Point registry. Instrumented packages register their points at init
+// so chaos tests can walk every failure site; registration is
+// idempotent and carries no runtime cost beyond the map entry.
+var (
+	pointsMu    sync.Mutex
+	injectSites = make(map[string]struct{})
+	writeSites  = make(map[string]struct{})
+)
+
+// RegisterPoint records a named Inject fault point.
+func RegisterPoint(name string) {
+	pointsMu.Lock()
+	injectSites[name] = struct{}{}
+	pointsMu.Unlock()
+}
+
+// RegisterWritePoint records a named WriteOp fault point (these
+// additionally support IOShortWrite).
+func RegisterWritePoint(name string) {
+	pointsMu.Lock()
+	writeSites[name] = struct{}{}
+	pointsMu.Unlock()
+}
+
+// Points returns every registered Inject point, sorted.
+func Points() []string { return sortedKeys(injectSites) }
+
+// WritePoints returns every registered WriteOp point, sorted.
+func WritePoints() []string { return sortedKeys(writeSites) }
+
+func sortedKeys(m map[string]struct{}) []string {
+	pointsMu.Lock()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	pointsMu.Unlock()
+	sort.Strings(out)
+	return out
+}

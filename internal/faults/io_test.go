@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestInjectUnarmedAndNilPlan(t *testing.T) {
+	restore := SetActive(nil)
+	defer restore()
+	if err := Inject("nothing:armed"); err != nil {
+		t.Fatalf("Inject with no active plan: %v", err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteOp("nothing:armed", &buf, []byte("hello"))
+	if err != nil || n != 5 || buf.String() != "hello" {
+		t.Fatalf("WriteOp with no active plan: n=%d err=%v buf=%q", n, err, buf.String())
+	}
+}
+
+func TestInjectKinds(t *testing.T) {
+	plan := NewPlan(1).
+		WithIO("p:eio", IOErr, 1).
+		WithIO("p:enospc", IONoSpace, 1).
+		WithIO("p:short", IOShortWrite, 1)
+	restore := SetActive(plan)
+	defer restore()
+
+	if err := Inject("p:eio"); !errors.Is(err, ErrIO) {
+		t.Fatalf("eio point: %v", err)
+	}
+	if err := Inject("p:enospc"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("enospc point: %v", err)
+	}
+	// Short-write at an Inject-only point degrades to the generic
+	// error rather than silently passing.
+	if err := Inject("p:short"); !errors.Is(err, ErrIO) {
+		t.Fatalf("short at inject point: %v", err)
+	}
+	// All three were one-shot: a second strike passes clean.
+	for _, p := range []string{"p:eio", "p:enospc", "p:short"} {
+		if err := Inject(p); err != nil {
+			t.Fatalf("disarmed point %s: %v", p, err)
+		}
+	}
+	if got := plan.Strikes(); got != 3 {
+		t.Fatalf("strikes = %d, want 3", got)
+	}
+}
+
+func TestWriteOpShortWrite(t *testing.T) {
+	plan := NewPlan(1).WithIO("w", IOShortWrite, 1)
+	restore := SetActive(plan)
+	defer restore()
+
+	payload := []byte("0123456789")
+	var buf bytes.Buffer
+	n, err := WriteOp("w", &buf, payload)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write error: %v", err)
+	}
+	if n != len(payload)/2 || buf.Len() != len(payload)/2 {
+		t.Fatalf("short write delivered %d bytes (buffer %d), want %d", n, buf.Len(), len(payload)/2)
+	}
+	// Disarmed: the retry delivers everything.
+	buf.Reset()
+	if n, err := WriteOp("w", &buf, payload); err != nil || n != len(payload) {
+		t.Fatalf("retry after short write: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteOpPersistentFault(t *testing.T) {
+	plan := NewPlan(1).WithIO("w", IONoSpace, 0) // times <= 0: forever
+	restore := SetActive(plan)
+	defer restore()
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if _, err := WriteOp("w", &buf, []byte("x")); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("strike %d: %v", i, err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("persistent ENOSPC leaked %d bytes", buf.Len())
+	}
+}
+
+func TestPointRegistry(t *testing.T) {
+	RegisterPoint("test:inject:a")
+	RegisterPoint("test:inject:a") // idempotent
+	RegisterWritePoint("test:write:b")
+	found := func(list []string, want string) bool {
+		for _, p := range list {
+			if p == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(Points(), "test:inject:a") {
+		t.Fatalf("Points() missing registered point: %v", Points())
+	}
+	if !found(WritePoints(), "test:write:b") {
+		t.Fatalf("WritePoints() missing registered point: %v", WritePoints())
+	}
+}

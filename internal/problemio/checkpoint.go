@@ -2,6 +2,7 @@ package problemio
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -10,7 +11,17 @@ import (
 	"strings"
 
 	"netalignmc/internal/core"
+	"netalignmc/internal/faults"
 )
+
+// Fault points of the atomic checkpoint write (see internal/faults):
+// the payload write supports injected EIO/ENOSPC/short-writes, the
+// rename supports injected errors. Registered here so chaos tests can
+// enumerate them.
+func init() {
+	faults.RegisterWritePoint("checkpoint:write")
+	faults.RegisterPoint("checkpoint:rename")
+}
 
 // Checkpoint serialization: a line-oriented text format whose floats
 // are written in Go's hexadecimal floating-point notation ('x'), which
@@ -372,8 +383,15 @@ func SyncDir(dir string) error {
 // file in the destination directory, synced, then renamed into place
 // (with a parent-directory fsync), so an interrupted run never leaves
 // a truncated checkpoint behind and a completed rename survives a
-// crash.
+// crash. The checkpoint is serialized to memory first and written
+// through the "checkpoint:write" fault point, so chaos tests can tear
+// the write; a failure at any step leaves the previously renamed
+// checkpoint untouched and valid.
 func WriteCheckpointFile(path string, c *core.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		return err
+	}
 	dir, base := ".", path
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
 		dir, base = path[:i], path[i+1:]
@@ -383,9 +401,9 @@ func WriteCheckpointFile(path string, c *core.Checkpoint) error {
 		return fmt.Errorf("problemio: checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteCheckpoint(tmp, c); err != nil {
+	if _, err := faults.WriteOp("checkpoint:write", tmp, buf.Bytes()); err != nil {
 		tmp.Close()
-		return err
+		return fmt.Errorf("problemio: checkpoint write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -393,6 +411,9 @@ func WriteCheckpointFile(path string, c *core.Checkpoint) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("problemio: checkpoint close: %w", err)
+	}
+	if err := faults.Inject("checkpoint:rename"); err != nil {
+		return fmt.Errorf("problemio: checkpoint rename: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("problemio: checkpoint rename: %w", err)

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netalignmc/internal/faults"
+)
+
+// chaosCfg builds a manager config exercising every faultable
+// subsystem: durable spool, checkpoints every other iteration, and a
+// disk-backed result cache inside the spool.
+func chaosCfg(spool string) Config {
+	return Config{
+		Spool: spool, Workers: 1,
+		RetryBudget: 2, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 5 * time.Millisecond,
+		CheckpointEvery: 2,
+		CacheBytes:      1 << 20,
+		CacheDir:        filepath.Join(spool, "cache"),
+	}
+}
+
+func shutdownMgr(t *testing.T, mgr *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// waitTerminal polls a job directly on the manager until it reaches a
+// terminal state.
+func waitTerminal(t *testing.T, mgr *Manager, id string, timeout time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := mgr.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := j.Status()
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %s (state %s, attempts %d)", id, timeout, st.State, st.Attempts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestChaosFaultPointWalk injects a one-shot fault of every kind at
+// every registered fault point in the process and asserts the
+// self-healing invariant: no job is ever lost, duplicated, or wedged —
+// each submission either fails cleanly at admission (and a resubmit
+// succeeds) or reaches exactly one terminal state; jobs that reach
+// done produce bytes identical to an uninjected run.
+func TestChaosFaultPointWalk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos walk is slow under -short")
+	}
+	spec := smallSpec()
+	want := baselineResult(t, spec)
+
+	type combo struct {
+		point string
+		kind  faults.IOKind
+	}
+	var combos []combo
+	for _, p := range faults.Points() {
+		for _, k := range []faults.IOKind{faults.IOErr, faults.IONoSpace} {
+			combos = append(combos, combo{p, k})
+		}
+	}
+	for _, p := range faults.WritePoints() {
+		for _, k := range []faults.IOKind{faults.IOErr, faults.IONoSpace, faults.IOShortWrite} {
+			combos = append(combos, combo{p, k})
+		}
+	}
+	if len(combos) < 20 {
+		t.Fatalf("only %d fault combos registered; the injector lost coverage", len(combos))
+	}
+
+	for _, c := range combos {
+		t.Run(fmt.Sprintf("%s/%v", c.point, c.kind), func(t *testing.T) {
+			restore := faults.SetActive(faults.NewPlan(42).WithIO(c.point, c.kind, 1))
+			defer restore()
+			mgr, err := NewManager(chaosCfg(t.TempDir()))
+			if err != nil {
+				// The fault tripped during startup (incarnation bump or
+				// spool init). A clean startup error is acceptable: no
+				// job existed to lose.
+				return
+			}
+			defer shutdownMgr(t, mgr)
+
+			j, err := mgr.Submit(spec)
+			if err != nil {
+				// Admission failed cleanly under the fault. The fault was
+				// one-shot, so a resubmission must be admitted and run to
+				// completion — nothing half-created may block it.
+				j2, err2 := mgr.Submit(spec)
+				if err2 != nil {
+					t.Fatalf("resubmit after faulted admission: %v (first: %v)", err2, err)
+				}
+				st := waitTerminal(t, mgr, j2.ID, 30*time.Second)
+				if st.State != StateDone {
+					t.Fatalf("resubmitted job ended %s (error %q), want done", st.State, st.Error)
+				}
+				assertResult(t, mgr, j2.ID, want)
+				return
+			}
+
+			st := waitTerminal(t, mgr, j.ID, 30*time.Second)
+			switch st.State {
+			case StateDone:
+				assertResult(t, mgr, j.ID, want)
+			case StateFailed, StateQuarantined:
+				// Documented terminal failure: the retry count must be on
+				// record and the error must say what happened.
+				if st.Error == "" {
+					t.Errorf("terminal %s with empty error", st.State)
+				}
+			default:
+				t.Errorf("job ended %s (error %q); chaos invariant allows only done/failed/quarantined",
+					st.State, st.Error)
+			}
+
+			// Wedge check: the manager must still be serving — a fresh
+			// uninjected submission completes.
+			j3, err := mgr.Submit(spec)
+			if err != nil {
+				t.Fatalf("post-fault submit: %v", err)
+			}
+			if st := waitTerminal(t, mgr, j3.ID, 30*time.Second); st.State != StateDone {
+				t.Fatalf("post-fault job ended %s (error %q), want done", st.State, st.Error)
+			}
+		})
+	}
+}
+
+func assertResult(t *testing.T, mgr *Manager, id string, want []byte) {
+	t.Helper()
+	got, err := mgr.Result(id)
+	if err != nil {
+		t.Fatalf("result of done job: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("result bytes differ from uninjected baseline (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestChaosPersistentFaultQuarantineRequeue drives the full poison-job
+// arc under a persistent fault: every retry burns until the budget
+// quarantines the job; once the fault clears, requeue completes it
+// bit-identically.
+func TestChaosPersistentFaultQuarantineRequeue(t *testing.T) {
+	spec := smallSpec()
+	want := baselineResult(t, spec)
+
+	restore := faults.SetActive(faults.NewPlan(42).WithIO("spool:write:result.json", faults.IOErr, 0))
+	cleared := false
+	defer func() {
+		if !cleared {
+			restore()
+		}
+	}()
+	mgr, err := NewManager(chaosCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownMgr(t, mgr)
+
+	j, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, mgr, j.ID, 30*time.Second)
+	if st.State != StateQuarantined {
+		t.Fatalf("persistent fault ended %s (error %q), want quarantined", st.State, st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("documented retry count = %d, want 3 (budget 2 + quarantining attempt)", st.Attempts)
+	}
+
+	restore()
+	cleared = true
+	if _, err := mgr.Requeue(j.ID); err != nil {
+		t.Fatalf("requeue: %v", err)
+	}
+	if st := waitTerminal(t, mgr, j.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("requeued job ended %s (error %q), want done", st.State, st.Error)
+	}
+	assertResult(t, mgr, j.ID, want)
+}

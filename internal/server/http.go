@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"time"
 
 	"netalignmc/internal/parallel"
 )
@@ -18,6 +19,14 @@ import (
 // maxBodyBytes bounds an uploaded job body (problems are uploaded
 // inline as text).
 const maxBodyBytes = 64 << 20
+
+// SSE stream tuning: how often an idle stream emits a ": keepalive"
+// comment, and the per-write deadline each event write arms (a client
+// that cannot absorb a write within it is dropped).
+const (
+	sseKeepaliveEvery = 15 * time.Second
+	sseWriteTimeout   = 30 * time.Second
+)
 
 // Server is the HTTP surface over a Manager.
 type Server struct {
@@ -37,6 +46,7 @@ func NewServer(mgr *Manager) *Server {
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleStatus)
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.handleResult)
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/events", s.handleEvents)
+		s.mux.HandleFunc("POST "+prefix+"/jobs/{id}/requeue", s.handleRequeue)
 		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -79,13 +89,17 @@ type errorBody struct {
 
 // Error codes used by the job API.
 const (
-	errBadRequest  = "bad_request"
-	errNotFound    = "not_found"
-	errNotReady    = "not_ready"
-	errQueueFull   = "queue_full"
-	errDraining    = "draining"
-	errInternal    = "internal"
-	errUnsupported = "unsupported"
+	errBadRequest     = "bad_request"
+	errNotFound       = "not_found"
+	errNotReady       = "not_ready"
+	errQueueFull      = "queue_full"
+	errDraining       = "draining"
+	errInternal       = "internal"
+	errUnsupported    = "unsupported"
+	errTooLarge       = "body_too_large"
+	errOverloaded     = "overloaded"
+	errDiskPressure   = "disk_pressure"
+	errNotQuarantined = "not_quarantined"
 )
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -98,6 +112,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, errTooLarge,
+				"job body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, errBadRequest, "decode job spec: %v", err)
 		return
 	}
@@ -108,6 +128,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, errQueueFull, "%v", err)
+	case errors.Is(err, ErrOverloaded):
+		// Memory shedding: the Retry-After hint comes from the queue
+		// drain rate, so clients back off proportionally to the backlog.
+		w.Header().Set("Retry-After", strconv.FormatInt(s.mgr.RetryAfterSeconds(), 10))
+		writeError(w, http.StatusTooManyRequests, errOverloaded, "%v", err)
+	case errors.Is(err, ErrDiskPressure):
+		writeError(w, http.StatusServiceUnavailable, errDiskPressure, "%v", err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, errDraining, "%v", err)
 	case err != nil:
@@ -119,7 +146,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
+	list := s.mgr.List()
+	// ?state=<state> filters the listing; the operator's main use is
+	// ?state=quarantined — the jobs needing a requeue decision.
+	if raw := r.URL.Query().Get("state"); raw != "" {
+		st := State(raw)
+		if !validState(st) {
+			writeError(w, http.StatusBadRequest, errBadRequest, "unknown state %q", raw)
+			return
+		}
+		filtered := make([]*JobStatus, 0, len(list))
+		for _, js := range list {
+			if js.State == st {
+				filtered = append(filtered, js)
+			}
+		}
+		list = filtered
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleRequeue puts a quarantined job back in the run queue.
+func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Requeue(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
+	case errors.Is(err, ErrNotQuarantined):
+		writeError(w, http.StatusConflict, errNotQuarantined, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, errDraining, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +252,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // a "lagged" event carrying the job's current state, and a final state
 // snapshot always ends a completed stream. The stream ends when the
 // job reaches a terminal state or the client disconnects.
+//
+// A ": keepalive" SSE comment goes out every sseKeepaliveEvery of
+// idleness so NATed/proxied connections stay open and a dead client is
+// detected even while a long solve produces no events. Every write —
+// event or keepalive — resets a per-write deadline through
+// http.NewResponseController, which both bounds how long a wedged
+// client can pin the handler and exempts the stream from the server's
+// global WriteTimeout (which would otherwise kill any SSE stream
+// outliving it). Any write error unsubscribes and ends the handler.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
@@ -204,14 +274,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	// Subscribe before snapshotting the state so no transition between
 	// the snapshot and the subscription is missed.
-	sub, cancel := j.events.subscribe()
+	sub, cancel := j.eventsBroker().subscribe()
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	ctl := http.NewResponseController(w)
 	writeEvent := func(ev Event) bool {
+		_ = ctl.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
 			return false
 		}
@@ -224,10 +296,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	keepalive := time.NewTicker(sseKeepaliveEvery)
+	defer keepalive.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepalive.C:
+			_ = ctl.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev, ok := <-sub.Events():
 			if !ok {
 				// Broker closed: the job is terminal. Send a final
@@ -285,6 +365,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("netalignd_jobs_cancelled_total", "Jobs cancelled.", m.Cancelled)
 	counter("netalignd_jobs_numerics_total", "Jobs stopped by the numeric guard.", m.Numerics)
 	counter("netalignd_jobs_coalesced_total", "Submissions coalesced onto an identical inflight job.", m.Coalesced)
+	counter("netalignd_jobs_retried_total", "Failed attempts re-enqueued with backoff.", m.Retried)
+	counter("netalignd_jobs_quarantined_total", "Jobs quarantined after exhausting their retry budget or crash-looping.", m.Quarantined)
+	counter("netalignd_jobs_requeued_total", "Quarantined jobs put back by the requeue endpoint.", m.Requeued)
+	counter("netalignd_jobs_stalled_total", "Runs cancelled by the stall watchdog.", m.Stalled)
+	counter("netalignd_jobs_shed_memory_total", "Submissions refused under memory pressure.", m.ShedMemory)
+	counter("netalignd_jobs_refused_disk_total", "Submissions refused under disk pressure.", m.RefusedDisk)
+	gauge("netalignd_jobs_quarantined", "Jobs currently quarantined.", float64(m.QuarantinedNow))
+	gauge("netalignd_disk_free_bytes", "Free bytes on the spool volume at the last pressure sample.", float64(m.DiskFreeBytes))
+	gauge("netalignd_rss_bytes", "Process resident set size at the last pressure sample.", float64(m.RSSBytes))
+	gauge("netalignd_disk_pressure_level", "Disk pressure level: 0 ok, 1 degraded, 2 refusing.", float64(m.DiskPressure))
+	memPressure := 0.0
+	if m.MemPressure {
+		memPressure = 1
+	}
+	gauge("netalignd_memory_pressure", "1 while submissions are shed for memory pressure.", memPressure)
+	gauge("netalignd_retry_after_seconds", "Current Retry-After hint attached to shed submissions.", float64(m.RetryAfterSec))
 	if m.CacheEnabled {
 		counter("netalignd_cache_hits_total", "Result-cache hits (memory or disk).", m.CacheHits)
 		counter("netalignd_cache_disk_hits_total", "Result-cache hits served from the disk tier.", m.CacheDiskHits)

@@ -45,12 +45,21 @@ const (
 	// StateNumerics: the numeric guard stopped the run; the result
 	// holds the best valid matching found before the failure.
 	StateNumerics State = "numerics"
+	// StateQuarantined: a poison job — it exhausted its retry budget
+	// or was caught mid-running across too many consecutive daemon
+	// restarts (a crash loop). Quarantined jobs never again consume a
+	// worker slot, but their spool (spec, problem, last checkpoint)
+	// is kept for inspection, and POST /v1/jobs/{id}/requeue moves
+	// them back to queued with a fresh budget.
+	StateQuarantined State = "quarantined"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final: no worker will touch
+// the job again without operator action (for quarantined, an explicit
+// requeue).
 func (s State) Terminal() bool {
 	switch s {
-	case StateDone, StateFailed, StateCancelled, StateNumerics:
+	case StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined:
 		return true
 	}
 	return false
@@ -58,7 +67,7 @@ func (s State) Terminal() bool {
 
 func validState(s State) bool {
 	switch s {
-	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateNumerics:
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined:
 		return true
 	}
 	return false
@@ -286,6 +295,18 @@ type Meta struct {
 	// Resumes counts how many times the job was requeued after a drain
 	// or crash.
 	Resumes int `json:"resumes,omitempty"`
+	// Attempts counts failed runs (I/O errors, panics, stalls,
+	// numeric stops). Persisted so the retry budget survives daemon
+	// restarts: a job cannot dodge quarantine by crashing the daemon.
+	Attempts int `json:"attempts,omitempty"`
+	// CrashRuns counts consecutive daemon restarts that found this
+	// job mid-running — the crash-loop signal. Reaching the
+	// configured limit quarantines the job instead of requeueing it.
+	CrashRuns int `json:"crashRuns,omitempty"`
+	// Incarnation is the daemon incarnation (see Store.BumpIncarnation)
+	// during which the job last entered running; recovery uses it to
+	// tell consecutive crash loops from unrelated restarts.
+	Incarnation int64 `json:"incarnation,omitempty"`
 }
 
 // newJobID returns a random 16-hex-digit job id.

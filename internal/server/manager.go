@@ -31,6 +31,15 @@ var (
 	// ErrBadSpec wraps job-spec validation and problem-parse failures
 	// (400).
 	ErrBadSpec = errors.New("server: bad job spec")
+	// ErrOverloaded: the process is over its memory budget and is
+	// shedding new submissions (429 with a drain-rate Retry-After).
+	ErrOverloaded = errors.New("server: overloaded, shedding load")
+	// ErrDiskPressure: the spool volume is below its free-space floor;
+	// admitting a job would write durable state to a full disk (503).
+	ErrDiskPressure = errors.New("server: spool disk under pressure")
+	// ErrNotQuarantined: requeue asked for a job that is not in the
+	// quarantined state (409).
+	ErrNotQuarantined = errors.New("server: job is not quarantined")
 )
 
 // Config parameterizes a Manager.
@@ -58,6 +67,47 @@ type Config struct {
 	// tier under that directory which survives restarts (entries are
 	// hash-validated on load).
 	CacheDir string
+
+	// RetryBudget is how many times a transiently failed attempt
+	// (solver error, injected I/O fault, worker panic, stall) is
+	// re-enqueued before the job is quarantined. The count persists in
+	// the spool, so attempts survive restarts. Zero means the default
+	// (3); negative disables retries entirely, restoring the old
+	// fail-fast behavior (failures finalize as failed, never
+	// quarantined).
+	RetryBudget int
+	// RetryBaseDelay / RetryMaxDelay bound the exponential backoff
+	// between attempts (defaults 500ms / 30s). Jitter is deterministic
+	// per (job, attempt) — see RetryDelay.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// StallTimeout, when positive, arms a per-run watchdog: a running
+	// job whose iteration counter stops advancing for longer than this
+	// (scaled up for large problems — see stallTimeoutFor) is cancelled
+	// and the attempt counts against the retry budget. Zero disables.
+	StallTimeout time.Duration
+	// StallCheckEvery is the watchdog poll interval (default 1s).
+	StallCheckEvery time.Duration
+	// CrashLoopLimit quarantines a job found mid-running across this
+	// many consecutive daemon restarts (a poison job that kills its
+	// worker — or the whole process — before it can fail cleanly).
+	// Zero means the default (3); negative disables the detector.
+	CrashLoopLimit int
+
+	// MinDiskBytes, when positive, is the spool volume's free-space
+	// floor. Below 2× the floor the server degrades (cache disk tier
+	// off, checkpoint cadence stretched); below the floor new
+	// submissions are refused with ErrDiskPressure.
+	MinDiskBytes int64
+	// MaxRSSBytes, when positive, sheds new submissions with
+	// ErrOverloaded (429 + Retry-After from the queue drain rate) while
+	// the process RSS exceeds it.
+	MaxRSSBytes int64
+	// PressureEvery is the pressure sampling interval (default 2s).
+	PressureEvery time.Duration
+	// DiskFreeProbe / RSSProbe override the platform probes in tests.
+	DiskFreeProbe func(path string) (int64, error)
+	RSSProbe      func() (int64, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +126,37 @@ func (c Config) withDefaults() Config {
 			c.Threads = 1
 		}
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 500 * time.Millisecond
+	}
+	if c.RetryMaxDelay < c.RetryBaseDelay {
+		c.RetryMaxDelay = 30 * time.Second
+		if c.RetryMaxDelay < c.RetryBaseDelay {
+			c.RetryMaxDelay = c.RetryBaseDelay
+		}
+	}
+	if c.StallCheckEvery <= 0 {
+		c.StallCheckEvery = time.Second
+	}
+	if c.CrashLoopLimit == 0 {
+		c.CrashLoopLimit = 3
+	}
+	if c.PressureEvery <= 0 {
+		c.PressureEvery = 2 * time.Second
+	}
 	return c
+}
+
+// retryBudget resolves the configured budget: >=0 retries allowed,
+// -1 retries disabled.
+func (c Config) retryBudget() int {
+	if c.RetryBudget < 0 {
+		return -1
+	}
+	return c.RetryBudget
 }
 
 // Job is one managed alignment run. All lifecycle fields are guarded
@@ -95,9 +175,27 @@ type Job struct {
 	resumes         int
 	cancelRequested bool
 	cancel          context.CancelFunc
+	// attempts counts failed attempts charged against the retry
+	// budget; persisted so budgets survive restarts. crashRuns counts
+	// consecutive daemon incarnations that found this job mid-running
+	// (the crash-loop detector); incarnation records which daemon
+	// incarnation last started the job. stalled marks a run cancelled
+	// by the watchdog; retryTimer is the pending backoff timer while a
+	// retry waits to re-enqueue.
+	attempts   int
+	crashRuns  int
+	incarnation int64
+	stalled    bool
+	retryTimer *time.Timer
 
-	iter   atomic.Int64
-	events *broker
+	iter atomic.Int64
+	// beat increments on every solver iteration (unthrottled, unlike
+	// iter which follows ProgressEvery); the stall watchdog watches it.
+	beat atomic.Int64
+	// events holds the job's SSE broker. It is an atomic pointer
+	// because Requeue replaces a quarantined job's closed broker with a
+	// fresh one while readers may be subscribing concurrently.
+	events atomic.Pointer[broker]
 
 	// Result-cache linkage. cacheKey/hasKey are set once at submit (or
 	// recovery) and never change. primary and followers implement
@@ -117,9 +215,19 @@ func (j *Job) metaLocked() *Meta {
 	return &Meta{
 		ID: j.ID, Spec: j.Spec, State: j.state, Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Resumes: j.resumes,
+		Resumes: j.resumes, Attempts: j.attempts, CrashRuns: j.crashRuns,
+		Incarnation: j.incarnation,
 	}
 }
+
+// eventsBroker returns the job's current SSE broker.
+func (j *Job) eventsBroker() *broker { return j.events.Load() }
+
+// publish forwards an event to the job's current broker.
+func (j *Job) publish(event string, v any) { j.events.Load().publish(event, v) }
+
+// closeEvents ends the job's current event stream.
+func (j *Job) closeEvents() { j.events.Load().close() }
 
 // JobStatus is the API view of a job.
 type JobStatus struct {
@@ -132,6 +240,9 @@ type JobStatus struct {
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
 	Resumes  int       `json:"resumes,omitempty"`
+	// Attempts is how many failed attempts have been charged against
+	// the job's retry budget so far.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Status returns a consistent snapshot of the job.
@@ -142,7 +253,7 @@ func (j *Job) Status() *JobStatus {
 		ID: j.ID, State: j.state, Method: j.Spec.methodName(),
 		Iter: int(j.iter.Load()), Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Resumes: j.resumes,
+		Resumes: j.resumes, Attempts: j.attempts,
 	}
 }
 
@@ -152,6 +263,12 @@ type Counters struct {
 	Completed, Failed, Cancelled, Numerics atomic.Int64
 	Interrupted/* requeued by drain or crash */ atomic.Int64
 	Coalesced/* submissions attached to an inflight identical job */ atomic.Int64
+	Retried/* failed attempts re-enqueued with backoff */ atomic.Int64
+	Quarantined/* jobs that exhausted their budget or crash-looped */ atomic.Int64
+	Requeued/* quarantined jobs put back by the requeue endpoint */ atomic.Int64
+	Stalled/* runs cancelled by the stall watchdog */ atomic.Int64
+	ShedMemory/* submissions refused under memory pressure */ atomic.Int64
+	RefusedDisk/* submissions refused under disk pressure */ atomic.Int64
 }
 
 // Manager owns the job lifecycle: a FIFO queue with a depth limit
@@ -167,6 +284,12 @@ type Manager struct {
 	// output-affecting option fingerprint, so a hit is guaranteed to be
 	// the bit-identical result the solve would have produced.
 	cache *cache.Cache
+	// incarnation is this daemon start's spool incarnation number (see
+	// Store.BumpIncarnation); pressure monitors resource headroom and
+	// drives degraded mode (nil checks are avoided by always
+	// constructing it — it just stays idle when unconfigured).
+	incarnation int64
+	pressure    *pressureMonitor
 
 	draining atomic.Bool
 
@@ -210,12 +333,22 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.cache = c
 	}
 	m.cond = sync.NewCond(&m.mu)
+	// Bump the incarnation counter before recovery scans the spool:
+	// recovery compares each mid-running job's recorded incarnation
+	// against the previous one to detect crash loops.
+	if m.incarnation, err = store.BumpIncarnation(); err != nil {
+		return nil, err
+	}
+	m.pressure = newPressureMonitor(cfg)
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.pressure.enabled() {
+		go m.pressure.run(m)
 	}
 	return m, nil
 }
@@ -242,10 +375,12 @@ func (m *Manager) recover() error {
 			ID: meta.ID, Spec: meta.Spec, state: meta.State,
 			errMsg: meta.Error, created: meta.Created,
 			started: meta.Started, finished: meta.Finished,
-			resumes: meta.Resumes, events: newBroker(),
+			resumes: meta.Resumes, attempts: meta.Attempts,
+			crashRuns: meta.CrashRuns, incarnation: meta.Incarnation,
 		}
+		j.events.Store(newBroker())
 		if meta.State.Terminal() {
-			j.events.close()
+			j.closeEvents()
 			m.jobs[j.ID] = j
 			continue
 		}
@@ -254,6 +389,33 @@ func (m *Manager) recover() error {
 		// either way the rerun is bit-identical to an uninterrupted
 		// run.
 		if meta.State == StateRunning {
+			// Crash-loop detection: a job found mid-running whose
+			// recorded incarnation is the one immediately before this
+			// start has taken the daemon down (or been caught by its
+			// crash) every restart in a row. After CrashLoopLimit
+			// consecutive such restarts it is quarantined instead of
+			// requeued — a poison job must not crash-loop the daemon
+			// forever. A gap in incarnations (clean restarts in between)
+			// resets the streak.
+			if meta.Incarnation == m.incarnation-1 && meta.Incarnation > 0 {
+				j.crashRuns = meta.CrashRuns + 1
+			} else {
+				j.crashRuns = 1
+			}
+			if lim := m.cfg.CrashLoopLimit; lim > 0 && j.crashRuns >= lim {
+				j.state = StateQuarantined
+				j.errMsg = fmt.Sprintf(
+					"crash loop: found mid-running at %d consecutive daemon restarts (limit %d)",
+					j.crashRuns, lim)
+				j.finished = time.Now()
+				if err := m.store.SaveMeta(j.metaLocked()); err != nil {
+					return err
+				}
+				j.closeEvents()
+				m.jobs[j.ID] = j
+				m.counters.Quarantined.Add(1)
+				continue
+			}
 			j.resumes++
 			m.counters.Interrupted.Add(1)
 		}
@@ -310,6 +472,17 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if m.draining.Load() {
 		return nil, ErrDraining
 	}
+	// Pressure gates come before any spool write: a submission refused
+	// for resource headroom must leave no trace on the (possibly full)
+	// disk.
+	if m.pressure.memShedding() {
+		m.counters.ShedMemory.Add(1)
+		return nil, ErrOverloaded
+	}
+	if m.pressure.diskRefusing() {
+		m.counters.RefusedDisk.Add(1)
+		return nil, ErrDiskPressure
+	}
 	// Serialize the problem once: the spool write and the cache key use
 	// the same bytes, so they can never disagree.
 	var buf bytes.Buffer
@@ -358,9 +531,10 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	}
 	j := &Job{
 		ID: id, Spec: spec, state: StateQueued,
-		created: time.Now(), events: newBroker(),
+		created: time.Now(),
 		cacheKey: key, hasKey: cacheable,
 	}
+	j.events.Store(newBroker())
 	// Persist before enqueueing so a crash in between recovers the
 	// job instead of losing it.
 	if err := m.store.CreateJob(id); err == nil {
@@ -397,8 +571,9 @@ func (m *Manager) admitCachedLocked(spec Spec, problem, result []byte) (*Job, er
 	now := time.Now()
 	j := &Job{
 		ID: id, Spec: spec, state: StateDone,
-		created: now, finished: now, events: newBroker(),
+		created: now, finished: now,
 	}
+	j.events.Store(newBroker())
 	if err := m.store.CreateJob(id); err == nil {
 		err = m.store.SaveProblemBytes(id, problem)
 	}
@@ -411,7 +586,7 @@ func (m *Manager) admitCachedLocked(spec Spec, problem, result []byte) (*Job, er
 	if err != nil {
 		return nil, err
 	}
-	j.events.close()
+	j.closeEvents()
 	m.jobs[id] = j
 	m.counters.Submitted.Add(1)
 	m.counters.Completed.Add(1)
@@ -429,9 +604,10 @@ func (m *Manager) attachFollowerLocked(spec Spec, problem []byte, key cache.Key,
 		return nil, err
 	}
 	j := &Job{
-		ID: id, Spec: spec, created: time.Now(), events: newBroker(),
+		ID: id, Spec: spec, created: time.Now(),
 		cacheKey: key, hasKey: true,
 	}
+	j.events.Store(newBroker())
 	prim.mu.Lock()
 	j.state = StateQueued
 	if prim.state == StateRunning {
@@ -530,8 +706,8 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 		m.mu.Unlock()
 		m.counters.Cancelled.Add(1)
 		_ = m.store.SaveMeta(meta)
-		j.events.publish("state", j.Status())
-		j.events.close()
+		j.publish("state", j.Status())
+		j.closeEvents()
 		return j.Status(), nil
 	}
 	switch {
@@ -548,6 +724,14 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 				inQueue = true
 				break
 			}
+		}
+		if t := j.retryTimer; t != nil {
+			// Waiting out a retry backoff: stop the timer and finalize
+			// here. (If the timer already fired, enqueueRetry sees
+			// cancelRequested — or the terminal state — and backs off.)
+			t.Stop()
+			j.retryTimer = nil
+			inQueue = true
 		}
 		if !inQueue {
 			// A worker already popped it and is about to run; the
@@ -571,8 +755,8 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 		m.mu.Unlock()
 		m.counters.Cancelled.Add(1)
 		_ = m.store.SaveMeta(meta)
-		j.events.publish("state", j.Status())
-		j.events.close()
+		j.publish("state", j.Status())
+		j.closeEvents()
 		m.promoteFollowers(followers)
 		return j.Status(), nil
 	default: // running
@@ -637,8 +821,15 @@ func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg st
 			err = m.store.SaveResultBytes(j.ID, data)
 		}
 		if err != nil && errMsg == "" {
-			// The run succeeded but its result could not be persisted;
-			// surface that instead of silently reporting done.
+			// The run succeeded but its result could not be persisted
+			// (full disk, I/O error). That is transient: retry the
+			// attempt — the rerun resumes from the last checkpoint and
+			// re-persists. (retryOrQuarantine cannot recurse back here
+			// with a result: quarantine/fail finishes carry result=nil.)
+			if state == StateDone || state == StateNumerics {
+				m.retryOrQuarantine(j, fmt.Sprintf("persist result: %v", err))
+				return
+			}
 			state = StateFailed
 			errMsg = err.Error()
 			data = nil
@@ -686,9 +877,11 @@ func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg st
 		m.counters.Cancelled.Add(1)
 	case StateNumerics:
 		m.counters.Numerics.Add(1)
+	case StateQuarantined:
+		m.counters.Quarantined.Add(1)
 	}
-	j.events.publish("state", j.Status())
-	j.events.close()
+	j.publish("state", j.Status())
+	j.closeEvents()
 	if len(followers) > 0 {
 		if shareable {
 			iter := j.iter.Load()
@@ -723,8 +916,8 @@ func (m *Manager) completeFollower(f *Job, data []byte, iter int64) {
 	} else {
 		m.counters.Failed.Add(1)
 	}
-	f.events.publish("state", f.Status())
-	f.events.close()
+	f.publish("state", f.Status())
+	f.closeEvents()
 }
 
 // promoteFollowers re-admits the followers of a primary that ended
@@ -753,7 +946,7 @@ func (m *Manager) promoteFollowers(followers []*Job) {
 			f.mu.Unlock()
 			m.counters.Interrupted.Add(1)
 			_ = m.store.SaveMeta(meta)
-			f.events.publish("state", f.Status())
+			f.publish("state", f.Status())
 		}
 		return
 	}
@@ -787,9 +980,171 @@ func (m *Manager) promoteFollowers(followers []*Job) {
 	m.mu.Unlock()
 	if promotedMeta != nil {
 		_ = m.store.SaveMeta(promotedMeta)
-		p.events.publish("state", p.Status())
+		p.publish("state", p.Status())
 	}
 }
+
+// retryOrQuarantine charges one failed attempt against the job's
+// retry budget. Within budget the job re-enqueues after a
+// deterministic backoff (scheduleRetry); beyond it the job is
+// quarantined — terminal, spool kept, requeueable via Requeue. With
+// retries disabled (RetryBudget < 0) the attempt finalizes as failed,
+// the pre-retry fail-fast behavior. No-op on already-terminal jobs,
+// which makes it safe as a panic handler.
+func (m *Manager) retryOrQuarantine(j *Job, reason string) {
+	budget := m.cfg.retryBudget()
+	if budget < 0 {
+		m.finish(j, StateFailed, nil, reason)
+		return
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.attempts++
+	attempts := j.attempts
+	over := attempts > budget
+	cancelled := j.cancelRequested
+	j.mu.Unlock()
+	switch {
+	case cancelled:
+		// The user cancelled while the attempt was failing; honor the
+		// cancel instead of retrying behind their back.
+		m.finish(j, StateCancelled, nil, reason)
+	case over:
+		m.finish(j, StateQuarantined, nil, fmt.Sprintf(
+			"retry budget exhausted after %d attempts: %s", attempts, reason))
+	default:
+		m.counters.Retried.Add(1)
+		m.scheduleRetry(j, reason)
+	}
+}
+
+// scheduleRetry parks the job queued and arms a backoff timer that
+// re-enqueues it. The durable state says queued, so a crash during
+// the wait recovers the job normally; the remaining delay is not
+// persisted — a restart retries immediately, and the restart itself
+// was the backoff. The next run resumes from the last checkpoint.
+func (m *Manager) scheduleRetry(j *Job, reason string) {
+	j.mu.Lock()
+	attempt := j.attempts
+	j.state = StateQueued
+	j.cancel = nil
+	j.cancelRequested = false
+	j.stalled = false
+	j.started, j.finished = time.Time{}, time.Time{}
+	j.errMsg = reason // visible in status while the backoff runs
+	delay := RetryDelay(j.ID, attempt, m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay)
+	followers := append([]*Job(nil), j.followers...)
+	if m.draining.Load() {
+		// Shutting down: leave the job parked queued in the spool; the
+		// next startup recovers and reruns it.
+		j.retryTimer = nil
+	} else {
+		j.retryTimer = time.AfterFunc(delay, func() { m.enqueueRetry(j) })
+	}
+	meta := j.metaLocked()
+	j.mu.Unlock()
+	_ = m.store.SaveMeta(meta)
+	j.publish("state", j.Status())
+	// Followers mirror the primary back to queued while it waits.
+	for _, f := range followers {
+		f.mu.Lock()
+		if f.state == StateRunning {
+			f.state = StateQueued
+			f.started = time.Time{}
+		}
+		fmeta := f.metaLocked()
+		f.mu.Unlock()
+		_ = m.store.SaveMeta(fmeta)
+		f.publish("state", f.Status())
+	}
+}
+
+// enqueueRetry is the backoff timer's callback: move the job from
+// retry-wait into the run queue. Retries bypass the queue-depth limit
+// — the job was admitted once and still holds its admission.
+func (m *Manager) enqueueRetry(j *Job) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	j.retryTimer = nil
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		j.mu.Unlock()
+		m.mu.Unlock()
+		// A cancel landed while the backoff was pending (after the
+		// failing attempt checked); finalize instead of rerunning.
+		m.finish(j, StateCancelled, nil, "")
+		return
+	}
+	j.mu.Unlock()
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// Requeue puts a quarantined job back in the run queue with a fresh
+// retry budget and a fresh event stream (the quarantine closed the old
+// one). The job keeps its id, spool record and checkpoint, so the
+// rerun resumes where the last attempt left off and — the spec and
+// canonical problem bytes being unchanged — completes bit-identically
+// to an undisturbed run. Requeues bypass the queue-depth limit.
+func (m *Manager) Requeue(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state != StateQuarantined {
+		st := j.state
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (state %s)", ErrNotQuarantined, st)
+	}
+	j.state = StateQueued
+	j.attempts = 0
+	j.crashRuns = 0
+	j.errMsg = ""
+	j.stalled = false
+	j.cancelRequested = false
+	j.started, j.finished = time.Time{}, time.Time{}
+	j.events.Store(newBroker())
+	meta := j.metaLocked()
+	// Re-enter the single-flight table when the slot is free so later
+	// identical submissions coalesce onto the rerun.
+	if j.hasKey {
+		if _, taken := m.inflight[j.cacheKey]; !taken {
+			m.inflight[j.cacheKey] = j
+		}
+	}
+	j.mu.Unlock()
+	m.queue = append(m.queue, j)
+	m.counters.Requeued.Add(1)
+	m.cond.Signal()
+	m.mu.Unlock()
+	_ = m.store.SaveMeta(meta)
+	j.publish("state", j.Status())
+	return j.Status(), nil
+}
+
+// RetryAfterSeconds is the current drain-rate backoff hint attached
+// to shed (429) responses.
+func (m *Manager) RetryAfterSeconds() int64 { return m.pressure.retryAfter() }
 
 // run executes one job on the calling worker goroutine.
 func (m *Manager) run(j *Job) {
@@ -811,12 +1166,26 @@ func (m *Manager) run(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
+	j.stalled = false
+	// Record which daemon incarnation runs this attempt: the crash-loop
+	// detector at the next startup compares it against its own number.
+	j.incarnation = m.incarnation
 	meta := j.metaLocked()
 	j.mu.Unlock()
 	defer stop()
 	defer cancel()
+	// A panic anywhere in the attempt — a solver bug, a poisoned input
+	// tripping a kernel — is a retryable failure, not a dead worker:
+	// recover, charge the attempt, and let the worker loop continue.
+	// retryOrQuarantine no-ops if the job already reached a terminal
+	// state before the panic.
+	defer func() {
+		if r := recover(); r != nil {
+			m.retryOrQuarantine(j, fmt.Sprintf("worker panic: %v", r))
+		}
+	}()
 	_ = m.store.SaveMeta(meta)
-	j.events.publish("state", j.Status())
+	j.publish("state", j.Status())
 	// Followers attached while the job was queued mirror the
 	// transition to running; ones attaching from here on mirror it at
 	// attach time.
@@ -833,7 +1202,7 @@ func (m *Manager) run(j *Job) {
 		fmeta := f.metaLocked()
 		f.mu.Unlock()
 		_ = m.store.SaveMeta(fmeta)
-		f.events.publish("state", f.Status())
+		f.publish("state", f.Status())
 	}
 
 	spec := j.Spec
@@ -843,7 +1212,8 @@ func (m *Manager) run(j *Job) {
 	}
 	p, err := m.store.LoadProblem(j.ID, threads)
 	if err != nil {
-		m.finish(j, StateFailed, nil, err.Error())
+		// Could be transient I/O; charge the attempt and retry.
+		m.retryOrQuarantine(j, err.Error())
 		return
 	}
 	resume, err := m.store.LoadCheckpoint(j.ID)
@@ -855,7 +1225,7 @@ func (m *Manager) run(j *Job) {
 
 	reporter := core.NewProgressReporter(p, spec.ProgressEvery, func(ev core.ProgressEvent) {
 		j.iter.Store(int64(ev.Iter))
-		j.events.publish("progress", ev)
+		j.publish("progress", ev)
 		// Fan progress out to coalesced followers: their SSE streams
 		// see the shared execution's iterations as their own.
 		j.mu.Lock()
@@ -863,7 +1233,7 @@ func (m *Manager) run(j *Job) {
 		j.mu.Unlock()
 		for _, f := range fs {
 			f.iter.Store(int64(ev.Iter))
-			f.events.publish("progress", ev)
+			f.publish("progress", ev)
 		}
 	})
 	ckptEvery := spec.CheckpointEvery
@@ -871,7 +1241,19 @@ func (m *Manager) run(j *Job) {
 		ckptEvery = m.cfg.CheckpointEvery
 	}
 	ckptPath := m.store.CheckpointPath(j.ID)
+	// Under disk pressure, checkpoint writes thin out to every
+	// ckptStretch()-th due checkpoint. Sampled per call, so cadence
+	// responds mid-run when pressure arrives or clears; each write is
+	// atomic, so a skipped (or failed) write leaves the previous
+	// checkpoint valid.
+	ckptDue := 0
 	ckptFunc := func(c *core.Checkpoint) error {
+		if s := m.pressure.ckptStretch(); s > 1 {
+			ckptDue++
+			if ckptDue%s != 0 {
+				return nil
+			}
+		}
 		return problemio.WriteCheckpointFile(ckptPath, c)
 	}
 	mspec, err := matching.ParseMatcherSpec(spec.matcherText())
@@ -886,29 +1268,60 @@ func (m *Manager) run(j *Job) {
 		method = core.MethodMR
 	}
 
+	// The heartbeat wraps the raw observers, which the solvers call on
+	// every iteration (the reporter throttles to ProgressEvery
+	// internally) — so the watchdog sees an unthrottled beat even for
+	// jobs with sparse progress reporting.
+	bpObs := reporter.BPObserver()
+	mrObs := reporter.MRObserver()
+	beatBP := func(iter int, y, z []float64) {
+		j.beat.Add(1)
+		bpObs(iter, y, z)
+	}
+	beatMR := func(iter int, wbar []float64, upper, obj float64) {
+		j.beat.Add(1)
+		mrObs(iter, wbar, upper, obj)
+	}
+	if eff := stallTimeoutFor(m.cfg.StallTimeout, p.NNZS()); eff > 0 {
+		go watchProgress(runCtx, m.cfg.StallCheckEvery, eff, j.beat.Load, func() {
+			j.mu.Lock()
+			j.stalled = true
+			j.mu.Unlock()
+			m.counters.Stalled.Add(1)
+			cancel()
+		})
+	}
+
 	res, runErr := p.Align(runCtx, core.Options{
 		Method: method,
 		BP: core.BPOptions{
 			Iterations: spec.Iterations, Gamma: spec.Gamma, Batch: spec.Batch,
 			Threads: threads, Matcher: mspec, FuseKernels: spec.Fused, Timer: m.timer,
-			Observer: reporter.BPObserver(),
+			Observer: beatBP,
 			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		},
 		MR: core.MROptions{
 			Iterations: spec.Iterations, Gamma: spec.Gamma, MStep: spec.MStep,
 			Threads: threads, Matcher: mspec, Timer: m.timer,
-			Observer: reporter.MRObserver(),
+			Observer: beatMR,
 			Resume:   resume, CheckpointEvery: ckptEvery, CheckpointFunc: ckptFunc,
 		},
 	})
 
 	j.mu.Lock()
 	userCancelled := j.cancelRequested
+	stalled := j.stalled
 	j.mu.Unlock()
 
 	switch {
 	case runErr != nil:
-		m.finish(j, StateFailed, nil, runErr.Error())
+		// Solver and checkpoint-write errors are treated as transient:
+		// the next attempt resumes from the last good checkpoint.
+		m.retryOrQuarantine(j, runErr.Error())
+	case res.Stopped == core.StopCancelled && stalled && !userCancelled && !m.draining.Load():
+		// The watchdog cancelled a run whose iteration counter stopped
+		// advancing; charge the attempt like any other failure.
+		m.retryOrQuarantine(j, "stalled: iteration counter stopped advancing past the watchdog deadline")
 	case res.Stopped == core.StopCancelled && !userCancelled && m.draining.Load():
 		// Interrupted by shutdown, not by the user: requeue so the
 		// next startup resumes from the latest checkpoint. Followers
@@ -931,8 +1344,8 @@ func (m *Manager) run(j *Job) {
 		m.mu.Unlock()
 		m.counters.Interrupted.Add(1)
 		_ = m.store.SaveMeta(meta)
-		j.events.publish("state", j.Status())
-		j.events.close()
+		j.publish("state", j.Status())
+		j.closeEvents()
 		for _, f := range followers {
 			f.mu.Lock()
 			f.primary = nil
@@ -943,12 +1356,23 @@ func (m *Manager) run(j *Job) {
 			f.mu.Unlock()
 			m.counters.Interrupted.Add(1)
 			_ = m.store.SaveMeta(fmeta)
-			f.events.publish("state", f.Status())
+			f.publish("state", f.Status())
 		}
 	case res.Stopped == core.StopCancelled:
 		m.finish(j, StateCancelled, res.JSON(), "")
 	case res.Stopped == core.StopNumerics:
-		m.finish(j, StateNumerics, res.JSON(), "")
+		// A numeric guard stop retries from the last checkpoint while
+		// budget remains. Once the budget is spent the job finalizes as
+		// numerics — with its best partial result persisted — rather
+		// than quarantining, so the caller still gets the diagnostics.
+		j.mu.Lock()
+		attempts := j.attempts
+		j.mu.Unlock()
+		if b := m.cfg.retryBudget(); b >= 0 && attempts < b {
+			m.retryOrQuarantine(j, "numeric guard stop; retrying from last checkpoint")
+		} else {
+			m.finish(j, StateNumerics, res.JSON(), "")
+		}
 	default:
 		// StopMaxIter, StopConverged and StopDeadline all complete the
 		// job; the result's stop reason tells them apart.
@@ -966,6 +1390,7 @@ func (m *Manager) Draining() bool { return m.draining.Load() }
 // on the next startup.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.draining.Store(true)
+	m.pressure.shutdown()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -978,6 +1403,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		j.mu.Lock()
 		if j.state == StateRunning {
 			running = append(running, j)
+		}
+		// Stop pending retry backoffs: the job stays parked queued in
+		// the spool and reruns on the next startup. (A timer that
+		// already fired sees m.closed and backs off.)
+		if t := j.retryTimer; t != nil {
+			t.Stop()
+			j.retryTimer = nil
 		}
 		j.mu.Unlock()
 	}
@@ -1010,7 +1442,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 	for _, j := range jobs {
-		j.events.close()
+		j.closeEvents()
 	}
 	return err
 }
@@ -1029,6 +1461,25 @@ type Metrics struct {
 	Cancelled     int64              `json:"cancelled"`
 	Numerics      int64              `json:"numerics"`
 	Coalesced     int64              `json:"coalesced"`
+	Retried       int64              `json:"retried"`
+	Quarantined   int64              `json:"quarantined"`
+	Requeued      int64              `json:"requeued"`
+	Stalled       int64              `json:"stalled"`
+	ShedMemory    int64              `json:"shedMemory"`
+	RefusedDisk   int64              `json:"refusedDisk"`
+	// QuarantinedNow is the gauge of jobs currently quarantined (the
+	// operator's "needs attention" number); Quarantined above is the
+	// lifetime counter.
+	QuarantinedNow int `json:"quarantinedNow"`
+	// Pressure gauges: free spool bytes and process RSS from the last
+	// sample (zero when the monitor is off), the disk level (0 ok,
+	// 1 degraded, 2 refusing), whether memory shedding is active, and
+	// the current Retry-After hint.
+	DiskFreeBytes int64 `json:"diskFreeBytes,omitempty"`
+	RSSBytes      int64 `json:"rssBytes,omitempty"`
+	DiskPressure  int   `json:"diskPressure"`
+	MemPressure   bool  `json:"memPressure"`
+	RetryAfterSec int64 `json:"retryAfterSec"`
 	CacheEnabled  bool               `json:"cacheEnabled"`
 	CacheHits     int64              `json:"cacheHits"`
 	CacheDiskHits int64              `json:"cacheDiskHits"`
@@ -1044,11 +1495,14 @@ type Metrics struct {
 func (m *Manager) Snapshot() Metrics {
 	m.mu.Lock()
 	depth := len(m.queue)
-	running := 0
+	running, quarantined := 0, 0
 	for _, j := range m.jobs {
 		j.mu.Lock()
-		if j.state == StateRunning {
+		switch j.state {
+		case StateRunning:
 			running++
+		case StateQuarantined:
+			quarantined++
 		}
 		j.mu.Unlock()
 	}
@@ -1070,6 +1524,18 @@ func (m *Manager) Snapshot() Metrics {
 		Cancelled:     m.counters.Cancelled.Load(),
 		Numerics:      m.counters.Numerics.Load(),
 		Coalesced:     m.counters.Coalesced.Load(),
+		Retried:       m.counters.Retried.Load(),
+		Quarantined:   m.counters.Quarantined.Load(),
+		Requeued:      m.counters.Requeued.Load(),
+		Stalled:       m.counters.Stalled.Load(),
+		ShedMemory:    m.counters.ShedMemory.Load(),
+		RefusedDisk:   m.counters.RefusedDisk.Load(),
+		QuarantinedNow: quarantined,
+		DiskFreeBytes: m.pressure.diskFreeBytes.Load(),
+		RSSBytes:      m.pressure.rssBytes.Load(),
+		DiskPressure:  int(m.pressure.diskLevel.Load()),
+		MemPressure:   m.pressure.memShedding(),
+		RetryAfterSec: m.pressure.retryAfter(),
 		StepSeconds:   steps,
 	}
 	if m.cache != nil {

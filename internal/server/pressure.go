@@ -1,0 +1,232 @@
+package server
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Disk-pressure levels. The spool volume's free bytes are compared
+// against Config.MinDiskBytes: below 2× the floor the daemon degrades
+// (cache disk tier off, checkpoint cadence stretched); below the
+// floor itself it refuses new submissions — admitting a job costs
+// spool writes, and the last thing a nearly-full volume needs is more
+// durable state. Running jobs are never killed by disk pressure:
+// their checkpoint/result writes may still fail, and the retry
+// lifecycle absorbs that.
+const (
+	diskOK      = int32(0)
+	diskDegrade = int32(1)
+	diskRefuse  = int32(2)
+)
+
+// ckptStretchFactor multiplies every job's checkpoint interval while
+// the daemon is under disk pressure: fewer, sparser checkpoints trade
+// a longer replay-on-crash for spool-volume headroom.
+const ckptStretchFactor = 4
+
+// pressureMonitor samples the spool volume's free bytes and the
+// process RSS on a fixed cadence and distills them into three cheap
+// atomics the admission and checkpoint paths read lock-free:
+// diskLevel (degrade/refuse), memShed (shed new work with 429), and
+// retryAfterSec (the Retry-After hint, computed from the queue drain
+// rate so clients back off proportionally to the actual backlog).
+type pressureMonitor struct {
+	minDisk  int64
+	maxRSS   int64
+	every    time.Duration
+	spool    string
+	diskFree func(string) (int64, error)
+	rss      func() (int64, error)
+
+	diskLevel     atomic.Int32
+	memShed       atomic.Bool
+	diskFreeBytes atomic.Int64
+	rssBytes      atomic.Int64
+	retryAfterSec atomic.Int64
+	stretch       atomic.Int32 // checkpoint-interval multiplier (>= 1)
+
+	stop chan struct{}
+	done chan struct{}
+
+	// drain-rate bookkeeping, guarded by rateMu: normally only the
+	// monitor goroutine samples, but tests drive sample() directly.
+	rateMu        sync.Mutex
+	lastCompleted int64
+	lastSample    time.Time
+	ratePerSec    float64
+}
+
+func newPressureMonitor(cfg Config) *pressureMonitor {
+	m := &pressureMonitor{
+		minDisk:  cfg.MinDiskBytes,
+		maxRSS:   cfg.MaxRSSBytes,
+		every:    cfg.PressureEvery,
+		spool:    cfg.Spool,
+		diskFree: cfg.DiskFreeProbe,
+		rss:      cfg.RSSProbe,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if m.every <= 0 {
+		m.every = 2 * time.Second
+	}
+	if m.diskFree == nil {
+		m.diskFree = diskFreeBytes
+	}
+	if m.rss == nil {
+		m.rss = processRSSBytes
+	}
+	m.stretch.Store(1)
+	m.retryAfterSec.Store(1)
+	m.lastSample = time.Now()
+	return m
+}
+
+// enabled reports whether any threshold is configured; with neither,
+// the monitor goroutine is never started.
+func (p *pressureMonitor) enabled() bool { return p.minDisk > 0 || p.maxRSS > 0 }
+
+// Lock-free views for the admission and checkpoint paths.
+func (p *pressureMonitor) memShedding() bool  { return p.memShed.Load() }
+func (p *pressureMonitor) diskRefusing() bool { return p.diskLevel.Load() == diskRefuse }
+func (p *pressureMonitor) ckptStretch() int   { return int(p.stretch.Load()) }
+func (p *pressureMonitor) retryAfter() int64  { return p.retryAfterSec.Load() }
+
+// run is the monitor goroutine: sample, update the atomics, apply
+// cache-tier transitions, until stopped. mgr supplies the knobs the
+// monitor drives (cache tier) and the drain-rate inputs.
+func (p *pressureMonitor) run(mgr *Manager) {
+	defer close(p.done)
+	tick := time.NewTicker(p.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.sample(mgr)
+		}
+	}
+}
+
+// sample takes one measurement round. Split out so tests can drive
+// the monitor synchronously with fake probes instead of waiting on
+// the ticker.
+func (p *pressureMonitor) sample(mgr *Manager) {
+	if p.minDisk > 0 {
+		if free, err := p.diskFree(p.spool); err == nil {
+			p.diskFreeBytes.Store(free)
+			level := diskOK
+			switch {
+			case free < p.minDisk:
+				level = diskRefuse
+			case free < 2*p.minDisk:
+				level = diskDegrade
+			}
+			if prev := p.diskLevel.Swap(level); prev != level {
+				p.onDiskTransition(mgr, prev, level, free)
+			}
+		}
+	}
+	if p.maxRSS > 0 {
+		if rss, err := p.rss(); err == nil {
+			p.rssBytes.Store(rss)
+			shed := rss > p.maxRSS
+			if prev := p.memShed.Swap(shed); prev != shed {
+				if shed {
+					log.Printf("memory pressure: rss %d > %d bytes; shedding new submissions with 429", rss, p.maxRSS)
+				} else {
+					log.Printf("memory pressure cleared: rss %d bytes", rss)
+				}
+			}
+		}
+	}
+	// Queue drain rate → Retry-After hint. An EWMA smooths the
+	// completion rate across sampling noise; the hint is how long the
+	// current backlog takes to drain at that rate, clamped to [1s, 2m]
+	// so a cold queue still produces a sane header.
+	p.rateMu.Lock()
+	now := time.Now()
+	dt := now.Sub(p.lastSample).Seconds()
+	completed := mgr.counters.Completed.Load()
+	if dt > 0 {
+		inst := float64(completed-p.lastCompleted) / dt
+		p.ratePerSec = 0.7*p.ratePerSec + 0.3*inst
+	}
+	p.lastCompleted = completed
+	p.lastSample = now
+	rate := p.ratePerSec
+	p.rateMu.Unlock()
+	mgr.mu.Lock()
+	depth := len(mgr.queue)
+	mgr.mu.Unlock()
+	hint := int64(10)
+	if rate > 1e-6 {
+		hint = int64(float64(depth)/rate) + 1
+	}
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 120 {
+		hint = 120
+	}
+	p.retryAfterSec.Store(hint)
+}
+
+// onDiskTransition applies the degraded-mode side effects of a
+// disk-pressure level change.
+func (p *pressureMonitor) onDiskTransition(mgr *Manager, prev, level int32, free int64) {
+	switch {
+	case level >= diskDegrade && prev < diskDegrade:
+		p.stretch.Store(ckptStretchFactor)
+		if mgr.cache != nil {
+			mgr.cache.SetDiskEnabled(false)
+		}
+		log.Printf("disk pressure: %d bytes free on %s (floor %d); cache disk tier off, checkpoint cadence ×%d",
+			free, p.spool, p.minDisk, ckptStretchFactor)
+	case level < diskDegrade && prev >= diskDegrade:
+		p.stretch.Store(1)
+		if mgr.cache != nil {
+			mgr.cache.SetDiskEnabled(true)
+		}
+		log.Printf("disk pressure cleared: %d bytes free on %s", free, p.spool)
+	}
+	if level == diskRefuse {
+		log.Printf("disk pressure critical: %d bytes free on %s; refusing new submissions", free, p.spool)
+	}
+}
+
+// shutdown stops the monitor goroutine (idempotent; safe when the
+// goroutine was never started).
+func (p *pressureMonitor) shutdown() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+}
+
+// processRSSBytes reads the process resident set size. On Linux it
+// comes from /proc/self/statm (second field, in pages); elsewhere —
+// or if procfs is unavailable — it falls back to the Go runtime's
+// OS-reserved byte count, which over-approximates RSS but preserves
+// the "this process is too big" signal.
+func processRSSBytes() (int64, error) {
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return pages * int64(os.Getpagesize()), nil
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys), nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package server
+
+import "errors"
+
+// diskFreeBytes is unavailable off Linux; the monitor skips disk
+// checks when the probe errors, so disk-pressure handling simply
+// stays inert on other platforms (tests inject their own probe).
+func diskFreeBytes(string) (int64, error) {
+	return 0, errors.New("server: disk free probe unsupported on this platform")
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// RetryDelay computes the backoff before a job's attempt'th retry:
+// exponential in the attempt number (base, 2·base, 4·base, …) capped
+// at max, then scaled by a deterministic jitter factor in [0.75, 1.25)
+// derived from the job id and attempt. The jitter decorrelates the
+// retry times of jobs that failed together (a burst of I/O errors
+// from one sick disk must not re-land as a burst), while staying a
+// pure function of (id, attempt, base, max) so failing schedules
+// replay exactly in tests and across restarts.
+func RetryDelay(id string, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d < 0 { // d < 0: overflow
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	// Deterministic jitter: FNV-1a over (id, attempt) → [0.75, 1.25).
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var a [4]byte
+	binary.LittleEndian.PutUint32(a[:], uint32(attempt))
+	h.Write(a[:])
+	frac := float64(h.Sum64()%1024) / 1024 // [0, 1)
+	out := time.Duration(float64(d) * (0.75 + 0.5*frac))
+	if out > max {
+		out = max
+	}
+	if out <= 0 {
+		out = base
+	}
+	return out
+}

@@ -13,8 +13,23 @@ import (
 	"sort"
 
 	"netalignmc/internal/core"
+	"netalignmc/internal/faults"
 	"netalignmc/internal/problemio"
 )
+
+// Fault points of the spool's atomic writes, one pair per durable
+// file: the payload write ("spool:write:<base>") supports injected
+// EIO/ENOSPC/short-writes, the rename ("spool:rename:<base>")
+// injected errors. The crash hook's "before-rename:<base>" /
+// "after-rename:<base>" points (simulated process death) are separate
+// and test-installed per Store. Registered here so chaos tests can
+// enumerate every spool failure site.
+func init() {
+	for _, base := range []string{"job.json", "problem.txt", "result.json"} {
+		faults.RegisterWritePoint("spool:write:" + base)
+		faults.RegisterPoint("spool:rename:" + base)
+	}
+}
 
 // Store is the durable spool directory. Every job owns one
 // subdirectory named by its id:
@@ -97,7 +112,7 @@ func (s *Store) atomicWrite(path string, data []byte) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := faults.WriteOp("spool:write:"+base, tmp, data); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -109,6 +124,9 @@ func (s *Store) atomicWrite(path string, data []byte) error {
 		return err
 	}
 	if err := s.crashAt("before-rename:" + base); err != nil {
+		return err
+	}
+	if err := faults.Inject("spool:rename:" + base); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
@@ -243,6 +261,49 @@ func (s *Store) OpenResult(id string) (io.ReadCloser, int64, error) {
 		return nil, 0, err
 	}
 	return f, info.Size(), nil
+}
+
+// incarnationFile is the spool-level record of how many times a
+// daemon has started over this spool. Written atomically like every
+// other spool record.
+const incarnationFile = "incarnation.json"
+
+type incarnationRecord struct {
+	Incarnation int64 `json:"incarnation"`
+}
+
+// LoadIncarnation reads the spool's incarnation counter (0 for a
+// fresh spool or an unreadable record — recovery treats an unknown
+// history as no history).
+func (s *Store) LoadIncarnation() int64 {
+	data, err := os.ReadFile(filepath.Join(s.dir, incarnationFile))
+	if err != nil {
+		return 0
+	}
+	var rec incarnationRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.Incarnation < 0 {
+		return 0
+	}
+	return rec.Incarnation
+}
+
+// BumpIncarnation increments and persists the spool's incarnation
+// counter, returning the new value. Called once per daemon startup,
+// before recovery scans the spool, so every job that enters running
+// can record which incarnation ran it — the crash-loop detector
+// compares that record against the previous incarnation to decide
+// whether a mid-running job has been dying with the daemon
+// consecutively.
+func (s *Store) BumpIncarnation() (int64, error) {
+	inc := s.LoadIncarnation() + 1
+	data, err := json.MarshalIndent(incarnationRecord{Incarnation: inc}, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("server: incarnation: %w", err)
+	}
+	if err := s.atomicWrite(filepath.Join(s.dir, incarnationFile), data); err != nil {
+		return 0, fmt.Errorf("server: incarnation: %w", err)
+	}
+	return inc, nil
 }
 
 // ListJobs returns the ids of every job directory, sorted, skipping

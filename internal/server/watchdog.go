@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// watchProgress is the stall watchdog for one running job: it samples
+// counter every `every` and, when the value stops advancing for
+// longer than `timeout`, calls onStall once and returns. It returns
+// silently when ctx is cancelled first (the run ended or was
+// cancelled for another reason).
+//
+// The counter is the job's per-iteration heartbeat, bumped by the
+// solver's Observer on every iteration regardless of the job's
+// progress-event throttle, so a healthy-but-quiet job (large
+// ProgressEvery) is never mistaken for a stalled one. What the
+// watchdog catches is the class of job Bayati et al. warn about — BP
+// message passing that oscillates without converging — plus any wedged
+// solver goroutine: iterations stop, the deadline lapses, and the
+// job's context is cancelled so the worker slot frees in bounded time.
+func watchProgress(ctx context.Context, every, timeout time.Duration, counter func() int64, onStall func()) {
+	if timeout <= 0 {
+		return
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	last := counter()
+	lastAdvance := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if v := counter(); v != last {
+				last = v
+				lastAdvance = time.Now()
+				continue
+			}
+			if time.Since(lastAdvance) > timeout {
+				onStall()
+				return
+			}
+		}
+	}
+}
+
+// stallTimeoutFor scales the configured stall timeout by problem
+// size: one extra base unit per stallScaleNNZ stored entries of S, so
+// a genuinely big problem whose single iteration takes longer than a
+// small problem's whole run is not culled for being slow. Returns 0
+// (watchdog disabled) when base is 0.
+func stallTimeoutFor(base time.Duration, nnz int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	const stallScaleNNZ = 1 << 20
+	scale := 1 + nnz/stallScaleNNZ
+	return base * time.Duration(scale)
+}

@@ -18,8 +18,16 @@ BASE="http://$ADDR"
 DIR=$(mktemp -d)
 PID=""
 cleanup() {
+    status=$?
+    # On any failure, dump the daemon log before the tempdir vanishes —
+    # a CI transcript without it is undebuggable.
+    if [ "$status" -ne 0 ] && [ -f "$DIR/daemon.log" ]; then
+        echo "== smoke FAILED (exit $status); daemon log:"
+        cat "$DIR/daemon.log"
+    fi
     [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
     rm -rf "$DIR"
+    exit "$status"
 }
 trap cleanup EXIT
 
@@ -37,8 +45,7 @@ start_daemon() {
         fi
         sleep 0.2
     done
-    echo "netalignd did not become healthy; log:"
-    cat "$DIR/daemon.log"
+    echo "netalignd did not become healthy within 10s"
     exit 1
 }
 
@@ -109,7 +116,16 @@ STOP=$(curl -fs "$BASE/v1/jobs/$ID/result" | json "['stopped']")
 echo "   job $ID resumed (resumes=$RESUMES) and completed, stopped=$STOP"
 
 echo "== metrics"
-curl -fs "$BASE/metrics" | grep -q netalignd_jobs_resumed_total || {
-    echo "metrics missing netalignd_jobs_resumed_total"; exit 1; }
+METRICS=$(curl -fs "$BASE/metrics")
+for m in netalignd_jobs_resumed_total netalignd_jobs_retried_total \
+         netalignd_jobs_quarantined netalignd_retry_after_seconds; do
+    echo "$METRICS" | grep -q "^$m" || { echo "metrics missing $m"; exit 1; }
+done
+
+echo "== quarantine listing: filter accepts the state, rejects junk"
+curl -fs "$BASE/v1/jobs?state=quarantined" >/dev/null || {
+    echo "?state=quarantined rejected"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs?state=bogus")
+[ "$CODE" = 400 ] || { echo "?state=bogus returned $CODE, want 400"; exit 1; }
 
 echo "smoke OK"
