@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-go cover vet faults chaos fuzz examples reproduce serve smoke clean
+.PHONY: all build test race bench bench-go cover vet faults chaos fuzz examples reproduce serve smoke cluster-smoke clean
 
 all: build test
 
@@ -68,6 +68,12 @@ serve:
 # resume-on-restart. Needs curl and python3.
 smoke:
 	./scripts/ci_smoke.sh
+
+# End-to-end cluster smoke test: router + 2 backends, cache affinity on
+# the owner, kill the owner and verify ring failover. Needs curl and
+# python3.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Regenerate the full experiment report (results/report.md).
 reproduce:

@@ -26,10 +26,20 @@
 //	GET    /v1/jobs/{id}/events live progress (SSE)
 //	POST   /v1/jobs/{id}/requeue rerun a quarantined job (409 otherwise)
 //	DELETE /v1/jobs/{id}        cooperative cancel
-//	GET    /healthz             liveness (503 while draining)
+//	GET    /v1/cache/{key}      cached result by content address (peer
+//	                            cache fill; 404 cache_miss otherwise)
+//	GET    /healthz             liveness (always 200 while serving)
+//	GET    /readyz              readiness (503 while draining or under
+//	                            refuse-level pressure)
 //	GET    /metrics             Prometheus text metrics
 //	GET    /debug/vars          expvar (includes the manager snapshot)
 //	GET    /debug/pprof/...     profiling
+//
+// Cluster mode: -peers lists every node's base URL and -self names
+// this node's own entry; on a local cache miss the node then probes
+// its key's ring neighbors via GET /v1/cache/{key} before solving.
+// Pair with the netalignrouter command, which consistent-hashes
+// submissions across the same peer list.
 //
 // Exit codes: 0 after a clean drain, 1 on startup or serve failure.
 package main
@@ -44,9 +54,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"netalignmc/internal/cluster"
 	"netalignmc/internal/server"
 )
 
@@ -70,6 +82,10 @@ func run() int {
 	crashLoopLimit := fs.Int("crash-loop-limit", 3, "quarantine a job found mid-running across this many consecutive daemon restarts (-1 disables)")
 	minDiskBytes := fs.Int64("min-disk-bytes", 0, "spool free-space floor: degrade below 2x, refuse submissions below it (0 disables)")
 	maxRSSBytes := fs.Int64("max-rss-bytes", 0, "shed new submissions with 429 while process RSS exceeds this (0 disables)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every cluster node (enables peer cache fill)")
+	self := fs.String("self", "", "this node's own base URL within -peers (never probed)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member; must match the router's setting (0 = default)")
+	peerProbes := fs.Int("peer-probes", 0, "max ring neighbors probed per cache miss (0 = default)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: netalignd [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serve network-alignment solves as durable jobs over HTTP/JSON.\n\nFlags:\n")
@@ -85,7 +101,7 @@ func run() int {
 	if *cacheDisk && *cacheBytes > 0 {
 		cacheDir = filepath.Join(*spool, "cache")
 	}
-	mgr, err := server.NewManager(server.Config{
+	cfg := server.Config{
 		Spool:           *spool,
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -98,7 +114,22 @@ func run() int {
 		CrashLoopLimit:  *crashLoopLimit,
 		MinDiskBytes:    *minDiskBytes,
 		MaxRSSBytes:     *maxRSSBytes,
-	})
+	}
+	if *peers != "" {
+		// NewPeerFiller returns a nil pointer when the peer list leaves
+		// nothing to probe; assign only a live filler so the manager's
+		// interface nil-check stays meaningful.
+		if pf := cluster.NewPeerFiller(cluster.PeerFillConfig{
+			Self:      *self,
+			Peers:     strings.Split(*peers, ","),
+			VNodes:    *vnodes,
+			MaxProbes: *peerProbes,
+		}); pf != nil {
+			cfg.PeerFiller = pf
+			log.Printf("peer cache fill enabled (%d peers)", len(strings.Split(*peers, ",")))
+		}
+	}
+	mgr, err := server.NewManager(cfg)
 	if err != nil {
 		log.Print(err)
 		return 1

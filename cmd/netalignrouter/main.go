@@ -1,0 +1,118 @@
+// Command netalignrouter is the cluster front door for netalignd: a
+// thin HTTP proxy that consistent-hashes each job submission onto one
+// of a static set of backends, so identical submissions always land
+// where their cached result — or in-flight single-flight execution —
+// already lives.
+//
+// Usage:
+//
+//	netalignrouter -peers http://h1:7070,http://h2:7070 [flags]
+//
+// The router holds no durable state. It probes every backend's
+// /readyz on an interval; a backend that stops answering (or answers
+// 503) leaves the ring and its keys drain to their ring successors
+// until it recovers. A submission whose owner is unreachable or
+// refuses with 503 fails over to the successor; 4xx answers —
+// including 429 backpressure — are relayed to the client verbatim.
+// Per-job routes (status, result, cancel, SSE events, requeue) are
+// proxied raw to whichever node admitted the job.
+//
+// Endpoints: the full /v1 job API, plus
+//
+//	GET /healthz   router liveness (always 200)
+//	GET /readyz    200 while at least one backend is up
+//	GET /metrics   router counters, per-node gauges, and a cluster
+//	               rollup aggregated from every reachable backend
+//
+// Exit codes: 0 after a clean shutdown, 1 on startup or serve failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netalignmc/internal/cluster"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("netalignrouter", flag.ExitOnError)
+	addr := fs.String("addr", ":7080", "listen address")
+	peers := fs.String("peers", "", "comma-separated base URLs of the netalignd backends (required)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member; must match the backends' -vnodes (0 = default)")
+	probeEvery := fs.Duration("probe-every", time.Second, "backend readiness probe interval")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: netalignrouter -peers <url,url,...> [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Consistent-hash router over a set of netalignd backends.\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nExit codes:\n  0  clean shutdown\n  1  startup or serve failure\n")
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	log.SetPrefix("netalignrouter: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *peers == "" {
+		log.Print("-peers is required")
+		fs.Usage()
+		return 1
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:        strings.Split(*peers, ","),
+		VNodes:       *vnodes,
+		ProbeEvery:   *probeEvery,
+		ProbeTimeout: *probeTimeout,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	router.Start()
+	defer router.Stop()
+
+	// WriteTimeout stays 0: the router proxies SSE streams and result
+	// downloads whose duration it cannot bound; backends enforce their
+	// own per-write deadlines.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %s across %d backends", *addr, len(router.Ring().Nodes()))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("stopped")
+	return 0
+}

@@ -59,6 +59,20 @@ type Key [sha256.Size]byte
 // String returns the key in hex (the disk tier's file stem).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hex form produced by Key.String — the format
+// keys travel in over the cluster's peer-fill protocol
+// (GET /v1/cache/{key}) and in disk-tier file names.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return k, fmt.Errorf("cache: key %q: want %d hex digits", s, hex.EncodedLen(len(k)))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("cache: key %q: %w", s, err)
+	}
+	return k, nil
+}
+
 // KeyFor derives the cache key for a canonicalized problem and a
 // canonical option fingerprint (core.Options.CacheFingerprint). Both
 // parts are length-prefixed before hashing so no (problem, options)
@@ -172,6 +186,34 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 		c.corrupt++
 	}
 	c.misses++
+	return nil, false
+}
+
+// Peek is Get without the hit/miss accounting: both tiers are
+// consulted (and a disk hit is still promoted into the memory LRU),
+// but the counters stay untouched. It backs the cluster's serve-by-key
+// endpoint and the post-peer-fill recheck — a neighbor probing this
+// node's cache, or a node re-checking after an unlocked network probe,
+// must not skew the node's own hit-rate metrics. Corrupt disk entries
+// are still counted and removed.
+func (c *Cache) Peek(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).data, true
+	}
+	if c.dir == "" || c.diskOff {
+		return nil, false
+	}
+	data, err := LoadDisk(c.dir, key)
+	switch {
+	case err == nil:
+		c.insertLocked(key, data)
+		return data, true
+	case errors.Is(err, ErrCorrupt):
+		c.corrupt++
+	}
 	return nil, false
 }
 

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"netalignmc/internal/cache"
+	"netalignmc/internal/server"
+)
+
+// ErrPeerPayload reports a GET /v1/cache/{key} response whose body
+// did not match its SHA-256 header — a torn proxy, a corrupted disk
+// entry the peer failed to detect, or a misbehaving peer. The payload
+// is discarded; peer fill falls through to the next neighbor or to a
+// local solve.
+var ErrPeerPayload = errors.New("cluster: peer cache payload failed hash validation")
+
+// defaultHTTPClient backs Clients built without an explicit one. No
+// overall request timeout (result bodies stream, and a submit may
+// build a large problem server-side), but connection establishment is
+// bounded so a dead node fails over in seconds, not at the kernel's
+// leisure.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Client drives one remote netalignd node over its HTTP API. It
+// implements server.Backend, so everything written against a local
+// Manager — the HTTP handlers, the router, the tests — works
+// unchanged against a remote node; API error envelopes are mapped
+// back to the same sentinel errors the Manager returns, preserving
+// errors.Is behavior across the transport.
+type Client struct {
+	// Base is the node's base URL, e.g. "http://127.0.0.1:7070".
+	Base string
+	// HTTP overrides the transport (nil = a shared default with a 2s
+	// dial timeout and no overall deadline).
+	HTTP *http.Client
+}
+
+var _ server.Backend = (*Client)(nil)
+
+// normalizeBase canonicalizes a node base URL (trailing slash
+// trimmed) so ring members, client map keys and owner records all use
+// one spelling.
+func normalizeBase(base string) string { return strings.TrimRight(base, "/") }
+
+// NewClient builds a client for one node's base URL (trailing slash
+// trimmed).
+func NewClient(base string) *Client {
+	return &Client{Base: normalizeBase(base)}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+// errorEnvelope mirrors the server's JSON error body.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// apiError drains a non-2xx response and maps its error code back to
+// the server package's sentinel errors.
+func (c *Client) apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env errorEnvelope
+	_ = json.Unmarshal(body, &env)
+	msg := env.Error.Message
+	if msg == "" {
+		msg = strings.TrimSpace(string(body))
+	}
+	var sentinel error
+	switch env.Error.Code {
+	case "not_found":
+		sentinel = server.ErrNotFound
+	case "bad_request":
+		sentinel = server.ErrBadSpec
+	case "queue_full":
+		sentinel = server.ErrQueueFull
+	case "overloaded":
+		sentinel = server.ErrOverloaded
+	case "disk_pressure":
+		sentinel = server.ErrDiskPressure
+	case "draining":
+		sentinel = server.ErrDraining
+	case "not_quarantined":
+		sentinel = server.ErrNotQuarantined
+	case "not_ready":
+		sentinel = server.ErrNotReady
+	case "cache_miss":
+		sentinel = fs.ErrNotExist
+	}
+	if sentinel != nil {
+		return fmt.Errorf("%w: %s (%s)", sentinel, msg, c.Base)
+	}
+	return fmt.Errorf("cluster: %s: http %d: %s", c.Base, resp.StatusCode, msg)
+}
+
+// getJSON issues a GET and decodes a 200 response into out.
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts one job spec and returns its initial status snapshot.
+func (c *Client) Submit(spec server.Spec) (*server.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode spec: %w", err)
+	}
+	resp, err := c.http().Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, c.apiError(resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cluster: %s: decode submit response: %w", c.Base, err)
+	}
+	return &st, nil
+}
+
+// Status fetches one job's status snapshot.
+func (c *Client) Status(id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.getJSON("/v1/jobs/"+url.PathEscape(id), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches job statuses, optionally filtered by state.
+func (c *Client) List(state server.State) ([]*server.JobStatus, error) {
+	path := "/v1/jobs"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(string(state))
+	}
+	var list []*server.JobStatus
+	if err := c.getJSON(path, &list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// Cancel requests cooperative cancellation.
+func (c *Client) Cancel(id string) (*server.JobStatus, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.apiError(resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Requeue puts a quarantined job back in its node's run queue.
+func (c *Client) Requeue(id string) (*server.JobStatus, error) {
+	resp, err := c.http().Post(c.Base+"/v1/jobs/"+url.PathEscape(id)+"/requeue", "application/json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.apiError(resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// OpenResult opens a finished job's result document for streaming.
+// The caller must Close the reader. A 404 maps to both ErrNotFound
+// and fs.ErrNotExist (the remote envelope cannot distinguish "job
+// unknown" from "terminal without a result"; callers that care check
+// Status first, as the HTTP handlers do).
+func (c *Client) OpenResult(id string) (io.ReadCloser, int64, error) {
+	resp, err := c.http().Get(c.Base + "/v1/jobs/" + url.PathEscape(id) + "/result")
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, resp.ContentLength, nil
+	case http.StatusNotFound:
+		err := c.apiError(resp)
+		resp.Body.Close()
+		return nil, 0, fmt.Errorf("%w: %w", fs.ErrNotExist, err)
+	default:
+		err := c.apiError(resp)
+		resp.Body.Close()
+		return nil, 0, err
+	}
+}
+
+// Ready probes the node's /readyz: nil when it accepts work, the
+// matching sentinel (ErrDraining, ErrOverloaded, ErrDiskPressure)
+// when it refuses, a transport error when it is unreachable.
+func (c *Client) Ready() error {
+	resp, err := c.http().Get(c.Base + "/readyz")
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	var status struct {
+		Status string `json:"status"`
+	}
+	_ = json.Unmarshal(body, &status)
+	switch status.Status {
+	case "draining":
+		return fmt.Errorf("%w (%s)", server.ErrDraining, c.Base)
+	case "memory_pressure":
+		return fmt.Errorf("%w (%s)", server.ErrOverloaded, c.Base)
+	case "disk_pressure":
+		return fmt.Errorf("%w (%s)", server.ErrDiskPressure, c.Base)
+	}
+	return fmt.Errorf("cluster: %s: not ready: http %d", c.Base, resp.StatusCode)
+}
+
+// CacheGet probes the node's result cache for a content address and
+// validates the payload against its SHA-256 header. fs.ErrNotExist
+// means the peer has no entry; ErrPeerPayload means it served bytes
+// that failed validation.
+func (c *Client) CacheGet(key cache.Key) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/v1/cache/" + key.String())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: read cache payload: %w", c.Base, err)
+	}
+	sum := sha256.Sum256(data)
+	if want := resp.Header.Get(server.CacheSHA256Header); want != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("%w (%s, key %s)", ErrPeerPayload, c.Base, key)
+	}
+	return data, nil
+}
+
+// Metrics fetches the node's manager snapshot via /debug/vars.
+func (c *Client) Metrics() (*server.Metrics, error) {
+	var vars struct {
+		Netalignd *server.Metrics `json:"netalignd"`
+	}
+	if err := c.getJSON("/debug/vars", &vars); err != nil {
+		return nil, err
+	}
+	if vars.Netalignd == nil {
+		return nil, fmt.Errorf("cluster: %s: /debug/vars has no netalignd snapshot", c.Base)
+	}
+	return vars.Netalignd, nil
+}

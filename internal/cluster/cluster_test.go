@@ -1,0 +1,506 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netalignmc/internal/cache"
+	"netalignmc/internal/server"
+)
+
+// testNode is one in-process netalignd: a real Manager behind a real
+// HTTP server.
+type testNode struct {
+	url string
+	mgr *server.Manager
+	ts  *httptest.Server
+}
+
+// startNode boots a backend over a fresh spool. Callers that shut a
+// node down mid-test call n.kill(); cleanup tolerates both orders.
+func startNode(t *testing.T, cfg server.Config) *testNode {
+	t.Helper()
+	if cfg.Spool == "" {
+		cfg.Spool = t.TempDir()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	mgr, err := server.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewServer(mgr))
+	n := &testNode{url: ts.URL, mgr: mgr, ts: ts}
+	t.Cleanup(n.kill)
+	return n
+}
+
+// kill stops the node: HTTP first, then a bounded drain. Idempotent.
+func (n *testNode) kill() {
+	n.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = n.mgr.Shutdown(ctx)
+}
+
+// smallSpec is a quick deterministic generator job, identical across
+// nodes so its cache key is too.
+func smallSpec() server.Spec {
+	return server.Spec{
+		Method: "bp", Iterations: 20, Approx: true, Threads: 1,
+		ProgressEvery: 1,
+		Generator:     &server.GeneratorSpec{N: 40, DBar: 3, Seed: 7},
+	}
+}
+
+// postSpec submits a spec to base and returns the response and body.
+func postSpec(t *testing.T, base string, spec server.Spec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+// submitOK submits and asserts a 202, returning the job status.
+func submitOK(t *testing.T, base string, spec server.Spec) *server.JobStatus {
+	t.Helper()
+	resp, body := postSpec(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit to %s: status %d, body %s", base, resp.StatusCode, body)
+	}
+	st := &server.JobStatus{}
+	if err := json.Unmarshal(body, st); err != nil {
+		t.Fatalf("submit: %v in %s", err, body)
+	}
+	return st
+}
+
+// waitDone polls a job through base until it completes.
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case st.State == server.StateDone:
+			return
+		case st.State.Terminal():
+			t.Fatalf("job %s reached %s (error %q), want done", id, st.State, st.Error)
+		case time.Now().After(deadline):
+			t.Fatalf("job %s still %s, want done", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// getResultBytes fetches a job's raw result document.
+func getResultBytes(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: status %d body %s", id, resp.StatusCode, data)
+	}
+	return data
+}
+
+// findOwner returns which of the nodes holds the job.
+func findOwner(t *testing.T, nodes []*testNode, id string) *testNode {
+	t.Helper()
+	for _, n := range nodes {
+		if _, err := NewClient(n.url).Status(id); err == nil {
+			return n
+		}
+	}
+	t.Fatalf("job %s not found on any node", id)
+	return nil
+}
+
+// startRouter builds and starts a router over the nodes with an
+// effectively disabled probe ticker, so membership changes in tests
+// come only from deterministic MarkDown transitions.
+func startRouter(t *testing.T, nodes ...*testNode) (*Router, *httptest.Server) {
+	t.Helper()
+	peers := make([]string, len(nodes))
+	for i, n := range nodes {
+		peers[i] = n.url
+	}
+	router, err := NewRouter(RouterConfig{Peers: peers, ProbeEvery: time.Hour, KeyThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	ts := httptest.NewServer(router)
+	t.Cleanup(func() {
+		ts.Close()
+		router.Stop()
+	})
+	return router, ts
+}
+
+// TestRouterRoutingAndCacheAffinity pins the tentpole contract end to
+// end: identical submissions land on one owner; the second one is a
+// cache hit there (no recompute anywhere); results read back
+// byte-identically through the router; the other node never sees the
+// key.
+func TestRouterRoutingAndCacheAffinity(t *testing.T) {
+	a := startNode(t, server.Config{CacheBytes: 16 << 20})
+	b := startNode(t, server.Config{CacheBytes: 16 << 20})
+	_, rt := startRouter(t, a, b)
+
+	st1 := submitOK(t, rt.URL, smallSpec())
+	waitDone(t, rt.URL, st1.ID)
+	res1 := getResultBytes(t, rt.URL, st1.ID)
+
+	st2 := submitOK(t, rt.URL, smallSpec())
+	waitDone(t, rt.URL, st2.ID)
+	res2 := getResultBytes(t, rt.URL, st2.ID)
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("identical submissions returned different result documents")
+	}
+
+	owner := findOwner(t, []*testNode{a, b}, st1.ID)
+	other := a
+	if owner == a {
+		other = b
+	}
+	om := owner.mgr.Snapshot()
+	if om.Submitted != 2 {
+		t.Errorf("owner submitted = %d, want 2 (both copies routed to one node)", om.Submitted)
+	}
+	if om.CacheHits < 1 {
+		t.Errorf("owner cache hits = %d, want >= 1 (second submission must hit)", om.CacheHits)
+	}
+	if sm := other.mgr.Snapshot(); sm.Submitted != 0 {
+		t.Errorf("non-owner submitted = %d, want 0", sm.Submitted)
+	}
+
+	// The job index merges across nodes through the router.
+	resp, err := http.Get(rt.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []*server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Errorf("router list returned %d jobs, want 2", len(list))
+	}
+
+	// SSE proxies through: a done job's stream replays its state.
+	eresp, err := http.Get(rt.URL + "/v1/jobs/" + st1.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(eresp.Body)
+	eresp.Body.Close()
+	if !strings.Contains(string(events), "event: state") {
+		t.Errorf("proxied SSE stream missing state event:\n%s", events)
+	}
+
+	// The cached document is addressable through the router too.
+	spec := smallSpec()
+	key, _, err := spec.CacheKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := http.Get(rt.URL + "/v1/cache/" + key.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("router cache get: status %d body %s", cresp.StatusCode, cached)
+	}
+	if !bytes.Equal(cached, res1) {
+		t.Error("router cache payload differs from the job's result document")
+	}
+}
+
+// TestRouterFailover kills a job's owner and verifies the ring heals:
+// the same submission reroutes to the survivor, recomputes, and yields
+// a byte-identical result document; the router's failover and
+// rebalance counters record the event.
+func TestRouterFailover(t *testing.T) {
+	a := startNode(t, server.Config{CacheBytes: 16 << 20})
+	b := startNode(t, server.Config{CacheBytes: 16 << 20})
+	router, rt := startRouter(t, a, b)
+
+	st1 := submitOK(t, rt.URL, smallSpec())
+	waitDone(t, rt.URL, st1.ID)
+	res1 := getResultBytes(t, rt.URL, st1.ID)
+
+	owner := findOwner(t, []*testNode{a, b}, st1.ID)
+	survivor := a
+	if owner == a {
+		survivor = b
+	}
+	owner.kill()
+
+	// Resubmit: the dead owner fails at the transport level, the router
+	// marks it down (one ring rebalance) and the successor takes the
+	// job.
+	st2 := submitOK(t, rt.URL, smallSpec())
+	waitDone(t, rt.URL, st2.ID)
+	res2 := getResultBytes(t, rt.URL, st2.ID)
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("failover recompute produced a different result document")
+	}
+	if _, err := NewClient(survivor.url).Status(st2.ID); err != nil {
+		t.Errorf("rerouted job not on the survivor: %v", err)
+	}
+	if router.failovers.Value() < 1 {
+		t.Errorf("failover counter = %d, want >= 1", router.failovers.Value())
+	}
+	if router.rebalances.Value() < 1 {
+		t.Errorf("rebalance counter = %d, want >= 1", router.rebalances.Value())
+	}
+
+	// /readyz stays up on one node; metrics reflect the down node.
+	rresp, err := http.Get(rt.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Errorf("router readyz with one survivor: %d, want 200", rresp.StatusCode)
+	}
+	mresp, err := http.Get(rt.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"netalignrouter_failover_total 1",
+		"netalignrouter_ring_rebalance_total 1",
+		"netalignrouter_cluster_jobs_submitted_total",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("router metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+// TestPeerCacheFill pins the peer-fill path: node B misses locally,
+// pulls A's cached document over GET /v1/cache/{key}, serves it
+// byte-identically without solving, and both sides' counters agree.
+func TestPeerCacheFill(t *testing.T) {
+	// A's memory tier gets a 1-byte budget: every entry is evicted to
+	// the disk tier immediately, so B's fill below necessarily crosses
+	// A's disk path, not just its memory LRU.
+	aSpool := t.TempDir()
+	a := startNode(t, server.Config{
+		Spool: aSpool, CacheBytes: 1, CacheDir: aSpool + "/cache",
+	})
+	stA := submitOK(t, a.url, smallSpec())
+	waitDone(t, a.url, stA.ID)
+	resA := getResultBytes(t, a.url, stA.ID)
+	hitsBefore := a.mgr.Snapshot().CacheHits
+
+	filler := NewPeerFiller(PeerFillConfig{Peers: []string{a.url}})
+	if filler == nil {
+		t.Fatal("NewPeerFiller returned nil with one peer")
+	}
+	b := startNode(t, server.Config{CacheBytes: 16 << 20, PeerFiller: filler})
+
+	stB := submitOK(t, b.url, smallSpec())
+	// A peer-filled admit completes synchronously: the 202 body already
+	// carries a done job, because no solve was ever queued.
+	if stB.State != server.StateDone {
+		t.Errorf("peer-filled submit returned state %s, want done at admission", stB.State)
+	}
+	waitDone(t, b.url, stB.ID)
+	resB := getResultBytes(t, b.url, stB.ID)
+	if !bytes.Equal(resA, resB) {
+		t.Fatal("peer-filled result differs from the origin document")
+	}
+
+	bm := b.mgr.Snapshot()
+	if bm.PeerFills != 1 {
+		t.Errorf("B peer fills = %d, want 1", bm.PeerFills)
+	}
+	if bm.PeerFill.Probes != 1 || bm.PeerFill.Fills != 1 {
+		t.Errorf("B filler stats = %+v, want 1 probe / 1 fill", bm.PeerFill)
+	}
+	if len(bm.StepSeconds) != 0 {
+		t.Errorf("B recorded solver step time %v; the fill must pre-empt the solve", bm.StepSeconds)
+	}
+	// Neighbor probes bypass A's own hit accounting.
+	if hitsAfter := a.mgr.Snapshot().CacheHits; hitsAfter != hitsBefore {
+		t.Errorf("A cache hits moved %d -> %d on a peer probe; Peek must not count", hitsBefore, hitsAfter)
+	}
+
+	// B now holds the entry itself: a second identical submission is a
+	// plain local cache hit, no new probe.
+	st2 := submitOK(t, b.url, smallSpec())
+	waitDone(t, b.url, st2.ID)
+	if bm2 := b.mgr.Snapshot(); bm2.PeerFill.Probes != 1 {
+		t.Errorf("B probed again (%d) after the entry was filled locally", bm2.PeerFill.Probes)
+	}
+}
+
+// TestPeerFillRejectsCorruptPayload serves deliberately corrupt bytes
+// from a fake peer and verifies hash validation keeps them out: the
+// fill is rejected, the node solves locally, and the reject counter
+// records the event.
+func TestPeerFillRejectsCorruptPayload(t *testing.T) {
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// A plausible-looking payload whose hash header belongs to
+		// different bytes — a torn write or an actively wrong peer.
+		sum := sha256.Sum256([]byte("the bytes this hash belongs to"))
+		w.Header().Set(server.CacheSHA256Header, hex.EncodeToString(sum[:]))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"not":"the same bytes"}`))
+	}))
+	defer corrupt.Close()
+
+	filler := NewPeerFiller(PeerFillConfig{Peers: []string{corrupt.URL}})
+	if filler == nil {
+		t.Fatal("NewPeerFiller returned nil")
+	}
+	b := startNode(t, server.Config{CacheBytes: 16 << 20, PeerFiller: filler})
+
+	st := submitOK(t, b.url, smallSpec())
+	waitDone(t, b.url, st.ID)
+
+	bm := b.mgr.Snapshot()
+	if bm.PeerFills != 0 {
+		t.Errorf("peer fills = %d, want 0 (corrupt payload must not be admitted)", bm.PeerFills)
+	}
+	if bm.PeerFill.Rejects != 1 {
+		t.Errorf("rejects = %d, want 1", bm.PeerFill.Rejects)
+	}
+	if bm.Completed != 1 {
+		t.Errorf("completed = %d, want 1 (node must fall through to a local solve)", bm.Completed)
+	}
+
+	// And the client maps the condition to the sentinel.
+	spec := smallSpec()
+	key, _, err := spec.CacheKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(corrupt.URL).CacheGet(key); !errors.Is(err, ErrPeerPayload) {
+		t.Errorf("CacheGet error = %v, want ErrPeerPayload", err)
+	}
+}
+
+// TestClientBackendParity verifies the HTTP client honors the Backend
+// error contract: the sentinels a local Manager returns survive the
+// round trip through status codes and error envelopes.
+func TestClientBackendParity(t *testing.T) {
+	n := startNode(t, server.Config{CacheBytes: 16 << 20})
+	var be server.Backend = NewClient(n.url)
+
+	if err := be.Ready(); err != nil {
+		t.Errorf("Ready on an idle node = %v, want nil", err)
+	}
+	if _, err := be.Status("nope"); !errors.Is(err, server.ErrNotFound) {
+		t.Errorf("Status(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, err := be.Cancel("nope"); !errors.Is(err, server.ErrNotFound) {
+		t.Errorf("Cancel(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, _, err := be.OpenResult("nope"); !errors.Is(err, server.ErrNotFound) {
+		t.Errorf("OpenResult(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, err := be.Submit(server.Spec{Method: "bp"}); !errors.Is(err, server.ErrBadSpec) {
+		t.Errorf("Submit(bad spec) = %v, want ErrBadSpec", err)
+	}
+
+	st, err := be.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, n.url, st.ID)
+	if _, err := be.Requeue(st.ID); !errors.Is(err, server.ErrNotQuarantined) {
+		t.Errorf("Requeue(done job) = %v, want ErrNotQuarantined", err)
+	}
+	rc, size, err := be.OpenResult(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > 0 && int64(len(data)) != size {
+		t.Errorf("OpenResult size %d != body length %d", size, len(data))
+	}
+	if !json.Valid(data) {
+		t.Error("OpenResult body is not valid JSON")
+	}
+	list, err := be.List(server.StateDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, js := range list {
+		if js.ID == st.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("List(done) missing job %s", st.ID)
+	}
+
+	// CacheGet round-trips the document with a valid hash.
+	spec := smallSpec()
+	key, _, err := spec.CacheKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewClient(n.url).CacheGet(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached, data) {
+		t.Error("CacheGet payload differs from OpenResult document")
+	}
+	if _, err := NewClient(n.url).CacheGet(cache.Key{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("CacheGet(absent key) = %v, want fs.ErrNotExist", err)
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Monitor tracks which members of a static node list are ready for
+// work. Every probe interval it hits each node's /readyz in parallel;
+// a node that answers 200 is up, anything else — 503 (draining,
+// pressure) or a transport error — is down. Whenever the up-set
+// changes, onChange fires with the new set (sorted), which is how the
+// router rebalances its ring. MarkDown demotes a node immediately
+// when the router catches a transport error mid-request, so failover
+// does not wait out a probe interval; the next successful probe
+// brings the node back.
+//
+// Nodes start optimistically up: a router must be able to forward
+// before its first probe round completes.
+type Monitor struct {
+	nodes    []string
+	probe    func(node string) error
+	every    time.Duration
+	onChange func(up []string)
+
+	mu sync.Mutex
+	up map[string]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMonitor builds a monitor over nodes. probe is typically
+// (*Client).Ready bound per node; onChange may be nil.
+func NewMonitor(nodes []string, every time.Duration, probe func(node string) error, onChange func(up []string)) *Monitor {
+	if every <= 0 {
+		every = time.Second
+	}
+	m := &Monitor{
+		nodes:    append([]string(nil), nodes...),
+		probe:    probe,
+		every:    every,
+		onChange: onChange,
+		up:       make(map[string]bool, len(nodes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, n := range nodes {
+		m.up[n] = true
+	}
+	return m
+}
+
+// Start launches the probe loop; Stop ends it.
+func (m *Monitor) Start() {
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Idempotent.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// probeAll checks every node in parallel and applies the results as
+// one membership transition.
+func (m *Monitor) probeAll() {
+	results := make([]bool, len(m.nodes))
+	var wg sync.WaitGroup
+	for i, n := range m.nodes {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			results[i] = m.probe(n) == nil
+		}(i, n)
+	}
+	wg.Wait()
+	m.mu.Lock()
+	changed := false
+	for i, n := range m.nodes {
+		if m.up[n] != results[i] {
+			m.up[n] = results[i]
+			changed = true
+		}
+	}
+	var up []string
+	if changed {
+		up = m.upLocked()
+	}
+	m.mu.Unlock()
+	if changed && m.onChange != nil {
+		m.onChange(up)
+	}
+}
+
+// MarkDown demotes one node immediately (a request to it just failed
+// at the transport level); no-op when it is already down.
+func (m *Monitor) MarkDown(node string) {
+	m.mu.Lock()
+	was, known := m.up[node]
+	if !known || !was {
+		m.mu.Unlock()
+		return
+	}
+	m.up[node] = false
+	up := m.upLocked()
+	m.mu.Unlock()
+	if m.onChange != nil {
+		m.onChange(up)
+	}
+}
+
+// upLocked snapshots the sorted up-set; callers hold m.mu.
+func (m *Monitor) upLocked() []string {
+	out := make([]string, 0, len(m.up))
+	for n, ok := range m.up {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Up returns the sorted list of nodes currently considered ready.
+func (m *Monitor) Up() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.upLocked()
+}
+
+// IsUp reports one node's current state.
+func (m *Monitor) IsUp(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.up[node]
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"netalignmc/internal/cache"
+	"netalignmc/internal/server"
+)
+
+// PeerFillConfig parameterizes a PeerFiller.
+type PeerFillConfig struct {
+	// Self is this node's own base URL as it appears in Peers; it is
+	// never probed.
+	Self string
+	// Peers is the full cluster member list (Self may be included —
+	// the ring needs every member so probe order matches the router's
+	// view of the topology).
+	Peers []string
+	// VNodes is the ring's virtual-node count (0 = default). It must
+	// match the router's setting for probe order to mirror routing
+	// order, though correctness does not depend on it.
+	VNodes int
+	// MaxProbes bounds how many peers one miss consults, in ring
+	// successor order (0 = 3). Keeps a cold cache from turning every
+	// miss into a full-cluster broadcast.
+	MaxProbes int
+	// Timeout bounds each probe end to end (0 = 5s): peer fill is an
+	// optimization, and a slow peer must not stall admission longer
+	// than a recompute would take to start.
+	Timeout time.Duration
+}
+
+// PeerFiller implements server.PeerFiller over the cluster's
+// GET /v1/cache/{key} protocol: on a local cache miss the manager
+// hands it the key, and it probes the key's ring neighbors — the
+// nodes that owned or will own this key across membership changes —
+// returning the first hash-validated payload. This is how results
+// migrate after ring rebalances instead of being recomputed: the new
+// owner's first miss pulls the entry from the old owner's cache.
+type PeerFiller struct {
+	ring      *Ring
+	self      string
+	clients   map[string]*Client
+	maxProbes int
+
+	probes, fills, rejects, misses atomic.Int64
+}
+
+var _ server.PeerFiller = (*PeerFiller)(nil)
+
+// NewPeerFiller builds the filler; returns nil when the config leaves
+// no peers to probe (so callers can pass the result straight into
+// server.Config.PeerFiller — a typed nil would defeat its nil check).
+func NewPeerFiller(cfg PeerFillConfig) *PeerFiller {
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = 3
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	probeHTTP := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: cfg.Timeout}).DialContext,
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	self := normalizeBase(cfg.Self)
+	var members []string
+	seen := make(map[string]bool)
+	for _, p := range cfg.Peers {
+		if p = normalizeBase(p); p != "" && !seen[p] {
+			seen[p] = true
+			members = append(members, p)
+		}
+	}
+	if self != "" && !seen[self] {
+		members = append(members, self)
+	}
+	f := &PeerFiller{
+		ring:      NewRing(members, cfg.VNodes),
+		self:      self,
+		clients:   make(map[string]*Client, len(members)),
+		maxProbes: cfg.MaxProbes,
+	}
+	for _, p := range members {
+		if p == self {
+			continue
+		}
+		c := NewClient(p)
+		c.HTTP = probeHTTP
+		f.clients[c.Base] = c
+	}
+	if len(f.clients) == 0 {
+		return nil
+	}
+	return f
+}
+
+// Fill probes the key's ring neighbors for a cached result, skipping
+// self, stopping at the first validated payload or after MaxProbes
+// peers. Invalid payloads are rejected and the probe continues — one
+// corrupt peer must not poison the fill.
+func (f *PeerFiller) Fill(key cache.Key) ([]byte, bool) {
+	probed := 0
+	for _, node := range f.ring.Successors(key[:], 0) {
+		c, ok := f.clients[node]
+		if !ok {
+			continue // self
+		}
+		if probed >= f.maxProbes {
+			break
+		}
+		probed++
+		f.probes.Add(1)
+		data, err := c.CacheGet(key)
+		switch {
+		case err == nil:
+			f.fills.Add(1)
+			return data, true
+		case errors.Is(err, ErrPeerPayload):
+			f.rejects.Add(1)
+		}
+	}
+	f.misses.Add(1)
+	return nil, false
+}
+
+// Stats snapshots the probe counters for the node's /metrics.
+func (f *PeerFiller) Stats() server.PeerFillStats {
+	return server.PeerFillStats{
+		Probes:  f.probes.Load(),
+		Fills:   f.fills.Load(),
+		Rejects: f.rejects.Load(),
+		Misses:  f.misses.Load(),
+	}
+}

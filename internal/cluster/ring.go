@@ -1,0 +1,240 @@
+// Package cluster turns single-node netalignd processes into a
+// horizontally scalable service. Three pieces:
+//
+//   - Ring: a consistent-hash ring with virtual nodes that maps
+//     content addresses (cache.Key, the SHA-256 of a canonical
+//     problem plus its option fingerprint) onto nodes, so identical
+//     submissions always land where their cached result — or
+//     in-flight single-flight execution — already lives.
+//   - Router: a thin HTTP proxy over the netalignd /v1 API that
+//     hashes each submission onto its owning node, fails over to ring
+//     successors when the owner refuses or is unreachable, and
+//     forwards per-job routes (status, result, cancel, SSE events) to
+//     wherever the job was admitted.
+//   - PeerFiller: the node-side half of peer cache fill — on a local
+//     cache miss a node probes its key's ring neighbors via
+//     GET /v1/cache/{key} before solving, so results migrate after
+//     ring changes instead of being recomputed.
+//
+// Membership is static (a -peers list) with per-node /readyz health
+// probes; a node that stops answering is removed from the ring and
+// its keys drain to their successors until it recovers.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultVNodes is the virtual-node count per physical node. 64
+// points per node keeps the expected ownership imbalance of a small
+// cluster within a few percent while the ring stays tiny (a few KB).
+const defaultVNodes = 64
+
+// point is one virtual node: a position on the 64-bit ring and the
+// physical node it stands for.
+type point struct {
+	pos  uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a
+// pure function of the member set — FNV-1a over "node#vnode" for the
+// points, FNV-1a over the key bytes for lookups — so every process
+// that agrees on the member list agrees on every key's owner, across
+// restarts and across machines, with no coordination.
+//
+// All methods are safe for concurrent use; membership changes rebuild
+// the point slice under a write lock.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point
+	member map[string]bool
+}
+
+// NewRing builds a ring over the given nodes. vnodes <= 0 selects the
+// default virtual-node count.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, member: make(map[string]bool)}
+	for _, n := range nodes {
+		r.member[n] = true
+	}
+	r.rebuildLocked()
+	return r
+}
+
+// mix64 is the MurmurHash3 finalizer. Raw FNV-1a of short, similar
+// strings ("node#0", "node#1", ...) has poor high-bit avalanche, which
+// leaves the virtual-node points clustered and the ring badly
+// imbalanced (measured: one node of four owning 60% of the arc). The
+// finalizer's full-width diffusion restores a uniform spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashPoint positions one virtual node on the ring.
+func hashPoint(node string, vnode int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{'#'})
+	_, _ = h.Write([]byte(strconv.Itoa(vnode)))
+	return mix64(h.Sum64())
+}
+
+// hashKey positions a key on the ring.
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return mix64(h.Sum64())
+}
+
+// rebuildLocked regenerates the sorted point slice from the member
+// set. Callers hold r.mu for writing.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for n := range r.member {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, point{pos: hashPoint(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Tie-break identical positions by node name so the ring is a
+		// pure function of the member set even under hash collisions.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// SetNodes replaces the member set (the health monitor's rebalance
+// path). Returns true when membership actually changed.
+func (r *Ring) SetNodes(nodes []string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(nodes) == len(r.member) {
+		same := true
+		for _, n := range nodes {
+			if !r.member[n] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	r.member = make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		r.member[n] = true
+	}
+	r.rebuildLocked()
+	return true
+}
+
+// Add inserts a node; no-op when already present. Returns true when
+// membership changed.
+func (r *Ring) Add(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.member[node] {
+		return false
+	}
+	r.member[node] = true
+	r.rebuildLocked()
+	return true
+}
+
+// Remove deletes a node; no-op when absent. Returns true when
+// membership changed.
+func (r *Ring) Remove(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.member[node] {
+		return false
+	}
+	delete(r.member, node)
+	r.rebuildLocked()
+	return true
+}
+
+// Nodes returns the member set, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.member))
+	for n := range r.member {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}
+
+// Owner returns the node owning a key: the first virtual node at or
+// clockwise after the key's position. ok is false on an empty ring.
+func (r *Ring) Owner(key []byte) (node string, ok bool) {
+	succ := r.Successors(key, 1)
+	if len(succ) == 0 {
+		return "", false
+	}
+	return succ[0], true
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// the key's owner — the failover (and peer-fill probe) order. n <= 0
+// means every member.
+func (r *Ring) Successors(key []byte, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.member) {
+		n = len(r.member)
+	}
+	pos := hashKey(key)
+	// First point at or after pos, wrapping at the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		if node := r.points[i].node; !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}
+
+// String renders a small diagnostic summary.
+func (r *Ring) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("ring(%d nodes, %d vnodes each)", len(r.member), r.vnodes)
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keyBytes makes a distinct deterministic key per index.
+func keyBytes(i int) []byte {
+	return []byte(fmt.Sprintf("key-%d", i))
+}
+
+// TestRingDeterministic pins the core routing contract: every process
+// that agrees on the member set agrees on every key's owner — across
+// ring instances (restarts) and insertion orders.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:7070", "http://b:7070", "http://c:7070"}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[1]}, 0)
+	for i := 0; i < 1000; i++ {
+		key := keyBytes(i)
+		o1, ok1 := r1.Owner(key)
+		o2, ok2 := r2.Owner(key)
+		if !ok1 || !ok2 {
+			t.Fatalf("key %d: owner missing (ok1=%v ok2=%v)", i, ok1, ok2)
+		}
+		if o1 != o2 {
+			t.Fatalf("key %d: owner diverges across instances: %s vs %s", i, o1, o2)
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct verifies failover order: the successor
+// list starts at the owner, never repeats a node, and covers the whole
+// membership when asked for everything.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(nodes, 0)
+	for i := 0; i < 200; i++ {
+		key := keyBytes(i)
+		succ := r.Successors(key, 0)
+		if len(succ) != len(nodes) {
+			t.Fatalf("key %d: %d successors, want %d", i, len(succ), len(nodes))
+		}
+		owner, _ := r.Owner(key)
+		if succ[0] != owner {
+			t.Fatalf("key %d: successors[0]=%s, owner=%s", i, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate successor %s", i, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors(keyBytes(0), 2); len(got) != 2 {
+		t.Fatalf("Successors(n=2) returned %d nodes", len(got))
+	}
+}
+
+// TestRingBoundedChurn is the point of consistent hashing: removing
+// one of k nodes must move only that node's keys (~1/k of the space),
+// and every moved key must land on a surviving node. Re-adding the
+// node must restore the original placement exactly.
+func TestRingBoundedChurn(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes, 0)
+	const keys = 4000
+
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Owner(keyBytes(i))
+	}
+
+	const victim = "n3"
+	if !r.Remove(victim) {
+		t.Fatal("Remove returned false for a member")
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after, _ := r.Owner(keyBytes(i))
+		if before[i] == victim {
+			if after == victim {
+				t.Fatalf("key %d still owned by removed node", i)
+			}
+			continue // expected to move
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	// Keys not owned by the victim must not move at all: the victim's
+	// points vanish, every other point is untouched.
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving nodes moved on a remove; consistent hashing should move none", moved)
+	}
+
+	if !r.Add(victim) {
+		t.Fatal("Add returned false for a non-member")
+	}
+	for i := 0; i < keys; i++ {
+		after, _ := r.Owner(keyBytes(i))
+		if after != before[i] {
+			t.Fatalf("key %d: owner %s after re-add, want original %s", i, after, before[i])
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node count: with the
+// default vnodes, no node of a 4-node ring should own a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(nodes, 0)
+	const keys = 8000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(keyBytes(i))
+		counts[o]++
+	}
+	want := keys / len(nodes)
+	for n, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("node %s owns %d of %d keys (expected near %d): ring badly imbalanced", n, c, keys, want)
+		}
+	}
+}
+
+// TestRingSetNodes covers the monitor rebalance path: SetNodes reports
+// change only when membership actually changed, and an empty up-set
+// leaves the ring unroutable rather than panicking.
+func TestRingSetNodes(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	if r.SetNodes([]string{"b", "a"}) {
+		t.Error("SetNodes with identical membership reported a change")
+	}
+	if !r.SetNodes([]string{"a"}) {
+		t.Error("SetNodes dropping a node reported no change")
+	}
+	if o, ok := r.Owner([]byte("x")); !ok || o != "a" {
+		t.Errorf("single-node ring owner = %q, %v", o, ok)
+	}
+	if !r.SetNodes(nil) {
+		t.Error("SetNodes to empty reported no change")
+	}
+	if _, ok := r.Owner([]byte("x")); ok {
+		t.Error("empty ring returned an owner")
+	}
+	if got := r.Successors([]byte("x"), 0); got != nil {
+		t.Errorf("empty ring returned successors %v", got)
+	}
+}

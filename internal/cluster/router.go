@@ -1,0 +1,535 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"netalignmc/internal/cache"
+	"netalignmc/internal/server"
+)
+
+// maxSubmitBytes mirrors the node's own body bound: the router must
+// read the full submission to hash it, so it enforces the same cap the
+// owner would.
+const maxSubmitBytes = 64 << 20
+
+// maxOwnerEntries bounds the router's id→node map. Jobs are
+// short-lived relative to 64k entries; when the map fills, a quarter
+// of it is evicted (arbitrary entries — a lost mapping only costs one
+// fan-out Status lookup to rediscover the owner).
+const maxOwnerEntries = 64 << 10
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Peers is the static backend list (base URLs).
+	Peers []string
+	// VNodes is the hash ring's virtual-node count (0 = default). Must
+	// match the backends' -vnodes for peer-fill probe order to mirror
+	// routing order.
+	VNodes int
+	// ProbeEvery is the health-probe interval (0 = 1s).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one /readyz probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// KeyThreads bounds problem-construction parallelism while hashing
+	// a submission (0 = GOMAXPROCS). It cannot affect the key.
+	KeyThreads int
+}
+
+// Router is the cluster front door: a thin HTTP proxy over the
+// netalignd /v1 API that consistent-hashes each submission onto its
+// owning backend — so identical submissions land where their cached
+// result or in-flight execution already lives — and forwards per-job
+// routes (status, result, cancel, events) to wherever the job was
+// admitted. It holds no job state beyond a bounded id→node map that
+// can always be rebuilt by fan-out lookup; restarting the router
+// loses nothing.
+//
+// Failover: a submission whose owner is unreachable or answers 503
+// (draining, disk pressure) moves to the ring successor. 4xx answers
+// — including 429 backpressure — are relayed verbatim: the owner is
+// alive and its refusal is meaningful to the client, and rerouting a
+// 429 would defeat per-node backpressure.
+type Router struct {
+	ring    *Ring
+	monitor *Monitor
+	clients map[string]*Client
+	proxies map[string]*httputil.ReverseProxy
+	nodes   []string // all configured nodes, normalized, sorted
+	httpc   *http.Client
+	threads int
+	mux     *http.ServeMux
+
+	mu    sync.Mutex
+	owner map[string]string // job id → node base URL
+
+	forwarded  map[string]*expvar.Int // per-node accepted submissions
+	failovers  expvar.Int             // submissions moved past an unavailable owner
+	unroutable expvar.Int             // submissions no node would take
+	rebalances expvar.Int             // ring membership transitions
+	ownerMiss  expvar.Int             // per-job requests resolved by fan-out
+}
+
+// NewRouter builds the router; Start launches its health probes.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.KeyThreads <= 0 {
+		cfg.KeyThreads = runtime.GOMAXPROCS(0)
+	}
+	seen := make(map[string]bool)
+	var nodes []string
+	for _, p := range cfg.Peers {
+		if p = normalizeBase(p); p != "" && !seen[p] {
+			seen[p] = true
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one peer")
+	}
+	sort.Strings(nodes)
+
+	r := &Router{
+		ring:      NewRing(nodes, cfg.VNodes),
+		clients:   make(map[string]*Client, len(nodes)),
+		proxies:   make(map[string]*httputil.ReverseProxy, len(nodes)),
+		nodes:     nodes,
+		httpc:     defaultHTTPClient,
+		threads:   cfg.KeyThreads,
+		owner:     make(map[string]string),
+		forwarded: make(map[string]*expvar.Int, len(nodes)),
+	}
+	probeHTTP := &http.Client{Timeout: cfg.ProbeTimeout, Transport: defaultHTTPClient.Transport}
+	for _, n := range nodes {
+		c := NewClient(n)
+		r.clients[n] = c
+		u, err := url.Parse(n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", n, err)
+		}
+		proxy := httputil.NewSingleHostReverseProxy(u)
+		// FlushInterval -1 flushes every write immediately — required
+		// for proxied SSE streams, harmless for everything else.
+		proxy.FlushInterval = -1
+		node := n
+		proxy.ErrorHandler = func(w http.ResponseWriter, req *http.Request, err error) {
+			r.monitor.MarkDown(node)
+			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+				"backend %s unreachable: %v", node, err)
+		}
+		r.proxies[n] = proxy
+		r.forwarded[n] = new(expvar.Int)
+	}
+	probeClients := make(map[string]*Client, len(nodes))
+	for _, n := range nodes {
+		probeClients[n] = &Client{Base: n, HTTP: probeHTTP}
+	}
+	r.monitor = NewMonitor(nodes, cfg.ProbeEvery,
+		func(node string) error { return probeClients[node].Ready() },
+		func(up []string) {
+			if r.ring.SetNodes(up) {
+				r.rebalances.Add(1)
+			}
+		})
+
+	r.mux = http.NewServeMux()
+	for _, prefix := range []string{"/v1", ""} {
+		r.mux.HandleFunc("POST "+prefix+"/jobs", r.handleSubmit)
+		r.mux.HandleFunc("GET "+prefix+"/jobs", r.handleList)
+		r.mux.HandleFunc("GET "+prefix+"/jobs/{id}", r.handleJob)
+		r.mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", r.handleJob)
+		r.mux.HandleFunc("GET "+prefix+"/jobs/{id}/events", r.handleJob)
+		r.mux.HandleFunc("POST "+prefix+"/jobs/{id}/requeue", r.handleJob)
+		r.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", r.handleJob)
+		r.mux.HandleFunc("GET "+prefix+"/cache/{key}", r.handleCacheGet)
+	}
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /readyz", r.handleReadyz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return r, nil
+}
+
+// Start launches the health-probe loop; Stop ends it.
+func (r *Router) Start() { r.monitor.Start() }
+
+// Stop ends the health-probe loop.
+func (r *Router) Stop() { r.monitor.Stop() }
+
+// Ring exposes the routing ring (tests and diagnostics).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// writeRouterError emits the same JSON error envelope the nodes use,
+// so clients see one error shape whether a response came from a
+// backend or from the router itself.
+func writeRouterError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	type detail struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	_ = enc.Encode(struct {
+		Error detail `json:"error"`
+	}{detail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// routeKey computes the submission's routing key: its content address
+// when the spec is cacheable (the same cache.Key the owning node will
+// compute, so the submission lands on its cached result), otherwise a
+// hash of the raw body (stable, but with no affinity to preserve).
+func (r *Router) routeKey(spec *server.Spec, body []byte) []byte {
+	if key, _, err := spec.CacheKey(r.threads); err == nil {
+		return key[:]
+	}
+	// Invalid or uncacheable spec: route it somewhere deterministic and
+	// let the owner produce the authoritative rejection.
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	sum := h.Sum64()
+	return []byte{byte(sum >> 56), byte(sum >> 48), byte(sum >> 40), byte(sum >> 32),
+		byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)}
+}
+
+// handleSubmit reads the submission once, hashes it onto the ring, and
+// forwards the raw body to the owner — failing over to ring successors
+// when a node is unreachable or answers 503. Any other answer (202,
+// 400, 413, 429) is relayed verbatim.
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, maxSubmitBytes)
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"job body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeRouterError(w, http.StatusBadRequest, "bad_request", "read job body: %v", err)
+		return
+	}
+	var spec server.Spec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeRouterError(w, http.StatusBadRequest, "bad_request", "decode job spec: %v", err)
+		return
+	}
+	key := r.routeKey(&spec, body)
+
+	candidates := r.ring.Successors(key, 0)
+	if len(candidates) == 0 {
+		r.unroutable.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "unroutable", "no backend is up")
+		return
+	}
+	for i, node := range candidates {
+		resp, err := r.httpc.Post(node+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport failure: demote immediately so concurrent
+			// requests stop waiting out their own dial timeouts.
+			r.monitor.MarkDown(node)
+			r.failovers.Add(1)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && i < len(candidates)-1 {
+			// Draining or disk pressure: the successor can take it. The
+			// last candidate's 503 is relayed — there is no one left.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			r.failovers.Add(1)
+			continue
+		}
+		r.relaySubmit(w, resp, node)
+		return
+	}
+	r.unroutable.Add(1)
+	writeRouterError(w, http.StatusServiceUnavailable, "unroutable",
+		"all %d candidate backends unavailable", len(candidates))
+}
+
+// relaySubmit copies a backend's submit response to the client
+// verbatim, recording the job's owner on a 202.
+func (r *Router) relaySubmit(w http.ResponseWriter, resp *http.Response, node string) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			"backend %s: read submit response: %v", node, err)
+		return
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var st server.JobStatus
+		if json.Unmarshal(body, &st) == nil && st.ID != "" {
+			r.recordOwner(st.ID, node)
+		}
+		r.forwarded[node].Add(1)
+	}
+	for _, h := range []string{"Content-Type", "Location", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// recordOwner remembers which node admitted a job, evicting a quarter
+// of the map when it fills.
+func (r *Router) recordOwner(id, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.owner) >= maxOwnerEntries {
+		drop := maxOwnerEntries / 4
+		for k := range r.owner {
+			delete(r.owner, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	r.owner[id] = node
+}
+
+// resolveOwner finds the node holding a job: the owner map first, then
+// a parallel fan-out Status lookup across every configured node (the
+// map is bounded and the router may have restarted).
+func (r *Router) resolveOwner(id string) (string, bool) {
+	r.mu.Lock()
+	node, ok := r.owner[id]
+	r.mu.Unlock()
+	if ok {
+		return node, true
+	}
+	r.ownerMiss.Add(1)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		found string
+	)
+	for _, n := range r.nodes {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			if _, err := r.clients[n].Status(id); err == nil {
+				mu.Lock()
+				if found == "" {
+					found = n
+				}
+				mu.Unlock()
+			}
+		}(n)
+	}
+	wg.Wait()
+	if found == "" {
+		return "", false
+	}
+	r.recordOwner(id, found)
+	return found, true
+}
+
+// handleJob proxies any per-job route — status, result, events (SSE),
+// cancel, requeue — raw to the job's owning node. Proxying raw keeps
+// the router transparent: streams, headers and error envelopes pass
+// through untouched.
+func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	node, ok := r.resolveOwner(id)
+	if !ok {
+		writeRouterError(w, http.StatusNotFound, "not_found", "job %s not found on any backend", id)
+		return
+	}
+	r.proxies[node].ServeHTTP(w, req)
+}
+
+// handleList fans the listing out to every up node and merges the
+// results newest-first — the same ordering each node uses.
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	state := req.URL.Query().Get("state")
+	up := r.monitor.Up()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		merged []*server.JobStatus
+	)
+	for _, n := range up {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			list, err := r.clients[n].List(server.State(state))
+			if err != nil {
+				return // a down node's jobs are simply absent
+			}
+			mu.Lock()
+			merged = append(merged, list...)
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	sort.SliceStable(merged, func(i, j int) bool {
+		return merged[i].Created.After(merged[j].Created)
+	})
+	if merged == nil {
+		merged = []*server.JobStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(merged)
+}
+
+// handleCacheGet probes the key's ring successors for a cached result
+// — the router-side face of peer fill, useful for warming and
+// diagnostics.
+func (r *Router) handleCacheGet(w http.ResponseWriter, req *http.Request) {
+	key, err := cache.ParseKey(req.PathValue("key"))
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	for _, node := range r.ring.Successors(key[:], 0) {
+		data, err := r.clients[node].CacheGet(key)
+		if err != nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+		return
+	}
+	writeRouterError(w, http.StatusNotFound, "cache_miss", "no cached result for %s", key)
+}
+
+// handleHealthz is router liveness: 200 whenever the process answers.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{\n  \"status\": \"ok\"\n}\n"))
+}
+
+// handleReadyz reports routability: 200 while at least one backend is
+// up, 503 when the whole fleet is down.
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	up := r.monitor.Up()
+	status, code := http.StatusOK, "ok"
+	if len(up) == 0 {
+		status, code = http.StatusServiceUnavailable, "no_backends"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"status": code, "up": up})
+}
+
+// handleMetrics renders router counters plus a cluster rollup: one
+// per-node block (up gauge, forwarded counter) and an aggregate
+// summing each reachable node's manager snapshot — so one scrape
+// answers both "is the ring balanced" and "what is the fleet doing".
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	fmt.Fprintf(w, "# HELP netalignrouter_backends Configured backends.\n# TYPE netalignrouter_backends gauge\nnetalignrouter_backends %d\n", len(r.nodes))
+	fmt.Fprint(w, "# HELP netalignrouter_node_up 1 while the backend passes readiness probes.\n# TYPE netalignrouter_node_up gauge\n")
+	for _, n := range r.nodes {
+		up := 0
+		if r.monitor.IsUp(n) {
+			up = 1
+		}
+		fmt.Fprintf(w, "netalignrouter_node_up{node=%q} %d\n", n, up)
+	}
+	fmt.Fprint(w, "# HELP netalignrouter_forwarded_total Submissions accepted per backend.\n# TYPE netalignrouter_forwarded_total counter\n")
+	for _, n := range r.nodes {
+		fmt.Fprintf(w, "netalignrouter_forwarded_total{node=%q} %d\n", n, r.forwarded[n].Value())
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("netalignrouter_failover_total", "Submissions moved past an unavailable owner to a ring successor.", r.failovers.Value())
+	counter("netalignrouter_unroutable_total", "Submissions refused because no backend would take them.", r.unroutable.Value())
+	counter("netalignrouter_ring_rebalance_total", "Ring membership transitions (nodes joining or leaving the up-set).", r.rebalances.Value())
+	counter("netalignrouter_owner_fanout_total", "Per-job requests resolved by fan-out owner lookup.", r.ownerMiss.Value())
+
+	// Aggregate rollup: sum each reachable node's snapshot. Nodes that
+	// fail the scrape are skipped and counted, so a partial rollup is
+	// visible as such rather than silently low.
+	type nodeMetrics struct {
+		node string
+		m    *server.Metrics
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []nodeMetrics
+		scraped int64
+	)
+	for _, n := range r.nodes {
+		if !r.monitor.IsUp(n) {
+			continue
+		}
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			m, err := r.clients[n].Metrics()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			results = append(results, nodeMetrics{n, m})
+			scraped++
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].node < results[j].node })
+
+	fmt.Fprintf(w, "# HELP netalignrouter_nodes_scraped Backends whose metrics contributed to the cluster rollup.\n# TYPE netalignrouter_nodes_scraped gauge\nnetalignrouter_nodes_scraped %d\n", scraped)
+	var agg struct {
+		submitted, completed, failed, coalesced int64
+		cacheHits, cacheMisses, peerFills       int64
+		queueDepth, running                     int64
+	}
+	fmt.Fprint(w, "# HELP netalignrouter_node_jobs_submitted_total Jobs accepted per backend.\n# TYPE netalignrouter_node_jobs_submitted_total counter\n")
+	for _, nm := range results {
+		fmt.Fprintf(w, "netalignrouter_node_jobs_submitted_total{node=%q} %d\n", nm.node, nm.m.Submitted)
+		agg.submitted += nm.m.Submitted
+		agg.completed += nm.m.Completed
+		agg.failed += nm.m.Failed
+		agg.coalesced += nm.m.Coalesced
+		agg.cacheHits += nm.m.CacheHits
+		agg.cacheMisses += nm.m.CacheMisses
+		agg.peerFills += nm.m.PeerFills
+		agg.queueDepth += int64(nm.m.QueueDepth)
+		agg.running += int64(nm.m.Running)
+	}
+	counter("netalignrouter_cluster_jobs_submitted_total", "Jobs accepted across the cluster.", agg.submitted)
+	counter("netalignrouter_cluster_jobs_completed_total", "Jobs finished done across the cluster.", agg.completed)
+	counter("netalignrouter_cluster_jobs_failed_total", "Jobs finished failed across the cluster.", agg.failed)
+	counter("netalignrouter_cluster_jobs_coalesced_total", "Submissions coalesced onto identical inflight jobs across the cluster.", agg.coalesced)
+	counter("netalignrouter_cluster_cache_hits_total", "Result-cache hits across the cluster.", agg.cacheHits)
+	counter("netalignrouter_cluster_cache_misses_total", "Result-cache misses across the cluster.", agg.cacheMisses)
+	counter("netalignrouter_cluster_peer_fill_total", "Peer cache fills across the cluster.", agg.peerFills)
+	fmt.Fprintf(w, "# HELP netalignrouter_cluster_queue_depth Queued jobs across the cluster.\n# TYPE netalignrouter_cluster_queue_depth gauge\nnetalignrouter_cluster_queue_depth %d\n", agg.queueDepth)
+	fmt.Fprintf(w, "# HELP netalignrouter_cluster_jobs_running Running jobs across the cluster.\n# TYPE netalignrouter_cluster_jobs_running gauge\nnetalignrouter_cluster_jobs_running %d\n", agg.running)
+}

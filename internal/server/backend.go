@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotReady reports a result fetch against a job that has not yet
+// reached a terminal state (409). It is part of the Backend error
+// vocabulary so the HTTP client implementation can round-trip the
+// condition.
+var ErrNotReady = errors.New("server: result not ready")
+
+// Backend is the transport-agnostic submit/lookup surface over a job
+// service. Two implementations exist: LocalBackend drives an
+// in-process Manager (the single-node daemon path — no transport, no
+// extra allocations beyond what the Manager itself does), and
+// cluster.Client drives a remote netalignd over its HTTP API. The
+// HTTP handlers in this package, the cluster router, and the tests
+// all consume this interface, so anything that works against a local
+// manager works unchanged against a remote node.
+//
+// Error contract (errors.Is across both implementations):
+//
+//	Submit  — ErrBadSpec, ErrQueueFull, ErrOverloaded, ErrDiskPressure,
+//	          ErrDraining
+//	Status  — ErrNotFound
+//	List    — (state filtering only; unknown states are the caller's
+//	          problem)
+//	Cancel  — ErrNotFound
+//	Requeue — ErrNotFound, ErrNotQuarantined, ErrDraining
+//	OpenResult — ErrNotFound (job unknown), ErrNotReady (not terminal),
+//	          fs.ErrNotExist (terminal but no result document)
+//	Ready   — nil when accepting work; ErrDraining, ErrOverloaded or
+//	          ErrDiskPressure when a router should stop sending it.
+type Backend interface {
+	// Submit admits one job and returns its initial status snapshot
+	// (which may already be terminal — cache hits admit done).
+	Submit(spec Spec) (*JobStatus, error)
+	// Status returns a job's current status snapshot.
+	Status(id string) (*JobStatus, error)
+	// List returns job statuses newest-first; state "" means all.
+	List(state State) ([]*JobStatus, error)
+	// Cancel requests cooperative cancellation (idempotent).
+	Cancel(id string) (*JobStatus, error)
+	// Requeue puts a quarantined job back in the run queue.
+	Requeue(id string) (*JobStatus, error)
+	// OpenResult opens a finished job's result document for streaming.
+	OpenResult(id string) (io.ReadCloser, int64, error)
+	// Ready reports whether the backend is accepting new work.
+	Ready() error
+}
+
+// LocalBackend adapts a Manager to the Backend interface. It is a
+// value type so embedding it in the HTTP server costs nothing on the
+// submit path.
+type LocalBackend struct {
+	M *Manager
+}
+
+var _ Backend = LocalBackend{}
+
+// Submit admits the job on the local manager.
+func (b LocalBackend) Submit(spec Spec) (*JobStatus, error) {
+	j, err := b.M.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return j.Status(), nil
+}
+
+// Status snapshots a local job.
+func (b LocalBackend) Status(id string) (*JobStatus, error) {
+	j, ok := b.M.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.Status(), nil
+}
+
+// List returns local jobs newest-first, optionally filtered by state.
+func (b LocalBackend) List(state State) ([]*JobStatus, error) {
+	list := b.M.List()
+	if state == "" {
+		return list, nil
+	}
+	filtered := make([]*JobStatus, 0, len(list))
+	for _, js := range list {
+		if js.State == state {
+			filtered = append(filtered, js)
+		}
+	}
+	return filtered, nil
+}
+
+// Cancel cancels a local job.
+func (b LocalBackend) Cancel(id string) (*JobStatus, error) {
+	return b.M.Cancel(id)
+}
+
+// Requeue requeues a quarantined local job.
+func (b LocalBackend) Requeue(id string) (*JobStatus, error) {
+	return b.M.Requeue(id)
+}
+
+// OpenResult opens a local job's result, enforcing the Backend error
+// contract: unknown job → ErrNotFound, non-terminal → ErrNotReady,
+// terminal without a document → fs.ErrNotExist from the store.
+func (b LocalBackend) OpenResult(id string) (io.ReadCloser, int64, error) {
+	j, ok := b.M.Get(id)
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	if st := j.Status(); !st.State.Terminal() {
+		return nil, 0, ErrNotReady
+	}
+	return b.M.OpenResult(id)
+}
+
+// Ready reports the local manager's admission state.
+func (b LocalBackend) Ready() error { return b.M.Ready() }

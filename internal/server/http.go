@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -13,6 +15,7 @@ import (
 	"strconv"
 	"time"
 
+	"netalignmc/internal/cache"
 	"netalignmc/internal/parallel"
 )
 
@@ -28,8 +31,14 @@ const (
 	sseWriteTimeout   = 30 * time.Second
 )
 
-// Server is the HTTP surface over a Manager.
+// Server is the HTTP surface over a job backend. The CRUD routes
+// (submit, status, list, cancel, requeue, result) go through the
+// transport-agnostic Backend interface; the event stream, metrics and
+// health endpoints need the local Manager (SSE brokers and counter
+// snapshots have no remote form — the cluster router proxies those
+// routes raw instead).
 type Server struct {
+	be  Backend
 	mgr *Manager
 	mux *http.ServeMux
 }
@@ -39,7 +48,7 @@ type Server struct {
 // handlers (not redirects, so POST bodies and SSE streams work
 // unchanged through either prefix).
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{be: LocalBackend{M: mgr}, mgr: mgr, mux: http.NewServeMux()}
 	for _, prefix := range []string{"/v1", ""} {
 		s.mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
 		s.mux.HandleFunc("GET "+prefix+"/jobs", s.handleList)
@@ -48,8 +57,10 @@ func NewServer(mgr *Manager) *Server {
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/events", s.handleEvents)
 		s.mux.HandleFunc("POST "+prefix+"/jobs/{id}/requeue", s.handleRequeue)
 		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
+		s.mux.HandleFunc("GET "+prefix+"/cache/{key}", s.handleCacheGet)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -100,7 +111,14 @@ const (
 	errOverloaded     = "overloaded"
 	errDiskPressure   = "disk_pressure"
 	errNotQuarantined = "not_quarantined"
+	errCacheMiss      = "cache_miss"
 )
+
+// CacheSHA256Header carries the hex SHA-256 of a GET /v1/cache/{key}
+// payload; peer-fill clients recompute and reject on mismatch, so a
+// corrupted (or actively wrong) peer response can never enter a
+// node's cache.
+const CacheSHA256Header = "X-Netalign-Sha256"
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
@@ -121,7 +139,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "decode job spec: %v", err)
 		return
 	}
-	j, err := s.mgr.Submit(spec)
+	st, err := s.be.Submit(spec)
 	switch {
 	case errors.Is(err, ErrBadSpec):
 		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
@@ -140,35 +158,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 	default:
-		w.Header().Set("Location", "/v1/jobs/"+j.ID)
-		writeJSON(w, http.StatusAccepted, j.Status())
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
 	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	list := s.mgr.List()
 	// ?state=<state> filters the listing; the operator's main use is
 	// ?state=quarantined — the jobs needing a requeue decision.
-	if raw := r.URL.Query().Get("state"); raw != "" {
-		st := State(raw)
-		if !validState(st) {
-			writeError(w, http.StatusBadRequest, errBadRequest, "unknown state %q", raw)
-			return
-		}
-		filtered := make([]*JobStatus, 0, len(list))
-		for _, js := range list {
-			if js.State == st {
-				filtered = append(filtered, js)
-			}
-		}
-		list = filtered
+	state := State(r.URL.Query().Get("state"))
+	if state != "" && !validState(state) {
+		writeError(w, http.StatusBadRequest, errBadRequest, "unknown state %q", state)
+		return
+	}
+	list, err := s.be.List(state)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, list)
 }
 
 // handleRequeue puts a quarantined job back in the run queue.
 func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
-	st, err := s.mgr.Requeue(r.PathValue("id"))
+	st, err := s.be.Requeue(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
@@ -184,34 +197,48 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.mgr.Get(r.PathValue("id"))
-	if !ok {
+	st, err := s.be.Status(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
 		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
-		return
-	}
-	writeJSON(w, http.StatusOK, j.Status())
-}
-
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.mgr.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
-		return
-	}
-	st := j.Status()
-	if !st.State.Terminal() {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, errNotReady, "job %s is %s; result not ready", j.ID, st.State)
-		return
-	}
-	rc, size, err := s.mgr.OpenResult(j.ID)
-	if errors.Is(err, fs.ErrNotExist) {
-		// Terminal without a result: failed before producing one (or
-		// cancelled while still queued).
-		writeError(w, http.StatusNotFound, errNotFound, "job %s is %s with no result: %s", j.ID, st.State, st.Error)
 		return
 	}
 	if err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.be.Status(id)
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", id)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return
+	}
+	if !st.State.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, errNotReady, "job %s is %s; result not ready", id, st.State)
+		return
+	}
+	rc, size, err := s.be.OpenResult(id)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Terminal without a result: failed before producing one (or
+		// cancelled while still queued).
+		writeError(w, http.StatusNotFound, errNotFound, "job %s is %s with no result: %s", id, st.State, st.Error)
+		return
+	case errors.Is(err, ErrNotReady):
+		// The job regressed from terminal between the two lookups
+		// (requeue race); report like any other not-ready result.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, errNotReady, "job %s result not ready", id)
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
@@ -226,7 +253,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := s.mgr.Cancel(r.PathValue("id"))
+	st, err := s.be.Cancel(r.PathValue("id"))
 	if errors.Is(err, ErrNotFound) {
 		writeError(w, http.StatusNotFound, errNotFound, "job %s not found", r.PathValue("id"))
 		return
@@ -334,12 +361,60 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can answer
+// HTTP at all, including while draining or under pressure. Routing
+// decisions belong to /readyz — a load balancer that killed a
+// draining process on a failed health check would cut off the very
+// checkpoint flush that makes the drain safe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.mgr.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the routing signal: 503 while the node would refuse
+// new work anyway — draining, shedding for memory, or refusing for
+// disk pressure — so the cluster router (and any load balancer)
+// steers submissions to nodes that will accept them.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.be.Ready(); err != nil {
+		reason := "unready"
+		switch {
+		case errors.Is(err, ErrDraining):
+			reason = "draining"
+		case errors.Is(err, ErrOverloaded):
+			reason = "memory_pressure"
+		case errors.Is(err, ErrDiskPressure):
+			reason = "disk_pressure"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleCacheGet serves one result-cache entry by content address —
+// the peer-fill protocol: a ring neighbor that misses locally probes
+// this endpoint before solving, so results migrate after ring changes
+// instead of being recomputed. The payload's SHA-256 rides along in
+// CacheSHA256Header for end-to-end validation; lookups bypass the
+// node's own hit/miss counters (a neighbor's probe is not this node's
+// traffic).
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
+		return
+	}
+	data, ok := s.mgr.CachePeek(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, errCacheMiss, "no cached result for %s", key)
+		return
+	}
+	sum := sha256.Sum256(data)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheSHA256Header, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // handleMetrics renders the manager snapshot in the Prometheus text
@@ -381,6 +456,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("netalignd_memory_pressure", "1 while submissions are shed for memory pressure.", memPressure)
 	gauge("netalignd_retry_after_seconds", "Current Retry-After hint attached to shed submissions.", float64(m.RetryAfterSec))
+	if m.PeerFillEnabled {
+		counter("netalignd_peer_fill_total", "Submissions admitted from a peer's cache instead of solving.", m.PeerFills)
+		counter("netalignd_peer_fill_probes_total", "Cache probes sent to ring neighbors.", m.PeerFill.Probes)
+		counter("netalignd_peer_fill_rejects_total", "Peer payloads rejected by hash validation.", m.PeerFill.Rejects)
+		counter("netalignd_peer_fill_misses_total", "Peer probes that found no entry anywhere.", m.PeerFill.Misses)
+	}
 	if m.CacheEnabled {
 		counter("netalignd_cache_hits_total", "Result-cache hits (memory or disk).", m.CacheHits)
 		counter("netalignd_cache_disk_hits_total", "Result-cache hits served from the disk tier.", m.CacheDiskHits)

@@ -18,12 +18,14 @@
 package server
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
 	"strings"
 	"time"
 
+	"netalignmc/internal/cache"
 	"netalignmc/internal/cli"
 	"netalignmc/internal/core"
 	"netalignmc/internal/matching"
@@ -241,6 +243,33 @@ func (s *Spec) cacheFingerprint() (string, bool) {
 		}
 	}
 	return opts.CacheFingerprint()
+}
+
+// CacheKey materializes the spec's problem and derives its content
+// address: SHA-256 over the canonical problem bytes (exactly what the
+// spool records as problem.txt) plus the output-affecting option
+// fingerprint. The result cache keys on it, and the cluster router
+// shards on it, so identical submissions — routed anywhere — always
+// resolve to the same address. The canonical bytes are returned too.
+// threads only bounds problem-construction parallelism; it cannot
+// affect the bytes or the key.
+func (s *Spec) CacheKey(threads int) (cache.Key, []byte, error) {
+	if err := s.Validate(); err != nil {
+		return cache.Key{}, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	p, err := s.BuildProblem(threads)
+	if err != nil {
+		return cache.Key{}, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	var buf bytes.Buffer
+	if err := problemio.Write(&buf, p); err != nil {
+		return cache.Key{}, nil, fmt.Errorf("server: canonicalize problem: %w", err)
+	}
+	fp, ok := s.cacheFingerprint()
+	if !ok {
+		return cache.Key{}, nil, fmt.Errorf("%w: unparsable matcher spec", ErrBadSpec)
+	}
+	return cache.KeyFor(buf.Bytes(), fp), buf.Bytes(), nil
 }
 
 // BuildProblem materializes the spec's problem source. threads bounds

@@ -67,6 +67,15 @@ type Config struct {
 	// tier under that directory which survives restarts (entries are
 	// hash-validated on load).
 	CacheDir string
+	// PeerFiller, when set (and the cache is enabled), is consulted on
+	// a result-cache miss before a submission enqueues: it may fetch
+	// the serialized result from a cluster peer's cache, in which case
+	// the submission is admitted already-done without solving and the
+	// payload enters the local cache. Implementations must hash-
+	// validate fetched payloads; the Manager trusts what it returns.
+	// Called outside the manager lock — it is expected to do network
+	// I/O.
+	PeerFiller PeerFiller
 
 	// RetryBudget is how many times a transiently failed attempt
 	// (solver error, injected I/O fault, worker panic, stall) is
@@ -108,6 +117,26 @@ type Config struct {
 	// DiskFreeProbe / RSSProbe override the platform probes in tests.
 	DiskFreeProbe func(path string) (int64, error)
 	RSSProbe      func() (int64, error)
+}
+
+// PeerFiller fetches a missing result-cache entry from cluster peers
+// (see internal/cluster for the HTTP implementation probing ring
+// neighbors' GET /v1/cache/{key}). Fill returns the validated result
+// bytes for the key, or ok=false when no peer had them; Stats
+// snapshots the probe counters for the node's /metrics.
+type PeerFiller interface {
+	Fill(key cache.Key) (data []byte, ok bool)
+	Stats() PeerFillStats
+}
+
+// PeerFillStats counts one node's peer-fill activity: cache probes
+// sent to peers, entries successfully fetched and validated, payloads
+// rejected by hash validation, and probes that found nothing.
+type PeerFillStats struct {
+	Probes  int64 `json:"probes"`
+	Fills   int64 `json:"fills"`
+	Rejects int64 `json:"rejects"`
+	Misses  int64 `json:"misses"`
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +298,7 @@ type Counters struct {
 	Stalled/* runs cancelled by the stall watchdog */ atomic.Int64
 	ShedMemory/* submissions refused under memory pressure */ atomic.Int64
 	RefusedDisk/* submissions refused under disk pressure */ atomic.Int64
+	PeerFills/* submissions admitted from a peer's cache instead of solving */ atomic.Int64
 }
 
 // Manager owns the job lifecycle: a FIFO queue with a depth limit
@@ -517,6 +547,37 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 			j, err := m.attachFollowerLocked(spec, pb, key, prim)
 			m.mu.Unlock()
 			return j, err
+		}
+		if m.cfg.PeerFiller != nil {
+			// Local miss: ask ring neighbors for the entry before
+			// burning a worker slot on a recompute. The probe does
+			// network I/O, so the manager lock is dropped around it and
+			// both lookups re-run after: an identical submission (or
+			// this key's own finish) may have landed meanwhile.
+			m.mu.Unlock()
+			data, filled := m.cfg.PeerFiller.Fill(key)
+			m.mu.Lock()
+			if m.closed {
+				m.mu.Unlock()
+				return nil, ErrDraining
+			}
+			if local, ok := m.cache.Peek(key); ok {
+				j, err := m.admitCachedLocked(spec, pb, local)
+				m.mu.Unlock()
+				return j, err
+			}
+			if prim, ok := m.inflight[key]; ok {
+				j, err := m.attachFollowerLocked(spec, pb, key, prim)
+				m.mu.Unlock()
+				return j, err
+			}
+			if filled {
+				m.cache.Put(key, data)
+				m.counters.PeerFills.Add(1)
+				j, err := m.admitCachedLocked(spec, pb, data)
+				m.mu.Unlock()
+				return j, err
+			}
 		}
 	}
 	if len(m.queue) >= m.cfg.QueueDepth {
@@ -1383,6 +1444,37 @@ func (m *Manager) run(j *Job) {
 // Draining reports whether shutdown has begun.
 func (m *Manager) Draining() bool { return m.draining.Load() }
 
+// Ready reports whether the manager is accepting new work: nil when a
+// submission would be admitted (resource gates permitting), or the
+// sentinel the admission path would reject with — ErrDraining during
+// shutdown, ErrOverloaded under memory shedding, ErrDiskPressure when
+// the spool volume is below its free-space floor. /readyz renders
+// this; a router or load balancer uses it to stop routing to a node
+// that will refuse the work anyway.
+func (m *Manager) Ready() error {
+	if m.draining.Load() {
+		return ErrDraining
+	}
+	if m.pressure.memShedding() {
+		return ErrOverloaded
+	}
+	if m.pressure.diskRefusing() {
+		return ErrDiskPressure
+	}
+	return nil
+}
+
+// CachePeek returns the cached result bytes for a key without
+// touching the hit/miss counters — the serve-by-key endpoint behind
+// cluster peer fill (a neighbor's probe must not skew this node's own
+// cache metrics). Always a miss when the cache is disabled.
+func (m *Manager) CachePeek(key cache.Key) ([]byte, bool) {
+	if m.cache == nil {
+		return nil, false
+	}
+	return m.cache.Peek(key)
+}
+
 // Shutdown drains the pool: no new submissions are accepted, running
 // jobs are cancelled (they stop at the next iteration boundary and
 // stay resumable from their last checkpoint), and workers are awaited
@@ -1480,6 +1572,12 @@ type Metrics struct {
 	DiskPressure  int   `json:"diskPressure"`
 	MemPressure   bool  `json:"memPressure"`
 	RetryAfterSec int64 `json:"retryAfterSec"`
+	// PeerFillEnabled marks a node running with a cluster peer filler;
+	// PeerFills counts submissions admitted from a peer's cache, and
+	// PeerFill carries the filler's own probe counters.
+	PeerFillEnabled bool          `json:"peerFillEnabled,omitempty"`
+	PeerFills       int64         `json:"peerFills,omitempty"`
+	PeerFill        PeerFillStats `json:"peerFill"`
 	CacheEnabled  bool               `json:"cacheEnabled"`
 	CacheHits     int64              `json:"cacheHits"`
 	CacheDiskHits int64              `json:"cacheDiskHits"`
@@ -1536,7 +1634,12 @@ func (m *Manager) Snapshot() Metrics {
 		DiskPressure:  int(m.pressure.diskLevel.Load()),
 		MemPressure:   m.pressure.memShedding(),
 		RetryAfterSec: m.pressure.retryAfter(),
+		PeerFills:     m.counters.PeerFills.Load(),
 		StepSeconds:   steps,
+	}
+	if m.cfg.PeerFiller != nil {
+		out.PeerFillEnabled = true
+		out.PeerFill = m.cfg.PeerFiller.Stats()
 	}
 	if m.cache != nil {
 		st := m.cache.Stats()

@@ -524,7 +524,19 @@ func TestHealthzAndMetrics(t *testing.T) {
 		}
 	}
 
-	// Draining flips healthz to 503 and submissions to 503.
+	// /readyz agrees while the node accepts work.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", rresp.StatusCode)
+	}
+
+	// Draining flips readyz to 503 and submissions to 503; healthz
+	// stays 200 — liveness must survive the drain or an orchestrator
+	// would kill the process mid-checkpoint.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := mgr.Shutdown(ctx); err != nil {
@@ -535,8 +547,23 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %d, want 200 (liveness only)", hresp.StatusCode)
+	}
+	rresp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(rresp.Body).Decode(&ready)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", rresp.StatusCode)
+	}
+	if ready.Status != "draining" {
+		t.Errorf("readyz reason while draining: %q, want \"draining\"", ready.Status)
 	}
 	sresp, body := postJob(t, ts, smallSpec())
 	if sresp.StatusCode != http.StatusServiceUnavailable {

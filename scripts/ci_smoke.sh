@@ -11,11 +11,26 @@
 #      job resumes (resumes >= 1) and completes
 #
 # Needs: curl, python3 (JSON parsing). Run from the repo root.
+#
+# Environment knobs (so several smoke runs — e.g. this one and the
+# cluster smoke — can share a CI host without colliding):
+#
+#   SMOKE_PORT  listen port            (default 18080)
+#   SMOKE_DIR   scratch/spool directory (default mktemp -d; removed on
+#               exit only when this script created it)
 set -euo pipefail
 
-ADDR=127.0.0.1:18080
+PORT="${SMOKE_PORT:-18080}"
+ADDR="127.0.0.1:$PORT"
 BASE="http://$ADDR"
-DIR=$(mktemp -d)
+if [ -n "${SMOKE_DIR:-}" ]; then
+    DIR="$SMOKE_DIR"
+    mkdir -p "$DIR"
+    KEEP_DIR=1
+else
+    DIR=$(mktemp -d)
+    KEEP_DIR=0
+fi
 PID=""
 cleanup() {
     status=$?
@@ -26,7 +41,7 @@ cleanup() {
         cat "$DIR/daemon.log"
     fi
     [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
-    rm -rf "$DIR"
+    [ "$KEEP_DIR" = 0 ] && rm -rf "$DIR"
     exit "$status"
 }
 trap cleanup EXIT

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cluster mode: a consistent-hash router in
+# front of two netalignd backends.
+#
+#   1. build netalignd and netalignrouter; start two backends (each
+#      with peer cache fill pointed at the other) and the router
+#   2. submit a job through the router, poll it to done, read the
+#      result objective
+#   3. resubmit the identical job through the router and verify cache
+#      affinity: both submissions landed on one owner (submitted=2 on
+#      exactly one backend), the second was a cache hit there, and the
+#      other backend saw nothing
+#   4. kill -9 the owner, resubmit through the router, and verify the
+#      ring heals: the survivor takes the job (router failover metric
+#      increments) and recomputes the identical objective
+#
+# Needs: curl, python3 (JSON parsing). Run from the repo root.
+#
+# Environment knobs:
+#
+#   SMOKE_PORT  first of three consecutive ports: router, backend A,
+#               backend B (default 18090)
+#   SMOKE_DIR   scratch directory (default mktemp -d)
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18090}"
+RADDR="127.0.0.1:$PORT"
+AADDR="127.0.0.1:$((PORT + 1))"
+BADDR="127.0.0.1:$((PORT + 2))"
+ROUTER="http://$RADDR"
+NODE_A="http://$AADDR"
+NODE_B="http://$BADDR"
+if [ -n "${SMOKE_DIR:-}" ]; then
+    DIR="$SMOKE_DIR"
+    mkdir -p "$DIR"
+    KEEP_DIR=1
+else
+    DIR=$(mktemp -d)
+    KEEP_DIR=0
+fi
+PIDS=""
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        for log in "$DIR"/*.log; do
+            [ -f "$log" ] || continue
+            echo "== cluster smoke FAILED (exit $status); $log:"
+            cat "$log"
+        done
+    fi
+    for pid in $PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    [ "$KEEP_DIR" = 0 ] && rm -rf "$DIR"
+    exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/netalignd" ./cmd/netalignd
+go build -o "$DIR/netalignrouter" ./cmd/netalignrouter
+
+json() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+wait_healthy() { # wait_healthy <base>
+    for _ in $(seq 1 50); do
+        if curl -fs "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "$1 did not become healthy within 10s"
+    exit 1
+}
+
+poll_done() { # poll_done <base> <id>
+    local state=""
+    for _ in $(seq 1 150); do
+        state=$(curl -fs "$1/v1/jobs/$2" | json "['state']")
+        [ "$state" = done ] && return 0
+        case "$state" in failed|cancelled|numerics)
+            echo "job $2 ended $state, wanted done"; exit 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job $2 stuck in $state, wanted done"
+    exit 1
+}
+
+node_metric() { # node_metric <base> <name> -> value (0 when absent)
+    curl -fs "$1/metrics" | awk -v m="$2" '$1 == m {print $2}' | head -1
+}
+
+echo "== start: 2 backends + router"
+"$DIR/netalignd" -addr "$AADDR" -spool "$DIR/spool-a" -workers 1 \
+    -peers "$NODE_A,$NODE_B" -self "$NODE_A" >"$DIR/node-a.log" 2>&1 &
+A_PID=$!
+PIDS="$PIDS $A_PID"
+disown "$A_PID" 2>/dev/null || true
+"$DIR/netalignd" -addr "$BADDR" -spool "$DIR/spool-b" -workers 1 \
+    -peers "$NODE_A,$NODE_B" -self "$NODE_B" >"$DIR/node-b.log" 2>&1 &
+B_PID=$!
+PIDS="$PIDS $B_PID"
+disown "$B_PID" 2>/dev/null || true
+wait_healthy "$NODE_A"
+wait_healthy "$NODE_B"
+"$DIR/netalignrouter" -addr "$RADDR" -peers "$NODE_A,$NODE_B" \
+    >"$DIR/router.log" 2>&1 &
+R_PID=$!
+PIDS="$PIDS $R_PID"
+disown "$R_PID" 2>/dev/null || true
+wait_healthy "$ROUTER"
+
+echo "== submit through the router, poll to done"
+SPEC='{"method":"bp","iterations":20,"approx":true,"threads":1,
+       "generator":{"n":40,"dbar":3,"seed":7}}'
+ID=$(curl -fs -X POST "$ROUTER/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$SPEC" | json "['id']")
+poll_done "$ROUTER" "$ID"
+OBJ=$(curl -fs "$ROUTER/v1/jobs/$ID/result" | json "['objective']")
+echo "   job $ID done via router, objective $OBJ"
+
+echo "== resubmit: cache affinity on the owner"
+ID2=$(curl -fs -X POST "$ROUTER/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$SPEC" | json "['id']")
+poll_done "$ROUTER" "$ID2"
+SUB_A=$(node_metric "$NODE_A" netalignd_jobs_submitted_total)
+SUB_B=$(node_metric "$NODE_B" netalignd_jobs_submitted_total)
+if [ "${SUB_A:-0}" = 2 ] && [ "${SUB_B:-0}" = 0 ]; then
+    OWNER=$NODE_A; OWNER_PID=$A_PID; OWNER_NAME=A
+elif [ "${SUB_B:-0}" = 2 ] && [ "${SUB_A:-0}" = 0 ]; then
+    OWNER=$NODE_B; OWNER_PID=$B_PID; OWNER_NAME=B
+else
+    echo "submissions split across nodes (A=$SUB_A B=$SUB_B), want both on one owner"
+    exit 1
+fi
+HITS=$(node_metric "$OWNER" netalignd_cache_hits_total)
+[ "${HITS:-0}" -ge 1 ] || { echo "owner cache hits=$HITS after identical resubmit, want >= 1"; exit 1; }
+OBJ2=$(curl -fs "$ROUTER/v1/jobs/$ID2/result" | json "['objective']")
+[ "$OBJ2" = "$OBJ" ] || { echo "cached objective $OBJ2 != original $OBJ"; exit 1; }
+echo "   owner is node $OWNER_NAME (submitted=2, hits=$HITS); objective matches"
+
+echo "== kill the owner; the ring must heal onto the survivor"
+kill -9 "$OWNER_PID"
+wait "$OWNER_PID" 2>/dev/null || true
+ID3=$(curl -fs -X POST "$ROUTER/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$SPEC" | json "['id']")
+poll_done "$ROUTER" "$ID3"
+OBJ3=$(curl -fs "$ROUTER/v1/jobs/$ID3/result" | json "['objective']")
+[ "$OBJ3" = "$OBJ" ] || { echo "failover objective $OBJ3 != original $OBJ"; exit 1; }
+FAILOVERS=$(node_metric "$ROUTER" netalignrouter_failover_total)
+[ "${FAILOVERS:-0}" -ge 1 ] || { echo "router failover_total=$FAILOVERS after owner death, want >= 1"; exit 1; }
+READY=$(curl -s -o /dev/null -w '%{http_code}' "$ROUTER/readyz")
+[ "$READY" = 200 ] || { echo "router readyz=$READY with one survivor, want 200"; exit 1; }
+echo "   job $ID3 rerouted (failovers=$FAILOVERS), objective matches"
+
+echo "cluster smoke OK"
