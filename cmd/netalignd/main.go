@@ -16,11 +16,12 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             submit (202; 400 bad spec, 413 body too
-//	                            large, 429 queue full or memory
-//	                            pressure, 503 draining or disk
+//	                            large, 429 queue full, tenant quota or
+//	                            memory pressure, 503 draining or disk
 //	                            pressure)
-//	GET    /v1/jobs             list jobs (?state= filters, e.g.
-//	                            ?state=quarantined)
+//	GET    /v1/jobs             list jobs (?state=, ?tenant= and
+//	                            ?class= filters compose, e.g.
+//	                            ?state=quarantined&tenant=team-a)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result final result JSON (409 until terminal)
 //	GET    /v1/jobs/{id}/events live progress (SSE)
@@ -54,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +66,31 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// parseTenantWeights parses the -tenant-weights value: comma-separated
+// name=weight pairs with positive integer weights.
+func parseTenantWeights(s string) (map[string]int64, error) {
+	weights := make(map[string]int64)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", pair)
+		}
+		w, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: %q needs a positive integer weight", pair)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("-tenant-weights: no name=weight pairs in %q", s)
+	}
+	return weights, nil
 }
 
 func run() int {
@@ -82,6 +109,9 @@ func run() int {
 	crashLoopLimit := fs.Int("crash-loop-limit", 3, "quarantine a job found mid-running across this many consecutive daemon restarts (-1 disables)")
 	minDiskBytes := fs.Int64("min-disk-bytes", 0, "spool free-space floor: degrade below 2x, refuse submissions below it (0 disables)")
 	maxRSSBytes := fs.Int64("max-rss-bytes", 0, "shed new submissions with 429 while process RSS exceeds this (0 disables)")
+	tenantWeights := fs.String("tenant-weights", "", "per-tenant fair-share weights as name=weight pairs, e.g. 'team-a=3,team-b=1' (unlisted tenants get weight 1)")
+	tenantQuota := fs.Int("tenant-quota", 0, "max queued jobs per tenant before that tenant's submissions get 429 (0 disables)")
+	preempt := fs.Bool("preempt", false, "checkpoint-preempt the youngest running batch job when an interactive job arrives and all workers are busy")
 	peers := fs.String("peers", "", "comma-separated base URLs of every cluster node (enables peer cache fill)")
 	self := fs.String("self", "", "this node's own base URL within -peers (never probed)")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member; must match the router's setting (0 = default)")
@@ -114,6 +144,16 @@ func run() int {
 		CrashLoopLimit:  *crashLoopLimit,
 		MinDiskBytes:    *minDiskBytes,
 		MaxRSSBytes:     *maxRSSBytes,
+		TenantQuota:     *tenantQuota,
+		Preempt:         *preempt,
+	}
+	if *tenantWeights != "" {
+		weights, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		cfg.TenantWeights = weights
 	}
 	if *peers != "" {
 		// NewPeerFiller returns a nil pointer when the peer list leaves

@@ -15,14 +15,20 @@
 // refuses with 503 fails over to the successor; 4xx answers —
 // including 429 backpressure — are relayed to the client verbatim.
 // Per-job routes (status, result, cancel, SSE events, requeue) are
-// proxied raw to whichever node admitted the job.
+// proxied raw to whichever node admitted the job. Tenant-aware
+// fields pass through untouched: submissions keep their tenant/class,
+// GET /v1/jobs forwards ?tenant= and ?class= filters to every backend,
+// and tenant-scoped 429s (with their Retry-After hints) are relayed
+// verbatim.
 //
 // Endpoints: the full /v1 job API, plus
 //
 //	GET /healthz   router liveness (always 200)
 //	GET /readyz    200 while at least one backend is up
 //	GET /metrics   router counters, per-node gauges, and a cluster
-//	               rollup aggregated from every reachable backend
+//	               rollup aggregated from every reachable backend —
+//	               including per-tenant queue/running/submitted series
+//	               summed across nodes
 //
 // Exit codes: 0 after a clean shutdown, 1 on startup or serve failure.
 package main

@@ -99,6 +99,8 @@ func (c *Client) apiError(resp *http.Response) error {
 		sentinel = server.ErrBadSpec
 	case "queue_full":
 		sentinel = server.ErrQueueFull
+	case "tenant_quota":
+		sentinel = server.ErrTenantQuota
 	case "overloaded":
 		sentinel = server.ErrOverloaded
 	case "disk_pressure":
@@ -161,11 +163,23 @@ func (c *Client) Status(id string) (*server.JobStatus, error) {
 	return &st, nil
 }
 
-// List fetches job statuses, optionally filtered by state.
-func (c *Client) List(state server.State) ([]*server.JobStatus, error) {
+// List fetches job statuses, optionally filtered by state, tenant
+// and class (composed server-side exactly as LocalBackend composes
+// them).
+func (c *Client) List(f server.ListFilter) ([]*server.JobStatus, error) {
+	q := url.Values{}
+	if f.State != "" {
+		q.Set("state", string(f.State))
+	}
+	if f.Tenant != "" {
+		q.Set("tenant", f.Tenant)
+	}
+	if f.Class != "" {
+		q.Set("class", f.Class)
+	}
 	path := "/v1/jobs"
-	if state != "" {
-		path += "?state=" + url.QueryEscape(string(state))
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
 	}
 	var list []*server.JobStatus
 	if err := c.getJSON(path, &list); err != nil {

@@ -473,7 +473,7 @@ func TestClientBackendParity(t *testing.T) {
 	if !json.Valid(data) {
 		t.Error("OpenResult body is not valid JSON")
 	}
-	list, err := be.List(server.StateDone)
+	list, err := be.List(server.ListFilter{State: server.StateDone})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -363,9 +363,16 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 }
 
 // handleList fans the listing out to every up node and merges the
-// results newest-first — the same ordering each node uses.
+// results newest-first — the same ordering each node uses. The
+// state/tenant/class filters pass through verbatim; each node applies
+// them locally so the router never pages full listings just to filter.
 func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
-	state := req.URL.Query().Get("state")
+	q := req.URL.Query()
+	filter := server.ListFilter{
+		State:  server.State(q.Get("state")),
+		Tenant: q.Get("tenant"),
+		Class:  q.Get("class"),
+	}
 	up := r.monitor.Up()
 	var (
 		wg     sync.WaitGroup
@@ -376,7 +383,7 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 		wg.Add(1)
 		go func(n string) {
 			defer wg.Done()
-			list, err := r.clients[n].List(server.State(state))
+			list, err := r.clients[n].List(filter)
 			if err != nil {
 				return // a down node's jobs are simply absent
 			}
@@ -510,6 +517,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		cacheHits, cacheMisses, peerFills       int64
 		queueDepth, running                     int64
 	}
+	tenantAgg := make(map[string]*server.TenantMetrics)
 	fmt.Fprint(w, "# HELP netalignrouter_node_jobs_submitted_total Jobs accepted per backend.\n# TYPE netalignrouter_node_jobs_submitted_total counter\n")
 	for _, nm := range results {
 		fmt.Fprintf(w, "netalignrouter_node_jobs_submitted_total{node=%q} %d\n", nm.node, nm.m.Submitted)
@@ -522,6 +530,19 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		agg.peerFills += nm.m.PeerFills
 		agg.queueDepth += int64(nm.m.QueueDepth)
 		agg.running += int64(nm.m.Running)
+		for name, tm := range nm.m.Tenants {
+			t := tenantAgg[name]
+			if t == nil {
+				t = &server.TenantMetrics{}
+				tenantAgg[name] = t
+			}
+			t.Queued += tm.Queued
+			t.Running += tm.Running
+			t.Submitted += tm.Submitted
+			t.Completed += tm.Completed
+			t.Preempted += tm.Preempted
+			t.Shed += tm.Shed
+		}
 	}
 	counter("netalignrouter_cluster_jobs_submitted_total", "Jobs accepted across the cluster.", agg.submitted)
 	counter("netalignrouter_cluster_jobs_completed_total", "Jobs finished done across the cluster.", agg.completed)
@@ -532,4 +553,33 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	counter("netalignrouter_cluster_peer_fill_total", "Peer cache fills across the cluster.", agg.peerFills)
 	fmt.Fprintf(w, "# HELP netalignrouter_cluster_queue_depth Queued jobs across the cluster.\n# TYPE netalignrouter_cluster_queue_depth gauge\nnetalignrouter_cluster_queue_depth %d\n", agg.queueDepth)
 	fmt.Fprintf(w, "# HELP netalignrouter_cluster_jobs_running Running jobs across the cluster.\n# TYPE netalignrouter_cluster_jobs_running gauge\nnetalignrouter_cluster_jobs_running %d\n", agg.running)
+
+	// Per-tenant cluster rollup: one labeled series per tenant summed
+	// across every scraped node, so a fleet operator sees each tenant's
+	// aggregate demand without scraping nodes individually.
+	if len(tenantAgg) > 0 {
+		tenants := make([]string, 0, len(tenantAgg))
+		for name := range tenantAgg {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		tseries := func(name, help, typ string, f func(*server.TenantMetrics) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, t := range tenants {
+				fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t, f(tenantAgg[t]))
+			}
+		}
+		tseries("netalignrouter_cluster_tenant_queue_depth", "Queued jobs per tenant across the cluster.", "gauge",
+			func(t *server.TenantMetrics) int64 { return int64(t.Queued) })
+		tseries("netalignrouter_cluster_tenant_jobs_running", "Running jobs per tenant across the cluster.", "gauge",
+			func(t *server.TenantMetrics) int64 { return int64(t.Running) })
+		tseries("netalignrouter_cluster_tenant_jobs_submitted_total", "Jobs accepted per tenant across the cluster.", "counter",
+			func(t *server.TenantMetrics) int64 { return t.Submitted })
+		tseries("netalignrouter_cluster_tenant_jobs_completed_total", "Jobs finished done per tenant across the cluster.", "counter",
+			func(t *server.TenantMetrics) int64 { return t.Completed })
+		tseries("netalignrouter_cluster_tenant_jobs_preempted_total", "Batch runs checkpoint-preempted per tenant across the cluster.", "counter",
+			func(t *server.TenantMetrics) int64 { return t.Preempted })
+		tseries("netalignrouter_cluster_tenant_jobs_shed_total", "Submissions refused per tenant across the cluster.", "counter",
+			func(t *server.TenantMetrics) int64 { return t.Shed })
+	}
 }

@@ -22,10 +22,10 @@ var ErrNotReady = errors.New("server: result not ready")
 //
 // Error contract (errors.Is across both implementations):
 //
-//	Submit  — ErrBadSpec, ErrQueueFull, ErrOverloaded, ErrDiskPressure,
-//	          ErrDraining
+//	Submit  — ErrBadSpec, ErrQueueFull, ErrTenantQuota, ErrOverloaded,
+//	          ErrDiskPressure, ErrDraining
 //	Status  — ErrNotFound
-//	List    — (state filtering only; unknown states are the caller's
+//	List    — (filtering only; unknown filter values are the caller's
 //	          problem)
 //	Cancel  — ErrNotFound
 //	Requeue — ErrNotFound, ErrNotQuarantined, ErrDraining
@@ -39,8 +39,9 @@ type Backend interface {
 	Submit(spec Spec) (*JobStatus, error)
 	// Status returns a job's current status snapshot.
 	Status(id string) (*JobStatus, error)
-	// List returns job statuses newest-first; state "" means all.
-	List(state State) ([]*JobStatus, error)
+	// List returns job statuses newest-first; zero filter fields match
+	// everything.
+	List(f ListFilter) ([]*JobStatus, error)
 	// Cancel requests cooperative cancellation (idempotent).
 	Cancel(id string) (*JobStatus, error)
 	// Requeue puts a quarantined job back in the run queue.
@@ -78,15 +79,38 @@ func (b LocalBackend) Status(id string) (*JobStatus, error) {
 	return j.Status(), nil
 }
 
-// List returns local jobs newest-first, optionally filtered by state.
-func (b LocalBackend) List(state State) ([]*JobStatus, error) {
+// ListFilter selects jobs in Backend.List; its fields compose (AND).
+// Zero values match everything. Tenant and Class match the job's
+// effective values, so ?tenant=default finds pre-tenant submissions.
+type ListFilter struct {
+	State  State
+	Tenant string
+	Class  string
+}
+
+// Match reports whether a status passes the filter.
+func (f ListFilter) Match(js *JobStatus) bool {
+	if f.State != "" && js.State != f.State {
+		return false
+	}
+	if f.Tenant != "" && js.Tenant != f.Tenant {
+		return false
+	}
+	if f.Class != "" && js.Class != f.Class {
+		return false
+	}
+	return true
+}
+
+// List returns local jobs newest-first, optionally filtered.
+func (b LocalBackend) List(f ListFilter) ([]*JobStatus, error) {
 	list := b.M.List()
-	if state == "" {
+	if f == (ListFilter{}) {
 		return list, nil
 	}
 	filtered := make([]*JobStatus, 0, len(list))
 	for _, js := range list {
-		if js.State == state {
+		if f.Match(js) {
 			filtered = append(filtered, js)
 		}
 	}

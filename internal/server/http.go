@@ -112,6 +112,7 @@ const (
 	errDiskPressure   = "disk_pressure"
 	errNotQuarantined = "not_quarantined"
 	errCacheMiss      = "cache_miss"
+	errTenantQuota    = "tenant_quota"
 )
 
 // CacheSHA256Header carries the hex SHA-256 of a GET /v1/cache/{key}
@@ -140,16 +141,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.be.Submit(spec)
+	// Every 429's Retry-After is tenant-scoped: the hint is the
+	// submitting tenant's own backlog over its own drain rate, so one
+	// tenant's flood never inflates another tenant's backoff.
+	retryAfter := func() string {
+		return strconv.FormatInt(s.mgr.TenantRetryAfterSeconds(spec.tenantName()), 10)
+	}
 	switch {
 	case errors.Is(err, ErrBadSpec):
 		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
+	case errors.Is(err, ErrTenantQuota):
+		w.Header().Set("Retry-After", retryAfter())
+		writeError(w, http.StatusTooManyRequests, errTenantQuota, "%v", err)
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter())
 		writeError(w, http.StatusTooManyRequests, errQueueFull, "%v", err)
 	case errors.Is(err, ErrOverloaded):
-		// Memory shedding: the Retry-After hint comes from the queue
-		// drain rate, so clients back off proportionally to the backlog.
-		w.Header().Set("Retry-After", strconv.FormatInt(s.mgr.RetryAfterSeconds(), 10))
+		w.Header().Set("Retry-After", retryAfter())
 		writeError(w, http.StatusTooManyRequests, errOverloaded, "%v", err)
 	case errors.Is(err, ErrDiskPressure):
 		writeError(w, http.StatusServiceUnavailable, errDiskPressure, "%v", err)
@@ -164,14 +172,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	// ?state=<state> filters the listing; the operator's main use is
-	// ?state=quarantined — the jobs needing a requeue decision.
-	state := State(r.URL.Query().Get("state"))
-	if state != "" && !validState(state) {
-		writeError(w, http.StatusBadRequest, errBadRequest, "unknown state %q", state)
+	// ?state=&tenant=&class= filter the listing and compose (AND). The
+	// operator's main uses are ?state=quarantined — the jobs needing a
+	// requeue decision — and ?tenant=X, one tenant's traffic.
+	q := r.URL.Query()
+	f := ListFilter{
+		State:  State(q.Get("state")),
+		Tenant: q.Get("tenant"),
+		Class:  q.Get("class"),
+	}
+	if f.State != "" && !validState(f.State) {
+		writeError(w, http.StatusBadRequest, errBadRequest, "unknown state %q", f.State)
 		return
 	}
-	list, err := s.be.List(state)
+	switch f.Class {
+	case "", ClassInteractive, ClassBatch:
+	default:
+		writeError(w, http.StatusBadRequest, errBadRequest, "unknown class %q", f.Class)
+		return
+	}
+	if err := validTenant(f.Tenant); err != nil {
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
+		return
+	}
+	list, err := s.be.List(f)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
@@ -446,6 +470,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("netalignd_jobs_stalled_total", "Runs cancelled by the stall watchdog.", m.Stalled)
 	counter("netalignd_jobs_shed_memory_total", "Submissions refused under memory pressure.", m.ShedMemory)
 	counter("netalignd_jobs_refused_disk_total", "Submissions refused under disk pressure.", m.RefusedDisk)
+	counter("netalignd_jobs_preempted_total", "Batch runs checkpoint-preempted for interactive jobs.", m.Preempted)
+	counter("netalignd_jobs_shed_quota_total", "Submissions refused by per-tenant admission quotas.", m.ShedQuota)
+	counter("netalignd_jobs_deadline_expired_total", "Jobs failed because their queue deadline passed before dispatch.", m.Expired)
 	gauge("netalignd_jobs_quarantined", "Jobs currently quarantined.", float64(m.QuarantinedNow))
 	gauge("netalignd_disk_free_bytes", "Free bytes on the spool volume at the last pressure sample.", float64(m.DiskFreeBytes))
 	gauge("netalignd_rss_bytes", "Process resident set size at the last pressure sample.", float64(m.RSSBytes))
@@ -456,6 +483,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("netalignd_memory_pressure", "1 while submissions are shed for memory pressure.", memPressure)
 	gauge("netalignd_retry_after_seconds", "Current Retry-After hint attached to shed submissions.", float64(m.RetryAfterSec))
+	if len(m.Tenants) > 0 {
+		names := tenantNames(m.Tenants)
+		tgauge := func(name, help string, f func(TenantMetrics) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, t := range names {
+				fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, t, f(m.Tenants[t]))
+			}
+		}
+		tcounter := func(name, help string, f func(TenantMetrics) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, t := range names {
+				fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t, f(m.Tenants[t]))
+			}
+		}
+		tgauge("netalignd_tenant_weight", "Configured fair-share weight.", func(t TenantMetrics) float64 { return float64(t.Weight) })
+		tgauge("netalignd_tenant_queue_depth", "Jobs waiting in the tenant's queues.", func(t TenantMetrics) float64 { return float64(t.Queued) })
+		tgauge("netalignd_tenant_queue_depth_interactive", "Interactive jobs waiting in the tenant's queue.", func(t TenantMetrics) float64 { return float64(t.QueuedInteractive) })
+		tgauge("netalignd_tenant_jobs_running", "Tenant jobs currently solving.", func(t TenantMetrics) float64 { return float64(t.Running) })
+		tcounter("netalignd_tenant_jobs_submitted_total", "Jobs accepted for the tenant.", func(t TenantMetrics) int64 { return t.Submitted })
+		tcounter("netalignd_tenant_jobs_completed_total", "Tenant jobs finished done.", func(t TenantMetrics) int64 { return t.Completed })
+		tcounter("netalignd_tenant_jobs_preempted_total", "Tenant batch runs checkpoint-preempted.", func(t TenantMetrics) int64 { return t.Preempted })
+		tcounter("netalignd_tenant_jobs_shed_total", "Tenant submissions refused by quota or memory pressure.", func(t TenantMetrics) int64 { return t.Shed })
+		tgauge("netalignd_tenant_queue_wait_seconds_total", "Cumulative queue wait charged to dispatched tenant jobs.", func(t TenantMetrics) float64 { return t.WaitSeconds })
+	}
 	if m.PeerFillEnabled {
 		counter("netalignd_peer_fill_total", "Submissions admitted from a peer's cache instead of solving.", m.PeerFills)
 		counter("netalignd_peer_fill_probes_total", "Cache probes sent to ring neighbors.", m.PeerFill.Probes)

@@ -131,6 +131,25 @@ type Spec struct {
 	// iterations (0 = server default).
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
 
+	// Tenant names the submitting tenant for fair-share scheduling,
+	// quotas and metrics (default "default"). Allowed characters:
+	// letters, digits, '.', '_', '-'; at most 64 bytes. Tenant never
+	// enters the result-cache key — identical problems coalesce and
+	// share cached results across tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the scheduling class: "batch" (default) or
+	// "interactive". Interactive jobs are dispatched before batch jobs
+	// and may checkpoint-preempt a running batch job when all worker
+	// slots are busy. Like Tenant, it is excluded from cache keys.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS, when positive, bounds the job's queue wait (the
+	// deadline_ms field of the v1 API): a job still waiting for a
+	// worker DeadlineMS milliseconds after admission is finalized
+	// failed instead of dispatched. It does not bound the solve itself
+	// (that is TimeoutSec) and never affects the cache key; a cache or
+	// coalescing hit admits instantly and trivially meets any deadline.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+
 	// Alpha and Beta are the objective weights for uploaded problems
 	// (both zero selects the paper's α=1, β=2; inline netalign-format
 	// problems carry their own).
@@ -164,6 +183,17 @@ func (s *Spec) Validate() error {
 	}
 	if s.TimeoutSec < 0 {
 		return fmt.Errorf("negative timeoutSec")
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("negative deadlineMs")
+	}
+	switch s.Class {
+	case "", ClassInteractive, ClassBatch:
+	default:
+		return fmt.Errorf("unknown class %q (want %s or %s)", s.Class, ClassInteractive, ClassBatch)
+	}
+	if err := validTenant(s.Tenant); err != nil {
+		return err
 	}
 	if s.Alpha < 0 || s.Beta < 0 {
 		return fmt.Errorf("negative objective weights alpha=%g beta=%g", s.Alpha, s.Beta)
@@ -201,6 +231,46 @@ func (s *Spec) methodName() string {
 		return "bp"
 	}
 	return s.Method
+}
+
+// DefaultTenant is the tenant every untagged submission is accounted
+// to; old specs without the field keep working unchanged.
+const DefaultTenant = "default"
+
+// tenantName returns the effective tenant without mutating the spec —
+// the persisted spec keeps the client's original bytes, so pre-tenant
+// job records round-trip byte-for-byte.
+func (s *Spec) tenantName() string {
+	if s.Tenant == "" {
+		return DefaultTenant
+	}
+	return s.Tenant
+}
+
+// className returns the effective scheduling class (default batch).
+func (s *Spec) className() string {
+	if s.Class == "" {
+		return ClassBatch
+	}
+	return s.Class
+}
+
+// validTenant enforces the tenant-name grammar: metrics-label and
+// path safe, bounded length. Empty is allowed (means DefaultTenant).
+func validTenant(t string) error {
+	if len(t) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("tenant name %q: character %q not in [A-Za-z0-9._-]", t, c)
+		}
+	}
+	return nil
 }
 
 // matcherText returns the effective matcher spec string, folding the
@@ -336,6 +406,9 @@ type Meta struct {
 	// during which the job last entered running; recovery uses it to
 	// tell consecutive crash loops from unrelated restarts.
 	Incarnation int64 `json:"incarnation,omitempty"`
+	// Preemptions counts how many times the job was checkpoint-
+	// preempted to yield its worker slot to interactive traffic.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // newJobID returns a random 16-hex-digit job id.

@@ -23,8 +23,12 @@ import (
 var (
 	// ErrNotFound: no such job.
 	ErrNotFound = errors.New("server: job not found")
-	// ErrQueueFull: the FIFO queue is at its depth limit (429).
+	// ErrQueueFull: the scheduler's global depth limit is reached (429).
 	ErrQueueFull = errors.New("server: job queue full")
+	// ErrTenantQuota: the submitting tenant is at its per-tenant queued
+	// admission quota (429 with a tenant-scoped Retry-After). Other
+	// tenants are unaffected.
+	ErrTenantQuota = errors.New("server: tenant admission quota exceeded")
 	// ErrDraining: the server is shutting down and accepts no new
 	// work (503).
 	ErrDraining = errors.New("server: draining")
@@ -117,6 +121,21 @@ type Config struct {
 	// DiskFreeProbe / RSSProbe override the platform probes in tests.
 	DiskFreeProbe func(path string) (int64, error)
 	RSSProbe      func() (int64, error)
+
+	// TenantWeights maps tenant names to fair-share weights for the
+	// stride scheduler; unlisted tenants (including "default") weigh 1.
+	// With two saturated tenants weighted 3:1 the workers dispatch
+	// their jobs in a 3:1 ratio.
+	TenantWeights map[string]int64
+	// TenantQuota, when positive, caps one tenant's queued (not yet
+	// running) jobs; submissions beyond it are refused with
+	// ErrTenantQuota. Zero disables per-tenant quotas.
+	TenantQuota int
+	// Preempt enables checkpoint-preemption: when an interactive job
+	// arrives and every worker slot is held by a batch job, the
+	// youngest-started batch job is checkpointed and parked back at the
+	// head of its tenant queue, to resume bit-identically later.
+	Preempt bool
 }
 
 // PeerFiller fetches a missing result-cache entry from cluster peers
@@ -216,6 +235,13 @@ type Job struct {
 	incarnation int64
 	stalled    bool
 	retryTimer *time.Timer
+	// preempt marks a run cancelled to yield its worker slot to an
+	// interactive job; preemptions counts how many times that happened
+	// (persisted). enqueuedAt is the last scheduler-queue entry time,
+	// owned by schedQueue under m.mu.
+	preempt     bool
+	preemptions int
+	enqueuedAt  time.Time
 
 	iter atomic.Int64
 	// beat increments on every solver iteration (unthrottled, unlike
@@ -245,7 +271,7 @@ func (j *Job) metaLocked() *Meta {
 		ID: j.ID, Spec: j.Spec, State: j.state, Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Resumes: j.resumes, Attempts: j.attempts, CrashRuns: j.crashRuns,
-		Incarnation: j.incarnation,
+		Incarnation: j.incarnation, Preemptions: j.preemptions,
 	}
 }
 
@@ -260,9 +286,13 @@ func (j *Job) closeEvents() { j.events.Load().close() }
 
 // JobStatus is the API view of a job.
 type JobStatus struct {
-	ID       string    `json:"id"`
-	State    State     `json:"state"`
-	Method   string    `json:"method"`
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Method string `json:"method"`
+	// Tenant and Class echo the effective scheduling identity (the
+	// defaults applied — "default"/"batch" for untagged submissions).
+	Tenant   string    `json:"tenant"`
+	Class    string    `json:"class"`
 	Iter     int       `json:"iter"`
 	Error    string    `json:"error,omitempty"`
 	Created  time.Time `json:"created"`
@@ -272,6 +302,9 @@ type JobStatus struct {
 	// Attempts is how many failed attempts have been charged against
 	// the job's retry budget so far.
 	Attempts int `json:"attempts,omitempty"`
+	// Preemptions is how many times the job was checkpoint-preempted
+	// to yield its worker slot to interactive traffic.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // Status returns a consistent snapshot of the job.
@@ -280,9 +313,10 @@ func (j *Job) Status() *JobStatus {
 	defer j.mu.Unlock()
 	return &JobStatus{
 		ID: j.ID, State: j.state, Method: j.Spec.methodName(),
+		Tenant: j.Spec.tenantName(), Class: j.Spec.className(),
 		Iter: int(j.iter.Load()), Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Resumes: j.resumes, Attempts: j.attempts,
+		Resumes: j.resumes, Attempts: j.attempts, Preemptions: j.preemptions,
 	}
 }
 
@@ -299,11 +333,15 @@ type Counters struct {
 	ShedMemory/* submissions refused under memory pressure */ atomic.Int64
 	RefusedDisk/* submissions refused under disk pressure */ atomic.Int64
 	PeerFills/* submissions admitted from a peer's cache instead of solving */ atomic.Int64
+	Preempted/* batch runs checkpoint-preempted for interactive jobs */ atomic.Int64
+	ShedQuota/* submissions refused by a per-tenant admission quota */ atomic.Int64
+	Expired/* jobs failed because their queue deadline passed before dispatch */ atomic.Int64
 }
 
-// Manager owns the job lifecycle: a FIFO queue with a depth limit
-// feeding a fixed pool of worker goroutines, durable state in a
-// Store, and drain/recovery across restarts.
+// Manager owns the job lifecycle: a tenant-aware scheduler (weighted
+// fair queuing over two priority classes, with a global depth limit
+// and per-tenant quotas) feeding a fixed pool of worker goroutines,
+// durable state in a Store, and drain/recovery across restarts.
 type Manager struct {
 	cfg   Config
 	store *Store
@@ -323,10 +361,13 @@ type Manager struct {
 
 	draining atomic.Bool
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Job
-	jobs   map[string]*Job
+	mu    sync.Mutex
+	cond  *sync.Cond
+	sched *schedQueue
+	// idle counts workers parked in cond.Wait: the preemption trigger —
+	// an interactive arrival preempts only when no worker is free.
+	idle int
+	jobs map[string]*Job
 	// inflight is the single-flight table: at most one queued/running
 	// job per cache key; identical submissions attach to it as
 	// followers instead of solving again.
@@ -352,6 +393,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		store:    store,
 		timer:    stats.NewStepTimer(),
 		start:    time.Now(),
+		sched:    newSchedQueue(cfg.TenantWeights),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[cache.Key]*Job),
 	}
@@ -407,6 +449,7 @@ func (m *Manager) recover() error {
 			started: meta.Started, finished: meta.Finished,
 			resumes: meta.Resumes, attempts: meta.Attempts,
 			crashRuns: meta.CrashRuns, incarnation: meta.Incarnation,
+			preemptions: meta.Preemptions,
 		}
 		j.events.Store(newBroker())
 		if meta.State.Terminal() {
@@ -472,7 +515,12 @@ func (m *Manager) recover() error {
 			}
 		}
 		m.jobs[j.ID] = j
-		m.queue = append(m.queue, j)
+		// The tenant and class ride in the persisted Spec, so a restart
+		// re-files the job under its original tenant queue and class —
+		// and re-credits the tenant's admission counter, which is
+		// per-process like every other lifetime counter.
+		m.sched.push(j, false)
+		m.sched.tenant(j.Spec.tenantName()).submitted++
 		m.counters.Resumed.Add(1)
 	}
 	return nil
@@ -507,6 +555,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	// disk.
 	if m.pressure.memShedding() {
 		m.counters.ShedMemory.Add(1)
+		m.noteTenantShed(spec.tenantName())
 		return nil, ErrOverloaded
 	}
 	if m.pressure.diskRefusing() {
@@ -580,7 +629,20 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 			}
 		}
 	}
-	if len(m.queue) >= m.cfg.QueueDepth {
+	tenant := spec.tenantName()
+	// The per-tenant quota is checked before the global depth limit so
+	// a flooding tenant sees its own scoped 429 (ErrTenantQuota, with a
+	// Retry-After computed from its own backlog) rather than consuming
+	// the shared budget and pushing everyone else into ErrQueueFull.
+	if q := m.cfg.TenantQuota; q > 0 && m.sched.depth(tenant) >= q {
+		m.sched.tenant(tenant).shed++
+		m.mu.Unlock()
+		m.counters.ShedQuota.Add(1)
+		m.counters.Rejected.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs queued (quota %d)",
+			ErrTenantQuota, tenant, q, q)
+	}
+	if m.sched.size >= m.cfg.QueueDepth {
 		m.mu.Unlock()
 		m.counters.Rejected.Add(1)
 		return nil, ErrQueueFull
@@ -612,11 +674,70 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.inflight[key] = j
 	}
 	m.jobs[id] = j
-	m.queue = append(m.queue, j)
+	m.sched.push(j, false)
+	m.sched.tenant(tenant).submitted++
 	m.counters.Submitted.Add(1)
+	preempt := m.maybePreemptLocked(j)
 	m.cond.Signal()
 	m.mu.Unlock()
+	if preempt != nil {
+		preempt()
+	}
 	return j, nil
+}
+
+// noteTenantShed attributes a pressure shed to the submitting tenant.
+func (m *Manager) noteTenantShed(tenant string) {
+	m.mu.Lock()
+	m.sched.tenant(tenant).shed++
+	m.mu.Unlock()
+}
+
+// maybePreemptLocked decides whether admitting j warrants preempting a
+// running batch job: j is interactive, preemption is enabled, no
+// worker is idle, and at least one batch job holds a slot. The victim
+// is the youngest-started batch run — it has the least sunk work past
+// its last checkpoint. The victim's context cancel is returned to be
+// invoked after m.mu is released; the cancelled run observes the
+// preempt mark and parks back at the head of its tenant queue (see
+// run), to resume later from its checkpoint bit-identically. Called
+// with m.mu held.
+func (m *Manager) maybePreemptLocked(j *Job) context.CancelFunc {
+	if !m.cfg.Preempt || j.Spec.className() != ClassInteractive || m.idle > 0 {
+		return nil
+	}
+	var victim *Job
+	var victimStart time.Time
+	var cancel context.CancelFunc
+	for _, cand := range m.jobs {
+		if cand.Spec.className() != ClassBatch {
+			continue
+		}
+		cand.mu.Lock()
+		ok := cand.state == StateRunning && !cand.preempt &&
+			!cand.cancelRequested && cand.cancel != nil
+		started := cand.started
+		cand.mu.Unlock()
+		if ok && (victim == nil || started.After(victimStart)) {
+			victim = cand
+			victimStart = started
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	victim.mu.Lock()
+	// Re-check under the victim's lock: it may have finished or been
+	// cancelled between the scan and now.
+	if victim.state != StateRunning || victim.preempt ||
+		victim.cancelRequested || victim.cancel == nil {
+		victim.mu.Unlock()
+		return nil
+	}
+	victim.preempt = true
+	cancel = victim.cancel
+	victim.mu.Unlock()
+	return cancel
 }
 
 // admitCachedLocked creates an already-completed job from a cached
@@ -651,6 +772,9 @@ func (m *Manager) admitCachedLocked(spec Spec, problem, result []byte) (*Job, er
 	m.jobs[id] = j
 	m.counters.Submitted.Add(1)
 	m.counters.Completed.Add(1)
+	ts := m.sched.tenant(spec.tenantName())
+	ts.submitted++
+	ts.completed++
 	return j, nil
 }
 
@@ -699,6 +823,7 @@ func (m *Manager) attachFollowerLocked(spec Spec, problem []byte, key cache.Key,
 	m.jobs[id] = j
 	m.counters.Submitted.Add(1)
 	m.counters.Coalesced.Add(1)
+	m.sched.tenant(spec.tenantName()).submitted++
 	return j, nil
 }
 
@@ -778,14 +903,7 @@ func (m *Manager) Cancel(id string) (*JobStatus, error) {
 		return j.Status(), nil
 	case j.state == StateQueued:
 		j.cancelRequested = true
-		inQueue := false
-		for i, q := range m.queue {
-			if q == j {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				inQueue = true
-				break
-			}
-		}
+		inQueue := m.sched.remove(j)
 		if t := j.retryTimer; t != nil {
 			// Waiting out a retry backoff: stop the timer and finalize
 			// here. (If the timer already fired, enqueueRetry sees
@@ -842,23 +960,53 @@ func (m *Manager) OpenResult(id string) (io.ReadCloser, int64, error) {
 	return m.store.OpenResult(id)
 }
 
-// worker pops jobs until shutdown.
+// worker pops jobs until shutdown. Dispatch order is the scheduler's:
+// interactive before batch, weighted-fair across tenants within a
+// class.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		m.idle++
+		for m.sched.size == 0 && !m.closed {
 			m.cond.Wait()
 		}
+		m.idle--
 		if m.closed {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
+		now := time.Now()
+		j := m.sched.pop(now)
 		m.mu.Unlock()
+		if j == nil {
+			continue
+		}
+		if expired, waited := j.queueDeadlineExpired(now); expired {
+			// The job's queue-wait deadline passed before a worker was
+			// free: fail it instead of burning a slot on a result the
+			// caller has already given up on.
+			m.counters.Expired.Add(1)
+			m.finish(j, StateFailed, nil, fmt.Sprintf(
+				"queue deadline exceeded: waited %s, deadlineMs %d",
+				waited.Round(time.Millisecond), j.Spec.DeadlineMS))
+			continue
+		}
 		m.run(j)
 	}
+}
+
+// queueDeadlineExpired reports whether the job's DeadlineMS elapsed
+// between admission and dispatch, and how long it actually waited.
+func (j *Job) queueDeadlineExpired(now time.Time) (bool, time.Duration) {
+	if j.Spec.DeadlineMS <= 0 {
+		return false, 0
+	}
+	j.mu.Lock()
+	created := j.created
+	j.mu.Unlock()
+	waited := now.Sub(created)
+	return waited > time.Duration(j.Spec.DeadlineMS)*time.Millisecond, waited
 }
 
 // finish moves a job to a terminal state, persisting the result (when
@@ -932,6 +1080,7 @@ func (m *Manager) finish(j *Job, state State, result *core.ResultJSON, errMsg st
 	switch state {
 	case StateDone:
 		m.counters.Completed.Add(1)
+		m.noteTenantCompleted(j.Spec.tenantName())
 	case StateFailed:
 		m.counters.Failed.Add(1)
 	case StateCancelled:
@@ -974,11 +1123,20 @@ func (m *Manager) completeFollower(f *Job, data []byte, iter int64) {
 	_ = m.store.SaveMeta(meta)
 	if meta.State == StateDone {
 		m.counters.Completed.Add(1)
+		m.noteTenantCompleted(f.Spec.tenantName())
 	} else {
 		m.counters.Failed.Add(1)
 	}
 	f.publish("state", f.Status())
 	f.closeEvents()
+}
+
+// noteTenantCompleted credits a completion to the tenant's drain-rate
+// bookkeeping (the input to its Retry-After hint).
+func (m *Manager) noteTenantCompleted(tenant string) {
+	m.mu.Lock()
+	m.sched.noteCompleted(tenant)
+	m.mu.Unlock()
 }
 
 // promoteFollowers re-admits the followers of a primary that ended
@@ -1027,7 +1185,7 @@ func (m *Manager) promoteFollowers(followers []*Job) {
 		promotedMeta = p.metaLocked()
 		p.mu.Unlock()
 		m.inflight[key] = p
-		m.queue = append(m.queue, p)
+		m.sched.push(p, false)
 		m.cond.Signal()
 	}
 	for _, f := range rest {
@@ -1148,7 +1306,7 @@ func (m *Manager) enqueueRetry(j *Job) {
 		return
 	}
 	j.mu.Unlock()
-	m.queue = append(m.queue, j)
+	m.sched.push(j, false)
 	m.cond.Signal()
 	m.mu.Unlock()
 }
@@ -1194,7 +1352,7 @@ func (m *Manager) Requeue(id string) (*JobStatus, error) {
 		}
 	}
 	j.mu.Unlock()
-	m.queue = append(m.queue, j)
+	m.sched.push(j, false)
 	m.counters.Requeued.Add(1)
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -1203,9 +1361,20 @@ func (m *Manager) Requeue(id string) (*JobStatus, error) {
 	return j.Status(), nil
 }
 
-// RetryAfterSeconds is the current drain-rate backoff hint attached
-// to shed (429) responses.
+// RetryAfterSeconds is the global drain-rate backoff hint (the
+// /metrics gauge). 429 responses use TenantRetryAfterSeconds instead,
+// so one tenant's backlog cannot inflate another tenant's backoff.
 func (m *Manager) RetryAfterSeconds() int64 { return m.pressure.retryAfter() }
+
+// TenantRetryAfterSeconds is the tenant-scoped Retry-After hint: the
+// submitting tenant's own queued backlog divided by its own EWMA
+// completion rate. A tenant with no backlog gets 1 second regardless
+// of how congested other tenants are.
+func (m *Manager) TenantRetryAfterSeconds(tenant string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.retryAfter(tenant, time.Now())
+}
 
 // run executes one job on the calling worker goroutine.
 func (m *Manager) run(j *Job) {
@@ -1228,6 +1397,7 @@ func (m *Manager) run(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.stalled = false
+	j.preempt = false
 	// Record which daemon incarnation runs this attempt: the crash-loop
 	// detector at the next startup compares it against its own number.
 	j.incarnation = m.incarnation
@@ -1372,6 +1542,7 @@ func (m *Manager) run(j *Job) {
 	j.mu.Lock()
 	userCancelled := j.cancelRequested
 	stalled := j.stalled
+	preempted := j.preempt
 	j.mu.Unlock()
 
 	switch {
@@ -1416,6 +1587,44 @@ func (m *Manager) run(j *Job) {
 			fmeta := f.metaLocked()
 			f.mu.Unlock()
 			m.counters.Interrupted.Add(1)
+			_ = m.store.SaveMeta(fmeta)
+			f.publish("state", f.Status())
+		}
+	case res.Stopped == core.StopCancelled && preempted && !userCancelled:
+		// Checkpoint-preempted to free the slot for an interactive job:
+		// park back at the HEAD of the tenant queue (the job already
+		// accumulated service; it must not re-queue behind its tenant's
+		// newer batch work). The event broker stays open — subscribers
+		// see queued now and the same stream resumes with the next
+		// attempt, which picks up from the latest checkpoint and is
+		// bit-identical to an uninterrupted run.
+		m.mu.Lock()
+		j.mu.Lock()
+		j.state = StateQueued
+		j.cancel = nil
+		j.preempt = false
+		j.started = time.Time{}
+		j.preemptions++
+		meta := j.metaLocked()
+		followers := append([]*Job(nil), j.followers...)
+		j.mu.Unlock()
+		m.sched.push(j, true)
+		m.sched.tenant(j.Spec.tenantName()).preempted++
+		m.counters.Preempted.Add(1)
+		m.cond.Signal()
+		m.mu.Unlock()
+		_ = m.store.SaveMeta(meta)
+		j.publish("state", j.Status())
+		// Coalesced followers mirror the primary back to queued, exactly
+		// as they do across a retry backoff.
+		for _, f := range followers {
+			f.mu.Lock()
+			if f.state == StateRunning {
+				f.state = StateQueued
+				f.started = time.Time{}
+			}
+			fmeta := f.metaLocked()
+			f.mu.Unlock()
 			_ = m.store.SaveMeta(fmeta)
 			f.publish("state", f.Status())
 		}
@@ -1559,6 +1768,17 @@ type Metrics struct {
 	Stalled       int64              `json:"stalled"`
 	ShedMemory    int64              `json:"shedMemory"`
 	RefusedDisk   int64              `json:"refusedDisk"`
+	// Preempted counts batch runs checkpoint-preempted for interactive
+	// jobs; ShedQuota counts submissions refused by per-tenant quotas;
+	// Expired counts jobs failed because their queue deadline passed
+	// before dispatch.
+	Preempted int64 `json:"preempted"`
+	ShedQuota int64 `json:"shedQuota"`
+	Expired   int64 `json:"expired"`
+	// Tenants is the per-tenant rollup: queue depths, running slots,
+	// lifetime admission/completion/preemption/shed counters, weights
+	// and cumulative queue-wait time.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 	// QuarantinedNow is the gauge of jobs currently quarantined (the
 	// operator's "needs attention" number); Quarantined above is the
 	// lifetime counter.
@@ -1592,17 +1812,25 @@ type Metrics struct {
 // Snapshot collects the current metrics.
 func (m *Manager) Snapshot() Metrics {
 	m.mu.Lock()
-	depth := len(m.queue)
+	depth := m.sched.size
 	running, quarantined := 0, 0
+	runningByTenant := make(map[string]int)
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		switch j.state {
 		case StateRunning:
 			running++
+			runningByTenant[j.Spec.tenantName()]++
 		case StateQuarantined:
 			quarantined++
 		}
 		j.mu.Unlock()
+	}
+	tenants := m.sched.snapshot()
+	for name, n := range runningByTenant {
+		tm := tenants[name]
+		tm.Running = n
+		tenants[name] = tm
 	}
 	m.mu.Unlock()
 	steps := make(map[string]float64)
@@ -1628,6 +1856,10 @@ func (m *Manager) Snapshot() Metrics {
 		Stalled:       m.counters.Stalled.Load(),
 		ShedMemory:    m.counters.ShedMemory.Load(),
 		RefusedDisk:   m.counters.RefusedDisk.Load(),
+		Preempted:     m.counters.Preempted.Load(),
+		ShedQuota:     m.counters.ShedQuota.Load(),
+		Expired:       m.counters.Expired.Load(),
+		Tenants:       tenants,
 		QuarantinedNow: quarantined,
 		DiskFreeBytes: m.pressure.diskFreeBytes.Load(),
 		RSSBytes:      m.pressure.rssBytes.Load(),

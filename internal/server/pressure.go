@@ -164,7 +164,7 @@ func (p *pressureMonitor) sample(mgr *Manager) {
 	rate := p.ratePerSec
 	p.rateMu.Unlock()
 	mgr.mu.Lock()
-	depth := len(mgr.queue)
+	depth := mgr.sched.size
 	mgr.mu.Unlock()
 	hint := int64(10)
 	if rate > 1e-6 {

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// jobFor builds a bare queued job for scheduler unit tests.
+func jobFor(tenant, class string, n int) *Job {
+	j := &Job{ID: tenant + "-" + class + "-" + strconv.Itoa(n),
+		Spec: Spec{Tenant: tenant, Class: class}}
+	j.events.Store(newBroker())
+	return j
+}
+
+// TestStrideWeightedFairness pins the tentpole's fairness property at
+// the unit level, with no timing in the loop: under a saturated queue,
+// a 3:1 weight ratio yields a 3:1 dispatch ratio.
+func TestStrideWeightedFairness(t *testing.T) {
+	s := newSchedQueue(map[string]int64{"gold": 3, "bronze": 1})
+	for i := 0; i < 40; i++ {
+		s.push(jobFor("gold", ClassBatch, i), false)
+		s.push(jobFor("bronze", ClassBatch, i), false)
+	}
+	counts := map[string]int{}
+	now := time.Now()
+	for i := 0; i < 40; i++ {
+		j := s.pop(now)
+		if j == nil {
+			t.Fatalf("pop %d returned nil with %d jobs queued", i, s.size)
+		}
+		counts[j.Spec.tenantName()]++
+	}
+	// Stride scheduling is deterministic: over 40 dispatches the 3:1
+	// split is exact up to ±1 from pass-alignment at the window edges.
+	if g := counts["gold"]; g < 29 || g > 31 {
+		t.Errorf("gold got %d of 40 dispatches, want ~30 (3:1 over bronze's %d)", g, counts["bronze"])
+	}
+	// An idle tenant banks no credit: drain everything, let vtime
+	// advance, and a late-arriving tenant must not monopolize.
+	for s.size > 0 {
+		s.pop(now)
+	}
+	for i := 0; i < 8; i++ {
+		s.push(jobFor("late", ClassBatch, i), false)
+		s.push(jobFor("gold", ClassBatch, i), false)
+	}
+	firstFour := map[string]int{}
+	for i := 0; i < 4; i++ {
+		firstFour[s.pop(now).Spec.tenantName()]++
+	}
+	if firstFour["late"] == 4 {
+		t.Errorf("late tenant took all first 4 dispatches; activation rule failed to clamp its pass to vtime")
+	}
+}
+
+// TestSchedClassPriority: interactive drains before batch across
+// tenants, and a front push (preemption park) dispatches next within
+// its class.
+func TestSchedClassPriority(t *testing.T) {
+	s := newSchedQueue(nil)
+	b0 := jobFor("a", ClassBatch, 0)
+	b1 := jobFor("a", ClassBatch, 1)
+	i0 := jobFor("b", ClassInteractive, 0)
+	s.push(b0, false)
+	s.push(b1, false)
+	s.push(i0, false)
+	now := time.Now()
+	if j := s.pop(now); j != i0 {
+		t.Fatalf("first pop = %s, want the interactive job", j.ID)
+	}
+	if j := s.pop(now); j != b0 {
+		t.Fatalf("second pop = %s, want the older batch job", j.ID)
+	}
+	// b0 parks back at the head (preemption): it must dispatch before b1.
+	s.push(b0, true)
+	if j := s.pop(now); j != b0 {
+		t.Fatalf("pop after front-park = %s, want the parked job first", j.ID)
+	}
+	if j := s.pop(now); j != b1 {
+		t.Fatalf("final pop = %s, want b1", j.ID)
+	}
+	if s.size != 0 {
+		t.Errorf("size = %d after draining, want 0", s.size)
+	}
+}
+
+// TestSubmitTenantClassValidation: the v1 submit API rejects unknown
+// classes, malformed tenants and negative deadlines with 400, and
+// echoes effective tenant/class in every status snapshot.
+func TestSubmitTenantClassValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	bad := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"unknown class", func(s *Spec) { s.Class = "realtime" }},
+		{"tenant bad char", func(s *Spec) { s.Tenant = "team/a" }},
+		{"tenant too long", func(s *Spec) { s.Tenant = string(bytes.Repeat([]byte("x"), 65)) }},
+		{"negative deadline", func(s *Spec) { s.DeadlineMS = -5 }},
+	}
+	for _, tc := range bad {
+		spec := smallSpec()
+		tc.mut(&spec)
+		resp, body := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s, want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	// Untagged submissions get the defaults; tagged ones echo back.
+	plain := submitOK(t, ts, smallSpec())
+	if st := getStatus(t, ts, plain); st.Tenant != DefaultTenant || st.Class != ClassBatch {
+		t.Errorf("untagged job status tenant/class = %q/%q, want %q/%q",
+			st.Tenant, st.Class, DefaultTenant, ClassBatch)
+	}
+	spec := smallSpec()
+	spec.Tenant = "team-a"
+	spec.Class = ClassInteractive
+	spec.Generator.Seed = 8 // distinct problem; no coalescing ambiguity
+	tagged := submitOK(t, ts, spec)
+	if st := getStatus(t, ts, tagged); st.Tenant != "team-a" || st.Class != ClassInteractive {
+		t.Errorf("tagged job status tenant/class = %q/%q, want team-a/interactive", st.Tenant, st.Class)
+	}
+}
+
+// TestTenantQuotaScoped429: one tenant at its quota gets its own 429
+// (code tenant_quota, Retry-After attached) while another tenant's
+// submissions are still admitted — the quota is scoped, not global.
+func TestTenantQuotaScoped429(t *testing.T) {
+	mgr, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16, TenantQuota: 1})
+
+	flood := func(tenant string, seed int64) Spec {
+		s := longSpec()
+		s.Tenant = tenant
+		s.Generator.Seed = seed
+		return s
+	}
+	running := submitOK(t, ts, flood("noisy", 21))
+	waitState(t, ts, running, StateRunning, 30*time.Second)
+	queued := submitOK(t, ts, flood("noisy", 22)) // depth 1 = quota
+	resp, body := postJob(t, ts, flood("noisy", 23))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "tenant_quota" {
+		t.Errorf("over-quota error code = %q (err %v), want tenant_quota", env.Error.Code, err)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("tenant-quota 429 without Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 || n > 120 {
+		t.Errorf("Retry-After = %q, want an integer in [1,120]", ra)
+	}
+
+	// The other tenant is unaffected by noisy's full queue.
+	other := submitOK(t, ts, flood("quiet", 24))
+
+	m := mgr.Snapshot()
+	if m.ShedQuota < 1 {
+		t.Errorf("ShedQuota counter = %d, want >= 1", m.ShedQuota)
+	}
+	if tm, ok := m.Tenants["noisy"]; !ok || tm.Shed < 1 {
+		t.Errorf("tenants[noisy].Shed = %+v, want >= 1 shed on record", m.Tenants["noisy"])
+	}
+	if tm, ok := m.Tenants["quiet"]; !ok || tm.Submitted != 1 {
+		t.Errorf("tenants[quiet] = %+v, want 1 submitted", m.Tenants["quiet"])
+	}
+	for _, id := range []string{running, queued, other} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if dresp, err := http.DefaultClient.Do(req); err == nil {
+			dresp.Body.Close()
+		}
+	}
+}
+
+// TestInteractivePreemptsBatch: with every worker slot held by batch
+// work, an interactive arrival is served ahead of the whole batch
+// backlog — the running batch job checkpoints, parks, and the
+// interactive job's queue wait stays bounded by one checkpoint
+// interval instead of one batch runtime.
+func TestInteractivePreemptsBatch(t *testing.T) {
+	mgr, ts := newTestServer(t, Config{Workers: 1, Preempt: true})
+
+	batch := func(seed int64) Spec {
+		s := longSpec() // effectively infinite without cancel
+		s.Generator.Seed = seed
+		s.Tenant = "bulk"
+		return s
+	}
+	blocker := submitOK(t, ts, batch(31))
+	waitState(t, ts, blocker, StateRunning, 30*time.Second)
+	queuedBatch := submitOK(t, ts, batch(32))
+
+	urgent := smallSpec()
+	urgent.Tenant = "ops"
+	urgent.Class = ClassInteractive
+	id := submitOK(t, ts, urgent)
+	// The interactive job must complete while the infinite batch jobs
+	// still exist — impossible without preemption on a 1-worker pool.
+	waitState(t, ts, id, StateDone, 60*time.Second)
+
+	if st := getStatus(t, ts, blocker); st.Preemptions < 1 {
+		t.Errorf("blocker preemptions = %d, want >= 1 (state %s)", st.Preemptions, st.State)
+	}
+	m := mgr.Snapshot()
+	if m.Preempted < 1 {
+		t.Errorf("Preempted counter = %d, want >= 1", m.Preempted)
+	}
+	if tm := m.Tenants["bulk"]; tm.Preempted < 1 {
+		t.Errorf("tenants[bulk].Preempted = %d, want >= 1", tm.Preempted)
+	}
+	for _, jid := range []string{blocker, queuedBatch} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jid, nil)
+		if dresp, err := http.DefaultClient.Do(req); err == nil {
+			dresp.Body.Close()
+		}
+	}
+}
+
+// TestPreemptResumeBitIdentical: a batch job preempted mid-run resumes
+// from its checkpoint and produces result bytes identical to the same
+// spec run on an undisturbed manager.
+func TestPreemptResumeBitIdentical(t *testing.T) {
+	spec := Spec{
+		Method: "bp", Iterations: 400, Batch: 1, Approx: true, Threads: 1,
+		ProgressEvery: 1, CheckpointEvery: 2,
+		Generator: &GeneratorSpec{N: 120, DBar: 4, Seed: 5},
+	}
+	want := baselineResult(t, spec)
+
+	mgr, ts := newTestServer(t, Config{Workers: 1, Preempt: true})
+	id := submitOK(t, ts, spec)
+
+	// Preempt only once a checkpoint exists, so the park has something
+	// to resume from (a pre-checkpoint preemption restarts from scratch,
+	// which is also bit-identical but exercises less).
+	ckpt := mgr.Store().CheckpointPath(id)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint after 30s; job state %s", getStatus(t, ts, id).State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	urgent := smallSpec()
+	urgent.Class = ClassInteractive
+	submitOK(t, ts, urgent)
+
+	st := waitState(t, ts, id, StateDone, 120*time.Second)
+	if st.Preemptions == 0 {
+		t.Skip("batch job finished before the preemption landed; nothing to compare")
+	}
+	got, err := mgr.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("preempted-and-resumed result differs from uninterrupted baseline (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestTenantClassSurviveRestart: tenant, class and preemption count are
+// part of the persisted job record, so a restart recovers a queued job
+// into the right tenant queue with its identity intact.
+func TestTenantClassSurviveRestart(t *testing.T) {
+	spool := t.TempDir()
+	mgr1, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := mgr1.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := longSpec()
+	tagged.Tenant = "acme"
+	tagged.Class = ClassInteractive
+	tagged.Generator.Seed = 99
+	j, err := mgr1.Submit(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blocker
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	mgr2, ts := newTestServer(t, Config{Spool: spool, Workers: 1})
+	st := getStatus(t, ts, j.ID)
+	if st.Tenant != "acme" || st.Class != ClassInteractive {
+		t.Errorf("recovered job tenant/class = %q/%q, want acme/interactive", st.Tenant, st.Class)
+	}
+	if tm, ok := mgr2.Snapshot().Tenants["acme"]; !ok || tm.Submitted < 1 {
+		t.Errorf("recovered tenant rollup = %+v, want acme accounted", tm)
+	}
+	for _, id := range []string{blocker.ID, j.ID} {
+		if _, err := mgr2.Cancel(id); err != nil {
+			t.Errorf("cancel %s: %v", id, err)
+		}
+	}
+}
+
+// TestQueueDeadlineExpires: a job whose deadlineMs passes while queued
+// fails at dispatch instead of burning a worker slot.
+func TestQueueDeadlineExpires(t *testing.T) {
+	mgr, ts := newTestServer(t, Config{Workers: 1})
+	blocker := submitOK(t, ts, longSpec())
+	waitState(t, ts, blocker, StateRunning, 30*time.Second)
+
+	dead := smallSpec()
+	dead.DeadlineMS = 50
+	id := submitOK(t, ts, dead)
+	time.Sleep(120 * time.Millisecond) // let the deadline lapse while queued
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	st := waitState(t, ts, id, StateFailed, 30*time.Second)
+	if st.Error == "" {
+		t.Error("deadline-expired job has no error message")
+	}
+	if n := mgr.Snapshot().Expired; n != 1 {
+		t.Errorf("Expired counter = %d, want 1", n)
+	}
+}
+
+// TestCacheCoalescesAcrossTenants: tenant, class and deadline are
+// excluded from the content address, so identical problems from
+// different tenants share one execution and one cache entry — while
+// each job still reports its own tenant identity.
+func TestCacheCoalescesAcrossTenants(t *testing.T) {
+	mgr, ts := newTestServer(t, Config{Workers: 1, CacheBytes: 1 << 20})
+	core := Spec{
+		Method: "bp", Iterations: 400, Batch: 1, Approx: true, Threads: 1,
+		ProgressEvery: 1, CheckpointEvery: 2,
+		Generator: &GeneratorSpec{N: 120, DBar: 4, Seed: 5},
+	}
+	a := core
+	a.Tenant = "team-a"
+	idA := submitOK(t, ts, a)
+	waitState(t, ts, idA, StateRunning, 30*time.Second)
+
+	b := core
+	b.Tenant = "team-b"
+	b.Class = ClassInteractive
+	b.DeadlineMS = 60_000
+	idB := submitOK(t, ts, b)
+
+	waitState(t, ts, idA, StateDone, 120*time.Second)
+	waitState(t, ts, idB, StateDone, 120*time.Second)
+	if n := mgr.Snapshot().Coalesced; n != 1 {
+		t.Errorf("Coalesced = %d, want 1 (tenant/class must not split the cache key)", n)
+	}
+	ra, err := mgr.Result(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mgr.Result(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, rb) {
+		t.Error("coalesced results differ across tenants")
+	}
+	if st := getStatus(t, ts, idB); st.Tenant != "team-b" || st.Class != ClassInteractive {
+		t.Errorf("follower reports tenant/class %q/%q, want its own team-b/interactive", st.Tenant, st.Class)
+	}
+
+	// Third tenant, same problem, after completion: a pure cache hit.
+	c := core
+	c.Tenant = "team-c"
+	idC := submitOK(t, ts, c)
+	if st := getStatus(t, ts, idC); st.State != StateDone {
+		t.Errorf("post-completion identical submission is %s, want an immediate cache-hit done", st.State)
+	}
+	if n := mgr.Snapshot().CacheHits; n < 1 {
+		t.Errorf("CacheHits = %d, want >= 1", n)
+	}
+}
+
+// TestListFiltersCompose: ?tenant= and ?class= filter GET /v1/jobs and
+// compose with ?state=; invalid filter values are 400s.
+func TestListFiltersCompose(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	submit := func(tenant, class string, seed int64) string {
+		s := smallSpec()
+		s.Tenant = tenant
+		s.Class = class
+		s.Generator.Seed = seed
+		return submitOK(t, ts, s)
+	}
+	ids := []string{
+		submit("team-a", ClassBatch, 41),
+		submit("team-a", ClassInteractive, 42),
+		submit("team-b", "", 43), // defaults to batch
+	}
+	for _, id := range ids {
+		waitState(t, ts, id, StateDone, 60*time.Second)
+	}
+	count := func(query string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s: status %d", query, resp.StatusCode)
+		}
+		var list []*JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		return len(list)
+	}
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"", 3},
+		{"?tenant=team-a", 2},
+		{"?tenant=team-a&class=interactive", 1},
+		{"?class=batch", 2},
+		{"?tenant=team-b&class=batch", 1},
+		{"?tenant=nobody", 0},
+		{"?state=done&tenant=team-a", 2},
+		{"?state=failed&tenant=team-a", 0},
+	}
+	for _, tc := range cases {
+		if got := count(tc.query); got != tc.want {
+			t.Errorf("GET /v1/jobs%s returned %d jobs, want %d", tc.query, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"?class=bogus", "?tenant=bad/name", "?state=bogus"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -51,6 +51,7 @@ go build -o "$DIR/netalignd" ./cmd/netalignd
 
 start_daemon() {
     "$DIR/netalignd" -addr "$ADDR" -spool "$DIR/spool" -workers 1 \
+        -tenant-weights 'team-a=3,team-b=1' -tenant-quota 8 -preempt \
         >>"$DIR/daemon.log" 2>&1 &
     PID=$!
     disown "$PID" 2>/dev/null || true
@@ -142,5 +143,31 @@ curl -fs "$BASE/v1/jobs?state=quarantined" >/dev/null || {
     echo "?state=quarantined rejected"; exit 1; }
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs?state=bogus")
 [ "$CODE" = 400 ] || { echo "?state=bogus returned $CODE, want 400"; exit 1; }
+
+echo "== tenants: two tenants submit; filtered listing and per-tenant metrics"
+TA=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d '{"method":"bp","iterations":20,"approx":true,"threads":1,
+         "tenant":"team-a","class":"interactive",
+         "generator":{"n":40,"dbar":3,"seed":101}}' | json "['id']")
+TB=$(curl -fs -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d '{"method":"bp","iterations":20,"approx":true,"threads":1,
+         "tenant":"team-b",
+         "generator":{"n":40,"dbar":3,"seed":102}}' | json "['id']")
+poll_state "$TA" done 100
+poll_state "$TB" done 100
+TENANT_A=$(curl -fs "$BASE/v1/jobs/$TA" | json "['tenant']")
+[ "$TENANT_A" = team-a ] || { echo "job $TA reports tenant $TENANT_A, want team-a"; exit 1; }
+LIST_A=$(curl -fs "$BASE/v1/jobs?tenant=team-a&class=interactive")
+echo "$LIST_A" | grep -q "$TA" || { echo "?tenant=team-a&class=interactive missing $TA"; exit 1; }
+echo "$LIST_A" | grep -q "$TB" && { echo "?tenant=team-a listing leaked team-b job $TB"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs?class=bogus")
+[ "$CODE" = 400 ] || { echo "?class=bogus returned $CODE, want 400"; exit 1; }
+METRICS=$(curl -fs "$BASE/metrics")
+for series in 'netalignd_tenant_weight{tenant="team-a"} 3' \
+              'netalignd_tenant_jobs_submitted_total{tenant="team-a"}' \
+              'netalignd_tenant_jobs_completed_total{tenant="team-b"}'; do
+    echo "$METRICS" | grep -qF "$series" || { echo "metrics missing $series"; exit 1; }
+done
+echo "   tenant filters and per-tenant metrics OK"
 
 echo "smoke OK"
