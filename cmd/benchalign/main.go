@@ -61,6 +61,12 @@ func main() {
 		label      = flag.String("label", "dev", "label recorded on each run entry")
 		matcher    = flag.String("matcher", "approx", "rounding matcher spec (e.g. exact, approx, suitor, auction(eps=1e-4))")
 		fused      = flag.Bool("fused", true, "use the fused othermax+damping kernels (BP)")
+		pipeline   = flag.Bool("pipeline", false, "overlap the rounding/objective step with the next sweep (bit-identical; needs >= 2 threads)")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "pipelined batches in flight (0 = default, with -pipeline)")
+		reorder    = flag.String("reorder", "", "locality reordering of S's row storage: none, auto, degree or rcm (bit-identical)")
+		figs       = flag.Bool("figs", false, "figure mode: sweep the fig4..fig7 configurations, barrier and pipelined, and emit the speedup/per-step curves (-out JSON, -report markdown)")
+		figScale   = flag.Float64("fig-scale", 1, "-figs: scale each preset's vertex count by this factor in (0,1]")
+		report     = flag.String("report", "", "-figs: write the markdown report to this file")
 		scaling    = flag.Bool("scaling", false, "strong-scaling mode: measure 1,2,4,8 threads and print speedup/efficiency and per-step ns")
 		out        = flag.String("out", "", "append runs to this JSON document")
 		check      = flag.String("check", "", "compare against the baseline entries of this JSON document")
@@ -121,15 +127,41 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *figs {
+		// The -iters/-reps defaults (40/3) suit the small fig2
+		// problems; the fig sweep defaults to 12/1 unless set.
+		figIters, figReps := 0, 0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "iters":
+				figIters = *iters
+			case "reps":
+				figReps = *reps
+			}
+		})
+		figThreads := threadList
+		if *threads == "" {
+			figThreads = nil // Figs default: 1,2,4,8
+		}
+		runFigs(bench.FigsOptions{
+			Threads: figThreads, Iters: figIters, Reps: figReps,
+			Seed: *seed, Label: *label, Scale: *figScale, Reorder: *reorder,
+		}, *out, *report)
+		return
+	}
+
 	runs, err := bench.Measure(bench.MeasureOptions{
-		Config:  *config,
-		Threads: threadList,
-		Iters:   *iters,
-		Reps:    *reps,
-		Seed:    *seed,
-		Label:   *label,
-		Matcher: *matcher,
-		Fused:   *fused,
+		Config:        *config,
+		Threads:       threadList,
+		Iters:         *iters,
+		Reps:          *reps,
+		Seed:          *seed,
+		Label:         *label,
+		Matcher:       *matcher,
+		Fused:         *fused,
+		Pipeline:      *pipeline,
+		PipelineDepth: *pipeDepth,
+		Reorder:       *reorder,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
@@ -151,8 +183,12 @@ func main() {
 	}
 
 	for _, r := range runs {
-		fmt.Printf("%-16s %-6s t=%-3d %12.0f ns/iter %10.1f allocs/iter %12.0f B/iter  obj=%.4f\n",
+		fmt.Printf("%-16s %-6s t=%-3d %12.0f ns/iter %10.1f allocs/iter %12.0f B/iter  obj=%.4f",
 			r.Config, r.Method, r.Threads, r.NsPerIter, r.AllocsPerIter, r.BytesPerIter, r.Objective)
+		if r.Pipeline {
+			fmt.Printf("  hidden=%dns", r.HiddenMatchNs)
+		}
+		fmt.Println()
 	}
 	if *scaling {
 		printScaling(runs)
@@ -200,6 +236,35 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
+	}
+}
+
+// runFigs runs the Figure 4-7 sweep and writes the combined JSON
+// document (-out; note the figs schema, not the bench one) and the
+// markdown speedup/per-step report (-report).
+func runFigs(o bench.FigsOptions, outPath, reportPath string) {
+	o.Progress = func(line string) { fmt.Println(line) }
+	doc, err := bench.Figs(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+		os.Exit(1)
+	}
+	if outPath != "" {
+		if err := doc.WriteFile(outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d run(s) to %s\n", len(doc.Runs), outPath)
+	}
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(doc.Markdown()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchalign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", reportPath)
+	} else if outPath == "" {
+		fmt.Println()
+		fmt.Print(doc.Markdown())
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gensynth -type synthetic -n 400 -dbar 10 -seed 1 -o problem.txt
+//	gensynth -preset fig5 -o fig5.txt
 //	gensynth -type lcsh-wiki -scale 0.02 -o wiki.txt
 package main
 
@@ -12,26 +13,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"netalignmc/internal/cli"
 	"netalignmc/internal/core"
+	"netalignmc/internal/gen"
 	"netalignmc/internal/problemio"
 )
 
 func main() {
 	var (
-		typ   = flag.String("type", "synthetic", "problem type: synthetic, dmela-scere, homo-musm, lcsh-wiki, lcsh-rameau")
-		n     = flag.Int("n", 400, "synthetic: number of vertices of the base graph")
-		dbar  = flag.Float64("dbar", 10, "synthetic: expected degree of random candidate edges in L")
-		p     = flag.Float64("perturb", 0.02, "synthetic: edge-addition probability deriving A and B")
-		alpha = flag.Float64("alpha", 1, "objective weight on matching weight")
-		beta  = flag.Float64("beta", 2, "objective weight on overlap")
-		scale = flag.Float64("scale", 0.02, "stand-ins: size scale in (0,1]")
-		seed  = flag.Int64("seed", 42, "random seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-		smat  = flag.String("smat", "", "also write A/B/L as SMAT files with this path prefix")
+		typ    = flag.String("type", "synthetic", "problem type: synthetic, dmela-scere, homo-musm, lcsh-wiki, lcsh-rameau")
+		preset = flag.String("preset", "", "synthetic scaling preset at the paper's Figure 4-7 sizes: "+strings.Join(gen.FigPresetNames(), ", ")+" (overrides -n/-dbar; -scale in (0,1) shrinks it)")
+		n      = flag.Int("n", 400, "synthetic: number of vertices of the base graph")
+		dbar   = flag.Float64("dbar", 10, "synthetic: expected degree of random candidate edges in L")
+		p      = flag.Float64("perturb", 0.02, "synthetic: edge-addition probability deriving A and B")
+		alpha  = flag.Float64("alpha", 1, "objective weight on matching weight")
+		beta   = flag.Float64("beta", 2, "objective weight on overlap")
+		scale  = flag.Float64("scale", 0.02, "stand-ins and -preset: size scale in (0,1]")
+		seed   = flag.Int64("seed", 42, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		smat   = flag.String("smat", "", "also write A/B/L as SMAT files with this path prefix")
 	)
 	flag.Parse()
+
+	if *preset != "" && *typ != "synthetic" {
+		fmt.Fprintf(os.Stderr, "gensynth: -preset only applies to -type synthetic (got %q)\n", *typ)
+		os.Exit(1)
+	}
+	// The -scale default (0.02) sizes the real-dataset stand-ins; a
+	// preset is full size unless -scale is given explicitly.
+	genScale := *scale
+	if *preset != "" {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			genScale = 1
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -45,7 +68,8 @@ func main() {
 	}
 	prob, err := cli.Generate(cli.GenerateOptions{
 		Type: *typ, N: *n, DBar: *dbar, Perturb: *p,
-		Alpha: *alpha, Beta: *beta, Scale: *scale, Seed: *seed,
+		Alpha: *alpha, Beta: *beta, Scale: genScale, Seed: *seed,
+		Preset: *preset,
 	}, w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gensynth: %v\n", err)

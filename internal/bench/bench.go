@@ -50,6 +50,35 @@ var configs = []Config{
 	{Name: "fig2-sparse-mr", Method: "mr", DBar: 2},
 }
 
+// figMethods maps each gen.FigPreset to the solver the paper measures
+// on it; fig6 additionally uses batched rounding.
+var figMethods = map[string]struct {
+	method string
+	batch  int
+}{
+	"fig4": {method: "bp"},
+	"fig5": {method: "mr"},
+	"fig6": {method: "bp", batch: 20},
+	"fig7": {method: "bp"},
+}
+
+func init() {
+	// The Figure 4-7 scaling configurations share their problem shapes
+	// with the gensynth presets so `gensynth -preset figN` reproduces
+	// exactly what `benchalign -figs` measures.
+	for _, name := range gen.FigPresetNames() {
+		so, err := gen.FigPreset(name, 0)
+		if err != nil {
+			panic(err)
+		}
+		fm := figMethods[name]
+		configs = append(configs, Config{
+			Name: name + "-" + fm.method, Method: fm.method,
+			DBar: so.ExpectedDegree, N: so.N, Batch: fm.batch,
+		})
+	}
+}
+
 // ConfigNames lists the built-in configuration names.
 func ConfigNames() []string {
 	names := make([]string, len(configs))
@@ -95,6 +124,20 @@ type Run struct {
 	// StepNs is the per-step StepTimer breakdown of the fastest rep.
 	StepNs   map[string]int64 `json:"step_ns,omitempty"`
 	Recorded string           `json:"recorded,omitempty"`
+	// Pipeline records whether the pipelined rounding engine was
+	// requested; Reorder the locality reordering mode. Both are
+	// bit-identical to the default path, so entries differing only in
+	// these fields must report the same Objective.
+	Pipeline bool   `json:"pipeline,omitempty"`
+	Reorder  string `json:"reorder,omitempty"`
+	// OverlapNs, StallNs and HiddenMatchNs attribute the pipelined
+	// rounding of the fastest rep: OverlapNs is match/objective work
+	// run concurrently with the sweep, StallNs the time the sweep
+	// waited for a free pipeline slot, and HiddenMatchNs =
+	// max(0, OverlapNs-StallNs) the net barrier cost hidden.
+	OverlapNs     int64 `json:"overlap_ns,omitempty"`
+	StallNs       int64 `json:"stall_ns,omitempty"`
+	HiddenMatchNs int64 `json:"hidden_match_ns,omitempty"`
 }
 
 // Host describes the measuring machine.
@@ -304,6 +347,17 @@ type MeasureOptions struct {
 	Matcher string
 	// Fused selects the fused othermax+damping kernels (BP only).
 	Fused bool
+	// Pipeline overlaps the rounding/objective step with the next
+	// sweep (bit-identical; only effective at >= 2 threads).
+	Pipeline bool
+	// PipelineDepth is the number of in-flight batches (0 = default).
+	PipelineDepth int
+	// Reorder is the locality reordering mode: "", none, auto, degree
+	// or rcm (bit-identical).
+	Reorder string
+	// ScaleN scales the configuration's vertex count (0 or 1 = full
+	// size); used by Figs to shrink the Fig 4-7 problems.
+	ScaleN float64
 }
 
 // Measure runs the named configuration at every requested thread count
@@ -315,6 +369,12 @@ func Measure(o MeasureOptions) ([]Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	return MeasureConfig(cfg, o)
+}
+
+// MeasureConfig is Measure for an explicit configuration (o.Config is
+// ignored); Figs uses it to run the Fig 4-7 shapes at a scale.
+func MeasureConfig(cfg Config, o MeasureOptions) ([]Run, error) {
 	if o.Iters <= 0 {
 		o.Iters = 40
 	}
@@ -332,10 +392,19 @@ func Measure(o MeasureOptions) ([]Run, error) {
 	if _, err := spec.Matcher(); err != nil {
 		return nil, err
 	}
+	var reorder core.ReorderOptions
+	if err := reorder.Mode.UnmarshalText([]byte(o.Reorder)); err != nil {
+		return nil, err
+	}
 
 	so := gen.DefaultSynthetic(cfg.DBar, o.Seed)
 	if cfg.N > 0 {
 		so.N = cfg.N
+	}
+	if o.ScaleN > 0 && o.ScaleN < 1 {
+		if so.N = int(float64(so.N) * o.ScaleN); so.N < 2 {
+			so.N = 2
+		}
 	}
 	p, err := gen.Synthetic(so)
 	if err != nil {
@@ -344,7 +413,7 @@ func Measure(o MeasureOptions) ([]Run, error) {
 
 	var runs []Run
 	for _, threads := range o.Threads {
-		r, err := measureOne(p, cfg, o, spec, threads)
+		r, err := measureOne(p, cfg, o, spec, reorder, threads)
 		if err != nil {
 			return nil, err
 		}
@@ -358,8 +427,9 @@ func Measure(o MeasureOptions) ([]Run, error) {
 // breakdown are reported. The solves share one workspace (warmed by
 // the warmup solve) through the unified Align API, so the measurement
 // reflects the steady-state hot path.
-func measureOne(p *core.Problem, cfg Config, o MeasureOptions, spec matching.MatcherSpec, threads int) (Run, error) {
+func measureOne(p *core.Problem, cfg Config, o MeasureOptions, spec matching.MatcherSpec, reorder core.ReorderOptions, threads int) (Run, error) {
 	ws := core.NewWorkspace()
+	pipeline := core.PipelineOptions{Enabled: o.Pipeline, Depth: o.PipelineDepth}
 	solve := func(timer *stats.StepTimer) (*core.AlignResult, error) {
 		switch cfg.Method {
 		case "bp":
@@ -367,14 +437,14 @@ func measureOne(p *core.Problem, cfg Config, o MeasureOptions, spec matching.Mat
 				Iterations: o.Iters, Batch: cfg.Batch, Threads: threads,
 				Matcher: spec, FuseKernels: o.Fused, Workspace: ws,
 				SkipFinalExact: true, Timer: timer,
-			}})
+			}, Pipeline: pipeline, Reorder: reorder})
 			return res, err
 		case "mr":
 			res, err := p.Align(context.Background(), core.Options{Method: core.MethodMR, MR: core.MROptions{
 				Iterations: o.Iters, Threads: threads,
 				Matcher: spec, Workspace: ws,
 				SkipFinalExact: true, Timer: timer,
-			}})
+			}, Pipeline: pipeline, Reorder: reorder})
 			return res, err
 		default:
 			return nil, fmt.Errorf("bench: config %s has unknown method %q", cfg.Name, cfg.Method)
@@ -391,6 +461,10 @@ func measureOne(p *core.Problem, cfg Config, o MeasureOptions, spec matching.Mat
 		Fused: o.Fused && cfg.Method == "bp", Threads: threads,
 		Iterations: o.Iters, Reps: o.Reps, Seed: o.Seed,
 		Recorded: time.Now().UTC().Format(time.RFC3339),
+		Pipeline: o.Pipeline, Reorder: reorder.Mode.String(),
+	}
+	if reorder.Mode == core.ReorderNone {
+		run.Reorder = "" // omitempty: keep default-path entries unchanged
 	}
 	var ms0, ms1 runtime.MemStats
 	for rep := 0; rep < o.Reps; rep++ {
@@ -419,6 +493,12 @@ func measureOne(p *core.Problem, cfg Config, o MeasureOptions, spec matching.Mat
 				steps[step] = d.Nanoseconds()
 			}
 			run.StepNs = steps
+			run.OverlapNs, run.StallNs, run.HiddenMatchNs = 0, 0, 0
+			if pr := res.Pipeline; pr != nil {
+				run.OverlapNs = pr.OverlapNs
+				run.StallNs = pr.StallNs
+				run.HiddenMatchNs = pr.HiddenMatchNs
+			}
 		}
 	}
 	return run, nil

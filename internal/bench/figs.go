@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FigsSchema identifies the -figs document format.
+const FigsSchema = "netalignmc-figs/v1"
+
+// FigsOptions parameterizes one Figs call.
+type FigsOptions struct {
+	// Threads are the measured thread counts (default 1,2,4,8).
+	Threads []int
+	// Iters and Reps are per run (defaults 12 and 1: the fig problems
+	// are large, so one rep per point keeps the sweep tractable).
+	Iters int
+	Reps  int
+	Seed  int64
+	Label string
+	// Scale shrinks every preset's vertex count (0 or 1 = full size).
+	Scale float64
+	// Reorder applies a locality reordering mode to every run.
+	Reorder string
+	// Progress, when non-nil, receives one line per measured point.
+	Progress func(line string)
+}
+
+// FigsDoc is the benchalign -figs document: every measured point of
+// the Figure 4-7 speedup/per-step sweep, barrier and pipelined, in one
+// place. It reuses the Run schema so existing tooling can read the
+// per-step breakdowns.
+type FigsDoc struct {
+	Schema string  `json:"schema"`
+	Host   Host    `json:"host"`
+	Scale  float64 `json:"scale,omitempty"`
+	Runs   []Run   `json:"runs"`
+}
+
+// Figs measures the Figure 4-7 configurations over the requested
+// thread counts, barrier and pipelined, and returns the combined
+// document. The pipelined curve starts at 2 threads (the pipeline
+// needs a worker to hide the matching behind) and reuses the barrier
+// 1-thread point as its reference.
+func Figs(o FigsOptions) (*FigsDoc, error) {
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8}
+	}
+	if o.Iters <= 0 {
+		o.Iters = 12
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.Label == "" {
+		o.Label = "figs"
+	}
+	doc := &FigsDoc{Schema: FigsSchema, Host: NewDoc().Host, Scale: o.Scale}
+	var pipeThreads []int
+	for _, t := range o.Threads {
+		if t >= 2 {
+			pipeThreads = append(pipeThreads, t)
+		}
+	}
+	for _, cfg := range FigConfigs() {
+		for _, pipelined := range []bool{false, true} {
+			threads := o.Threads
+			if pipelined {
+				threads = pipeThreads
+			}
+			if len(threads) == 0 {
+				continue
+			}
+			runs, err := MeasureConfig(cfg, MeasureOptions{
+				Threads: threads, Iters: o.Iters, Reps: o.Reps,
+				Seed: o.Seed, Label: o.Label, Fused: cfg.Method == "bp",
+				Pipeline: pipelined, Reorder: o.Reorder, ScaleN: o.Scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			doc.Runs = append(doc.Runs, runs...)
+			if o.Progress != nil {
+				for _, r := range runs {
+					o.Progress(FormatRun(r))
+				}
+			}
+		}
+	}
+	return doc, nil
+}
+
+// WriteFile writes the document atomically (temp file + rename).
+func (d *FigsDoc) WriteFile(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}
+
+// FigConfigs returns the Figure 4-7 benchmark configurations (the
+// fig4-..fig7- entries of the built-in config list) in paper order.
+func FigConfigs() []Config {
+	var out []Config
+	for _, c := range configs {
+		if strings.HasPrefix(c.Name, "fig4-") || strings.HasPrefix(c.Name, "fig5-") ||
+			strings.HasPrefix(c.Name, "fig6-") || strings.HasPrefix(c.Name, "fig7-") {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FormatRun renders one run as the human line benchalign prints.
+func FormatRun(r Run) string {
+	mode := "barrier"
+	if r.Pipeline {
+		mode = "pipeline"
+	}
+	line := fmt.Sprintf("%-12s %-6s %-8s t=%-3d %12.0f ns/iter  obj=%.4f",
+		r.Config, r.Method, mode, r.Threads, r.NsPerIter, r.Objective)
+	if r.HiddenMatchNs > 0 {
+		line += fmt.Sprintf("  hidden=%dns", r.HiddenMatchNs)
+	}
+	return line
+}
+
+// Markdown renders the document as the speedup/per-step report: one
+// section per configuration with the barrier and pipelined curves side
+// by side (speedup against the 1-thread barrier point, the ratio
+// between the modes, and the hidden match time), then the per-step ns
+// breakdown of the widest run of each mode.
+func (d *FigsDoc) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Figure 4-7 scaling report\n\n")
+	fmt.Fprintf(&b, "Host: %s/%s, %d CPUs, %s.", d.Host.GOOS, d.Host.GOARCH, d.Host.CPUs, d.Host.Go)
+	if d.Scale > 0 && d.Scale < 1 {
+		fmt.Fprintf(&b, " Problems scaled to %.0f%% of the paper sizes.", 100*d.Scale)
+	}
+	fmt.Fprintf(&b, "\nSpeedup is against the 1-thread barrier run; `pipe/barrier` < 1 means the pipeline won at that width. All objectives per configuration must agree bit for bit.\n")
+
+	for _, cfg := range figConfigOrder(d.Runs) {
+		barrier, pipe := map[int]Run{}, map[int]Run{}
+		var threads []int
+		seen := map[int]bool{}
+		for _, r := range d.Runs {
+			if r.Config != cfg {
+				continue
+			}
+			if r.Pipeline {
+				pipe[r.Threads] = r
+			} else {
+				barrier[r.Threads] = r
+			}
+			if !seen[r.Threads] {
+				seen[r.Threads] = true
+				threads = append(threads, r.Threads)
+			}
+		}
+		sort.Ints(threads)
+		base, haveBase := barrier[1]
+		fmt.Fprintf(&b, "\n## %s\n\n", cfg)
+		fmt.Fprintf(&b, "| threads | barrier ns/iter | speedup | pipeline ns/iter | speedup | pipe/barrier | hidden match |\n")
+		fmt.Fprintf(&b, "|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, t := range threads {
+			br, hasB := barrier[t]
+			pr, hasP := pipe[t]
+			row := []string{fmt.Sprintf("%d", t)}
+			speedup := func(r Run) string {
+				if !haveBase || base.NsPerIter <= 0 || r.NsPerIter <= 0 {
+					return "–"
+				}
+				return fmt.Sprintf("%.2fx", base.NsPerIter/r.NsPerIter)
+			}
+			if hasB {
+				row = append(row, fmt.Sprintf("%.0f", br.NsPerIter), speedup(br))
+			} else {
+				row = append(row, "–", "–")
+			}
+			if hasP {
+				ratio := "–"
+				if hasB && br.NsPerIter > 0 {
+					ratio = fmt.Sprintf("%.2f", pr.NsPerIter/br.NsPerIter)
+				}
+				row = append(row, fmt.Sprintf("%.0f", pr.NsPerIter), speedup(pr), ratio,
+					fmt.Sprintf("%.2fms", float64(pr.HiddenMatchNs)/1e6))
+			} else {
+				row = append(row, "–", "–", "–", "–")
+			}
+			fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+		}
+		if r, ok := widest(barrier, threads); ok {
+			writeStepTable(&b, "barrier", r)
+		}
+		if r, ok := widest(pipe, threads); ok {
+			writeStepTable(&b, "pipeline", r)
+		}
+	}
+	return b.String()
+}
+
+// figConfigOrder lists the distinct configs of the runs, first-seen
+// order (which Figs emits in paper order).
+func figConfigOrder(runs []Run) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if !seen[r.Config] {
+			seen[r.Config] = true
+			out = append(out, r.Config)
+		}
+	}
+	return out
+}
+
+// widest returns the run at the largest measured thread count.
+func widest(byThreads map[int]Run, threads []int) (Run, bool) {
+	for i := len(threads) - 1; i >= 0; i-- {
+		if r, ok := byThreads[threads[i]]; ok {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// writeStepTable renders one mode's per-step breakdown at its widest
+// thread count, largest step first, so the step limiting scaling (and
+// the overlap steps the pipeline adds) is visible in the report.
+func writeStepTable(b *strings.Builder, mode string, r Run) {
+	if len(r.StepNs) == 0 {
+		return
+	}
+	type step struct {
+		name string
+		ns   int64
+	}
+	steps := make([]step, 0, len(r.StepNs))
+	for name, ns := range r.StepNs {
+		steps = append(steps, step{name, ns})
+	}
+	sort.Slice(steps, func(i, j int) bool {
+		if steps[i].ns != steps[j].ns {
+			return steps[i].ns > steps[j].ns
+		}
+		return steps[i].name < steps[j].name
+	})
+	fmt.Fprintf(b, "\nPer-step ns, %s mode at t=%d (whole solve):\n\n", mode, r.Threads)
+	fmt.Fprintf(b, "| step | ns |\n|---|---:|\n")
+	for _, s := range steps {
+		fmt.Fprintf(b, "| %s | %d |\n", s.name, s.ns)
+	}
+}

@@ -33,6 +33,10 @@ type GenerateOptions struct {
 	Scale   float64
 	Seed    int64
 	Threads int
+	// Preset selects one of the paper's Figure 4-7 synthetic scaling
+	// presets (fig4..fig7); it overrides N and DBar, and Scale in
+	// (0,1) shrinks the preset's vertex count proportionally.
+	Preset string
 }
 
 // Generate builds the requested problem and writes it in the netalign
@@ -45,7 +49,17 @@ func Generate(o GenerateOptions, out io.Writer) (*core.Problem, error) {
 	switch o.Type {
 	case "synthetic", "":
 		so := gen.DefaultSynthetic(o.DBar, o.Seed)
-		if o.N > 0 {
+		if o.Preset != "" {
+			so, err = gen.FigPreset(o.Preset, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if o.Scale > 0 && o.Scale < 1 {
+				if so.N = int(float64(so.N) * o.Scale); so.N < 2 {
+					so.N = 2
+				}
+			}
+		} else if o.N > 0 {
 			so.N = o.N
 		}
 		if o.Perturb > 0 {
@@ -95,7 +109,19 @@ type AlignOptions struct {
 	Matcher string
 	// Fused enables the fused othermax+damping kernels (BP only; the
 	// iterates are bit-identical to the unfused path).
-	Fused   bool
+	Fused bool
+	// Pipeline enables pipelined batched rounding: the matching step
+	// runs on dedicated workers while the sweeps proceed. Results are
+	// bit-identical to the barrier path. PipelineDepth and
+	// PipelineMatchWorkers tune the ring depth and the collector's
+	// worker share (0 = defaults).
+	Pipeline             bool
+	PipelineDepth        int
+	PipelineMatchWorkers int
+	// Reorder selects the locality reordering of S's row storage:
+	// "none" (default), "auto", "degree", or "rcm". Bit-identical
+	// either way.
+	Reorder string
 	Threads int
 	Timing  bool
 	Trace   bool
@@ -172,6 +198,15 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 	var method core.Method
 	if err := method.UnmarshalText([]byte(methodText)); err != nil {
 		return nil, fmt.Errorf("cli: unknown method %q", o.Method)
+	}
+	var reorder core.ReorderOptions
+	if err := reorder.Mode.UnmarshalText([]byte(o.Reorder)); err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	pipeline := core.PipelineOptions{
+		Enabled:      o.Pipeline,
+		Depth:        o.PipelineDepth,
+		MatchWorkers: o.PipelineMatchWorkers,
 	}
 	var resume *core.Checkpoint
 	if o.ResumePath != "" {
@@ -262,7 +297,9 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 		// Options carries both methods' option sets; Align reads only
 		// the selected one.
 		res, runErr = p.Align(ctx, core.Options{
-			Method: method,
+			Method:   method,
+			Pipeline: pipeline,
+			Reorder:  reorder,
 			BP: core.BPOptions{
 				Iterations: o.Iters, Gamma: o.Gamma, Batch: o.Batch,
 				Threads: o.Threads, Matcher: spec, FuseKernels: o.Fused,
@@ -329,6 +366,13 @@ func Align(p *core.Problem, o AlignOptions, out io.Writer) (*core.AlignResult, e
 		fmt.Fprintf(out, "cached:       result replayed from %s\n", o.CacheDir)
 	}
 	fmt.Fprintf(out, "elapsed:      %v\n", elapsed.Round(time.Millisecond))
+	if res.Pipeline != nil {
+		fmt.Fprintf(out, "pipeline:     %d batches, overlap %v, stall %v, hidden %v\n",
+			res.Pipeline.Batches,
+			time.Duration(res.Pipeline.OverlapNs).Round(time.Microsecond),
+			time.Duration(res.Pipeline.StallNs).Round(time.Microsecond),
+			time.Duration(res.Pipeline.HiddenMatchNs).Round(time.Microsecond))
+	}
 	if timer != nil {
 		fmt.Fprintf(out, "\nstep breakdown:\n%s", timer)
 	}

@@ -19,6 +19,10 @@ import (
 //     (TestPoolPartitionMatrix{BP,MR}).
 //   - FuseKernels, TaskParallelOthermax: alternative evaluation
 //     orders proven bit-identical to the originals.
+//   - Options.Pipeline, Options.Reorder: execution-layout choices
+//     pinned bit-identical to the barrier/canonical paths
+//     (TestPipelineMatrix*, TestReorderMatrix*); excluding them lets
+//     the cache coalesce runs across those settings.
 //   - Workspace, Timer, Trace, Observer, CheckpointEvery,
 //     CheckpointFunc: instrumentation and buffer reuse.
 //

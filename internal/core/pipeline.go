@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalignmc/internal/parallel"
+	"netalignmc/internal/stats"
+)
+
+// Pipelined batched rounding (the netAlignR batch_rounding design):
+// instead of stalling every flush on a rounding barrier, the solver
+// snapshots each batch of score vectors into a ring of workspace slot
+// groups and hands the group to a collector goroutine, which rounds
+// the slots on a dedicated worker budget while the main loop runs the
+// next sweep. Objective tracking becomes eventually consistent — the
+// tracker may lag the sweep by up to Depth batches — with a
+// deterministic drain wherever the barrier path required a complete
+// tracker (checkpoints, convergence, run end).
+//
+// The overlap changes no output bit. Three properties pin this:
+//
+//   1. Batch composition is identical: the main loop fills and flushes
+//      slots at exactly the barrier path's boundaries, so batch k
+//      holds the same heuristics in the same order in both modes.
+//   2. Each slot is rounded with the same nested thread budget the
+//      barrier's pool dispatch would hand it (nestedBudget replicates
+//      parallel.Pool.Tasks' per-task split of the solve's total
+//      budget), so matcher results and the objective reduction's
+//      partition — the only thread-count-sensitive computations — are
+//      bit-identical.
+//   3. Offers reach the tracker in batch-FIFO, slot-in-batch order —
+//      one collector goroutine, one FIFO channel — and Tracker.Offer
+//      resolves ties by first arrival, so the selected iterate cannot
+//      depend on task scheduling.
+//
+// On cancellation the collector's TasksCtx skips not-yet-started
+// slots (their ok flag was cleared at submit, so they are never
+// offered) and lets running slots finish (offered exactly once): no
+// rounding batch is lost or double-counted mid-cancel.
+
+// Timer step names for the pipeline's off-critical-path work. Stall
+// time (the main loop blocked on the ring) stays charged to the
+// method's own match/objective step, so step tables remain comparable
+// with barrier runs; the overlapped work appears under these names.
+const (
+	StepMatchOverlap     = "match-overlap"     // BP: rounding hidden behind sweeps
+	StepObjectiveOverlap = "objective-overlap" // MR: deferred objective + offer
+)
+
+// PipelineOptions configures pipelined batched rounding for either
+// method; the zero value keeps the classic barrier path.
+type PipelineOptions struct {
+	// Enabled turns the pipeline on. It engages only when the solve
+	// is parallel (threads >= 2) and no fault injector is armed; MR
+	// additionally requires that nothing reads the tracker or the
+	// objective inside the loop (no GapTolerance, Observer, or
+	// Trace), since those would observe the deferred offers.
+	Enabled bool
+	// Depth is the number of batches in flight (ring size); the main
+	// loop blocks once Depth batches are unrounded. 0 selects 2:
+	// one batch rounding while the next fills.
+	Depth int
+	// MatchWorkers is the collector's task concurrency — how many
+	// slots round at once — and the share of the thread budget taken
+	// from the sweeps (the sweep dispatcher runs on total −
+	// MatchWorkers workers). 0 selects half the solve's budget.
+	MatchWorkers int
+}
+
+// withDefaults resolves the pipeline parameters against the solve's
+// total thread budget.
+func (o PipelineOptions) withDefaults(total int) PipelineOptions {
+	out := o
+	if out.Depth <= 0 {
+		out.Depth = 2
+	}
+	if out.MatchWorkers <= 0 {
+		out.MatchWorkers = total / 2
+	}
+	if out.MatchWorkers < 1 {
+		out.MatchWorkers = 1
+	}
+	if out.MatchWorkers > total {
+		out.MatchWorkers = total
+	}
+	return out
+}
+
+// PipelineReport is the overlap accounting of one pipelined solve,
+// attached to AlignResult.Pipeline.
+type PipelineReport struct {
+	// Batches counts submitted rounding batches.
+	Batches int
+	// OverlapNs is collector busy time: wall time spent rounding and
+	// offering off the critical path.
+	OverlapNs int64
+	// StallNs is main-loop time blocked on the pipeline (ring full,
+	// deterministic drains) — the part of the matching cost the
+	// pipeline could not hide.
+	StallNs int64
+	// HiddenMatchNs is max(0, OverlapNs − StallNs): rounding wall
+	// time genuinely overlapped with sweeps.
+	HiddenMatchNs int64
+}
+
+// Package-level pipeline counters, aggregated across solves for the
+// daemon's /metrics endpoint (same pattern as parallel.SchedStats).
+var (
+	pipeRunsTotal    atomic.Int64
+	pipeBatchesTotal atomic.Int64
+	pipeOverlapTotal atomic.Int64
+	pipeStallTotal   atomic.Int64
+	pipeHiddenTotal  atomic.Int64
+)
+
+// PipelineCounters is a snapshot of the process-wide pipelined
+// rounding totals.
+type PipelineCounters struct {
+	Runs, Batches                int64
+	OverlapNs, StallNs, HiddenNs int64
+}
+
+// ReadPipelineCounters returns the process-wide pipeline totals.
+func ReadPipelineCounters() PipelineCounters {
+	return PipelineCounters{
+		Runs:      pipeRunsTotal.Load(),
+		Batches:   pipeBatchesTotal.Load(),
+		OverlapNs: pipeOverlapTotal.Load(),
+		StallNs:   pipeStallTotal.Load(),
+		HiddenNs:  pipeHiddenTotal.Load(),
+	}
+}
+
+// nestedBudget replicates parallel.Pool.Tasks' per-task thread split:
+// n concurrent tasks from a budget of total threads each receive
+// max(1, total/min(total, n)) threads (a single task receives the
+// whole budget). The pipeline must hand each slot exactly this budget
+// or the matcher and objective bits would differ from the barrier's.
+func nestedBudget(total, n int) int {
+	if n <= 1 {
+		return total
+	}
+	conc := total
+	if n < conc {
+		conc = n
+	}
+	per := total / conc
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// pipeGroup is one ring entry: a batch worth of rounding slots plus
+// their prebuilt task closures (built once — a closure handed to the
+// parallel constructs escapes). A group with notify set is a drain
+// marker, not work.
+type pipeGroup struct {
+	slots  []*roundSlot
+	tasks  []func(int)
+	n      int
+	notify chan struct{}
+}
+
+// roundingPipeline runs rounding batches on a collector goroutine
+// concurrently with the solver loop. The ring hands groups back and
+// forth over channels, so every slot is owned by exactly one side at
+// a time (channel handoff is the memory barrier).
+type roundingPipeline struct {
+	tr    *Tracker
+	timer *stats.StepTimer
+	ctx   context.Context
+
+	jobs chan *pipeGroup // main -> collector, FIFO
+	free chan *pipeGroup // collector -> main
+	cur  *pipeGroup      // group the main loop is filling
+
+	total   int // the solve's thread budget (nested-budget base)
+	workers int // collector task concurrency
+
+	stallStep   string
+	overlapStep string
+
+	wg        sync.WaitGroup
+	closed    bool
+	batches   int
+	stallNs   int64        // main-goroutine only
+	overlapNs atomic.Int64 // written by collector, read by report
+}
+
+// newRoundingPipeline builds the ring over slots (length must be a
+// multiple of groupSize), starts the collector, and returns the
+// pipeline with its first group ready to fill. work rounds (or
+// scores) one slot using s.threads as its nested budget; it runs on
+// the collector and must set s.ok when the slot should be offered.
+func newRoundingPipeline(ctx context.Context, tr *Tracker, timer *stats.StepTimer,
+	slots []*roundSlot, groupSize int, cfg PipelineOptions, total int,
+	stallStep, overlapStep string, work func(*roundSlot)) *roundingPipeline {
+	depth := len(slots) / groupSize
+	pl := &roundingPipeline{
+		tr:          tr,
+		timer:       timer,
+		ctx:         ctx,
+		jobs:        make(chan *pipeGroup, depth+1),
+		free:        make(chan *pipeGroup, depth),
+		total:       total,
+		workers:     cfg.MatchWorkers,
+		stallStep:   stallStep,
+		overlapStep: overlapStep,
+	}
+	groups := make([]*pipeGroup, depth)
+	for gi := range groups {
+		g := &pipeGroup{
+			slots: slots[gi*groupSize : (gi+1)*groupSize],
+			tasks: make([]func(int), groupSize),
+		}
+		for i, s := range g.slots {
+			s := s
+			g.tasks[i] = func(int) { work(s) }
+		}
+		groups[gi] = g
+	}
+	pl.cur = groups[0]
+	for _, g := range groups[1:] {
+		pl.free <- g
+	}
+	pl.wg.Add(1)
+	go pl.run()
+	return pl
+}
+
+// run is the collector: it rounds each batch with the nested budgets
+// fixed at submit time and offers the outcomes in slot order. One
+// goroutine draining one FIFO channel is what makes the offer
+// sequence — and therefore the tracker's tie-breaks — deterministic.
+func (pl *roundingPipeline) run() {
+	defer pl.wg.Done()
+	for g := range pl.jobs {
+		if g.notify != nil {
+			close(g.notify)
+			continue
+		}
+		start := time.Now()
+		// Cancellation skips slots that have not started (ok stays
+		// false from submit) and lets running ones finish.
+		_ = parallel.TasksCtx(pl.ctx, pl.workers, g.tasks[:g.n])
+		for _, s := range g.slots[:g.n] {
+			if s.ok {
+				pl.tr.Offer(s.iter, s.obj, &s.res, s.heur)
+			}
+		}
+		d := time.Since(start)
+		pl.overlapNs.Add(int64(d))
+		pl.timer.Add(pl.overlapStep, d)
+		g.n = 0
+		pl.free <- g
+	}
+}
+
+// submit hands the current group's first n slots to the collector and
+// acquires the next group to fill, blocking (stall time) only when
+// all Depth groups are in flight.
+func (pl *roundingPipeline) submit(n int) {
+	g := pl.cur
+	g.n = n
+	per := nestedBudget(pl.total, n)
+	for _, s := range g.slots[:n] {
+		s.ok = false // a skipped slot must not re-offer a stale result
+		s.threads = per
+	}
+	pl.jobs <- g
+	pl.batches++
+	select {
+	case pl.cur = <-pl.free:
+	default:
+		start := time.Now()
+		pl.cur = <-pl.free
+		pl.chargeStall(time.Since(start))
+	}
+}
+
+// drain blocks until every submitted batch has been rounded and
+// offered. FIFO ordering makes a marker behind the last real group a
+// complete barrier; the solvers call this before capturing a
+// checkpoint tracker and before finishing the result.
+func (pl *roundingPipeline) drain() {
+	m := &pipeGroup{notify: make(chan struct{})}
+	start := time.Now()
+	pl.jobs <- m
+	<-m.notify
+	pl.chargeStall(time.Since(start))
+}
+
+// chargeStall books main-loop blocked time against the method's own
+// matching/objective step so barrier and pipelined step tables stay
+// comparable.
+func (pl *roundingPipeline) chargeStall(d time.Duration) {
+	pl.stallNs += int64(d)
+	pl.timer.Add(pl.stallStep, d)
+}
+
+// close stops the collector; idempotent. Callers drain first when
+// pending offers must land.
+func (pl *roundingPipeline) close() {
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	close(pl.jobs)
+	pl.wg.Wait()
+}
+
+// report finalizes the overlap accounting and publishes it to the
+// process-wide counters. Call after close.
+func (pl *roundingPipeline) report() *PipelineReport {
+	overlap := pl.overlapNs.Load()
+	hidden := overlap - pl.stallNs
+	if hidden < 0 {
+		hidden = 0
+	}
+	pipeRunsTotal.Add(1)
+	pipeBatchesTotal.Add(int64(pl.batches))
+	pipeOverlapTotal.Add(overlap)
+	pipeStallTotal.Add(pl.stallNs)
+	pipeHiddenTotal.Add(hidden)
+	return &PipelineReport{
+		Batches:       pl.batches,
+		OverlapNs:     overlap,
+		StallNs:       pl.stallNs,
+		HiddenMatchNs: hidden,
+	}
+}

@@ -1,0 +1,238 @@
+package core_test
+
+// Matrix test for pipelined batched rounding: the pipeline is a pure
+// execution rewire (the matching barrier moves off the critical path),
+// so for a fixed thread count the solver output must be bitwise
+// identical across {barrier, pipelined} x {ring depth} — objective,
+// the alignment itself, the evaluation count, the objective trace, and
+// the serialized checkpoint bytes. Cancellation mid-pipeline must lose
+// no batch and double-count none.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/matching"
+	"netalignmc/internal/problemio"
+)
+
+// setCheckpoint installs a checkpoint collector on the selected
+// method's options.
+func setCheckpoint(o *core.Options, every int, fn func(*core.Checkpoint) error) {
+	switch o.Method {
+	case core.MethodMR:
+		o.MR.CheckpointEvery = every
+		o.MR.CheckpointFunc = fn
+	default:
+		o.BP.CheckpointEvery = every
+		o.BP.CheckpointFunc = fn
+	}
+}
+
+// runAligned runs Align, serializing every checkpoint through the
+// problemio writer so the returned bytes cover the full on-disk form.
+func runAligned(t *testing.T, p *core.Problem, o core.Options, every int) (*core.AlignResult, [][]byte) {
+	t.Helper()
+	var cks [][]byte
+	if every > 0 {
+		setCheckpoint(&o, every, func(c *core.Checkpoint) error {
+			var buf bytes.Buffer
+			if err := problemio.WriteCheckpoint(&buf, c); err != nil {
+				return err
+			}
+			cks = append(cks, buf.Bytes())
+			return nil
+		})
+	}
+	res, err := p.Align(context.Background(), o)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	return res, cks
+}
+
+// compareRuns asserts two runs of the same options are bitwise
+// indistinguishable on every output surface.
+func compareRuns(t *testing.T, name string, want, got *core.AlignResult, wantCks, gotCks [][]byte) {
+	t.Helper()
+	if math.Float64bits(want.Objective) != math.Float64bits(got.Objective) {
+		t.Fatalf("%s: objective %v not bitwise equal to barrier's %v", name, got.Objective, want.Objective)
+	}
+	if want.Evaluations != got.Evaluations {
+		t.Fatalf("%s: evaluations %d != barrier's %d", name, got.Evaluations, want.Evaluations)
+	}
+	if want.BestIter != got.BestIter {
+		t.Fatalf("%s: best iter %d != barrier's %d", name, got.BestIter, want.BestIter)
+	}
+	if len(want.Matching.MateA) != len(got.Matching.MateA) {
+		t.Fatalf("%s: mate length %d != %d", name, len(got.Matching.MateA), len(want.Matching.MateA))
+	}
+	for i := range want.Matching.MateA {
+		if want.Matching.MateA[i] != got.Matching.MateA[i] {
+			t.Fatalf("%s: mateA[%d] = %d, barrier has %d", name, i, got.Matching.MateA[i], want.Matching.MateA[i])
+		}
+	}
+	if len(want.ObjectiveTrace) != len(got.ObjectiveTrace) {
+		t.Fatalf("%s: trace length %d != barrier's %d", name, len(got.ObjectiveTrace), len(want.ObjectiveTrace))
+	}
+	for i := range want.ObjectiveTrace {
+		if math.Float64bits(want.ObjectiveTrace[i]) != math.Float64bits(got.ObjectiveTrace[i]) {
+			t.Fatalf("%s: trace[%d] = %v, barrier has %v", name, i, got.ObjectiveTrace[i], want.ObjectiveTrace[i])
+		}
+	}
+	if len(wantCks) != len(gotCks) {
+		t.Fatalf("%s: %d checkpoints, barrier wrote %d", name, len(gotCks), len(wantCks))
+	}
+	for i := range wantCks {
+		if !bytes.Equal(wantCks[i], gotCks[i]) {
+			t.Fatalf("%s: checkpoint %d bytes differ from barrier's", name, i)
+		}
+	}
+}
+
+func TestPipelineMatrixBP(t *testing.T) {
+	p := smallSynthetic(t, 211)
+	for _, fused := range []bool{false, true} {
+		for _, batch := range []int{1, 4, 7} {
+			for _, threads := range []int{1, 2, 4} {
+				base := core.Options{BP: core.BPOptions{
+					Iterations: 9, Threads: threads, Chunk: 16, Batch: batch,
+					FuseKernels: fused, Trace: true,
+					Matcher: matching.MatcherSpec{Name: "approx"},
+				}}
+				ref, refCks := runAligned(t, p, base, 4)
+				if err := ref.Matching.Validate(p.L); err != nil {
+					t.Fatalf("barrier fused=%v batch=%d threads=%d: %v", fused, batch, threads, err)
+				}
+				for _, depth := range []int{0, 3} {
+					name := fmt.Sprintf("fused=%v/batch=%d/threads=%d/depth=%d", fused, batch, threads, depth)
+					po := base
+					po.Pipeline = core.PipelineOptions{Enabled: true, Depth: depth}
+					got, gotCks := runAligned(t, p, po, 4)
+					if threads > 1 {
+						if got.Pipeline == nil {
+							t.Fatalf("%s: pipeline did not engage", name)
+						}
+						if got.Pipeline.Batches == 0 {
+							t.Fatalf("%s: pipeline engaged but submitted no batches", name)
+						}
+					}
+					compareRuns(t, name, ref, got, refCks, gotCks)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineMatrixMR(t *testing.T) {
+	p := smallSynthetic(t, 223)
+	for _, threads := range []int{1, 2, 4} {
+		base := core.Options{Method: core.MethodMR, MR: core.MROptions{
+			Iterations: 9, Threads: threads, Chunk: 16,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+		}}
+		ref, refCks := runAligned(t, p, base, 4)
+		if err := ref.Matching.Validate(p.L); err != nil {
+			t.Fatalf("barrier threads=%d: %v", threads, err)
+		}
+		for _, depth := range []int{0, 3} {
+			name := fmt.Sprintf("threads=%d/depth=%d", threads, depth)
+			po := base
+			po.Pipeline = core.PipelineOptions{Enabled: true, Depth: depth}
+			got, gotCks := runAligned(t, p, po, 4)
+			if threads > 1 {
+				if got.Pipeline == nil {
+					t.Fatalf("%s: pipeline did not engage", name)
+				}
+				if got.Pipeline.Batches == 0 {
+					t.Fatalf("%s: pipeline engaged but submitted no batches", name)
+				}
+			}
+			compareRuns(t, name, ref, got, refCks, gotCks)
+		}
+	}
+}
+
+// TestPipelineCancellationBP cancels mid-run from the iteration
+// observer: the run must stop cleanly with every completed rounding
+// offered exactly once (Evaluations == len(ObjectiveTrace)) and no
+// in-flight batch lost or double-counted.
+func TestPipelineCancellationBP(t *testing.T) {
+	p := smallSynthetic(t, 227)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := core.Options{
+		BP: core.BPOptions{
+			Iterations: 500, Threads: 4, Batch: 4, Trace: true,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+			Observer: func(iter int, y, z []float64) {
+				if iter == 12 {
+					cancel()
+				}
+			},
+		},
+		Pipeline: core.PipelineOptions{Enabled: true},
+	}
+	res, err := p.Align(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != core.StopCancelled {
+		t.Fatalf("stopped = %v, want StopCancelled", res.Stopped)
+	}
+	if res.Pipeline == nil {
+		t.Fatal("pipeline did not engage")
+	}
+	if res.Evaluations != len(res.ObjectiveTrace) {
+		t.Fatalf("evaluations %d != trace length %d (a batch was lost or double-counted)",
+			res.Evaluations, len(res.ObjectiveTrace))
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("cancel at iteration 12 should have left completed roundings")
+	}
+	if err := res.Matching.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineCancellationMR cancels from a checkpoint callback (which
+// runs after a deterministic drain): the run stops cleanly with a
+// complete tracker over the checkpointed prefix.
+func TestPipelineCancellationMR(t *testing.T) {
+	p := smallSynthetic(t, 229)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := core.Options{
+		Method: core.MethodMR,
+		MR: core.MROptions{
+			Iterations: 500, Threads: 4,
+			Matcher:         matching.MatcherSpec{Name: "approx"},
+			CheckpointEvery: 8,
+			CheckpointFunc: func(c *core.Checkpoint) error {
+				cancel()
+				return nil
+			},
+		},
+		Pipeline: core.PipelineOptions{Enabled: true},
+	}
+	res, err := p.Align(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != core.StopCancelled {
+		t.Fatalf("stopped = %v, want StopCancelled", res.Stopped)
+	}
+	if res.Pipeline == nil {
+		t.Fatal("pipeline did not engage")
+	}
+	if res.Evaluations < 8 {
+		t.Fatalf("evaluations %d < 8: the checkpoint drain lost offers", res.Evaluations)
+	}
+	if err := res.Matching.Validate(p.L); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"netalignmc/internal/bipartite"
 	"netalignmc/internal/graph"
@@ -40,6 +41,12 @@ type Problem struct {
 	// SRow[k] is the row of nonzero k, for loops over the nonzero
 	// index space.
 	SRow []int
+
+	// reorderViews caches the locality-reordered storage layouts of S
+	// (see reorder.go), built lazily per mode and shared by
+	// concurrent solves.
+	reorderMu    sync.Mutex
+	reorderViews map[ReorderMode]*reorderView
 }
 
 // NewProblem assembles a Problem and builds S. Construction is

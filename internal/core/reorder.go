@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"netalignmc/internal/sparse"
+	"netalignmc/internal/stats"
+)
+
+// Locality reordering: the S-indexed sweeps walk rows whose lengths
+// are heavily skewed (stats.Skew measures the Gini of the row nonzero
+// counts), so a deliberate row *storage* order — longest rows first,
+// or an RCM profile order — makes each balanced partition a contiguous
+// run of similar rows and improves cache behaviour, without changing a
+// single output bit.
+//
+// The solvers never permute the problem itself. A reorderView is a
+// second storage layout of S (see sparse.PermuteRows): rows appear in
+// permuted order, column indices stay canonical, and within-row order
+// is preserved. Storage-ordered state (S^(k), F, U, rowW, S_L) simply
+// lives in the view's slot order; every edge-indexed vector (y, z, d,
+// w̄, x) and every output surface (AlignResult, checkpoints, progress
+// events) stays canonical. Per-row sums keep their association order
+// and elementwise kernels are position-independent, so iterates are
+// bit-identical with reordering on or off — and checkpoints serialize
+// canonically (canonicalCopy/gather below), so a run resumed under
+// different reorder settings is bit-identical too.
+
+// ReorderMode selects the row ordering applied to S's storage.
+type ReorderMode int
+
+const (
+	// ReorderNone keeps S's canonical construction order (the zero
+	// value, so existing callers are unchanged).
+	ReorderNone ReorderMode = iota
+	// ReorderAuto applies ReorderDegree when the skew of S's row
+	// nonzero counts crosses ReorderOptions.MinGini, and nothing
+	// otherwise — reordering pays for itself only on imbalanced
+	// problems.
+	ReorderAuto
+	// ReorderDegree stores the rows longest-first.
+	ReorderDegree
+	// ReorderRCM stores the rows in reverse Cuthill–McKee order of
+	// S's (symmetric) pattern, clustering rows whose columns overlap.
+	ReorderRCM
+)
+
+// String returns the mode's canonical name.
+func (m ReorderMode) String() string {
+	switch m {
+	case ReorderAuto:
+		return "auto"
+	case ReorderDegree:
+		return "degree"
+	case ReorderRCM:
+		return "rcm"
+	default:
+		return "none"
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m ReorderMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler; the empty string
+// selects ReorderNone so unset flags and JSON fields stay valid.
+func (m *ReorderMode) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "", "none":
+		*m = ReorderNone
+	case "auto":
+		*m = ReorderAuto
+	case "degree":
+		*m = ReorderDegree
+	case "rcm":
+		*m = ReorderRCM
+	default:
+		return fmt.Errorf("core: unknown reorder mode %q (want none, auto, degree or rcm)", text)
+	}
+	return nil
+}
+
+// defaultReorderGini is ReorderAuto's activation threshold on the Gini
+// coefficient of S's row nonzero counts; below it the rows are near
+// uniform and reordering buys nothing.
+const defaultReorderGini = 0.3
+
+// ReorderOptions configures the locality reordering of S's rows. The
+// zero value keeps the canonical order.
+type ReorderOptions struct {
+	// Mode selects the ordering (default ReorderNone).
+	Mode ReorderMode
+	// MinGini is ReorderAuto's activation threshold on the row-skew
+	// Gini; 0 selects the default (0.3).
+	MinGini float64
+}
+
+// reorderView is a cached alternative storage layout of S plus the
+// index maps the solver kernels need to keep every edge-indexed
+// quantity canonical. Built once per (problem, mode) and shared by
+// concurrent solves (the view is read-only after construction).
+type reorderView struct {
+	mode ReorderMode
+	s    *sparse.CSR // S with rows in permuted storage order
+	rows []int       // rows[r'] = canonical row stored at slot r'
+	// nzPerm[k'] = canonical nonzero index stored at slot k'; the
+	// canonical<->storage gather for checkpoint state.
+	nzPerm []int
+	// perm is the transpose permutation expressed in storage
+	// coordinates: v'[perm[k']] is the transpose partner of v'[k'].
+	perm []int
+	// sRow[k'] is the *canonical* row (= L-edge id) of stored
+	// nonzero k', for kernels that index edge vectors.
+	sRow []int
+}
+
+// reorderViewFor resolves the options to a concrete ordering and
+// returns the (cached) view, or nil when no reordering applies.
+func (p *Problem) reorderViewFor(o ReorderOptions) (*reorderView, error) {
+	mode := o.Mode
+	if mode == ReorderAuto {
+		minGini := o.MinGini
+		if minGini <= 0 {
+			minGini = defaultReorderGini
+		}
+		if stats.SkewOfPtr(p.S.Ptr).Gini >= minGini {
+			mode = ReorderDegree
+		} else {
+			mode = ReorderNone
+		}
+	}
+	if mode == ReorderNone {
+		return nil, nil
+	}
+	p.reorderMu.Lock()
+	defer p.reorderMu.Unlock()
+	if v := p.reorderViews[mode]; v != nil {
+		return v, nil
+	}
+	var order []int
+	switch mode {
+	case ReorderDegree:
+		order = sparse.DegreeOrder(p.S.Ptr)
+	case ReorderRCM:
+		order = sparse.RCMOrder(p.S)
+	default:
+		return nil, fmt.Errorf("core: unknown reorder mode %d", mode)
+	}
+	s, nzPerm, err := sparse.PermuteRows(p.S, order)
+	if err != nil {
+		return nil, fmt.Errorf("core: reorder: %w", err)
+	}
+	inv := make([]int, len(nzPerm))
+	for kNew, kOld := range nzPerm {
+		inv[kOld] = kNew
+	}
+	perm := make([]int, len(nzPerm))
+	sRow := make([]int, len(nzPerm))
+	for kNew, kOld := range nzPerm {
+		perm[kNew] = inv[p.SPerm[kOld]]
+		sRow[kNew] = p.SRow[kOld]
+	}
+	v := &reorderView{mode: mode, s: s, rows: order, nzPerm: nzPerm, perm: perm, sRow: sRow}
+	if p.reorderViews == nil {
+		p.reorderViews = make(map[ReorderMode]*reorderView)
+	}
+	p.reorderViews[mode] = v
+	return v, nil
+}
+
+// canonicalCopy returns a fresh copy of a storage-ordered nnz vector
+// in canonical order — what checkpoints serialize. A nil view is the
+// identity layout.
+func (v *reorderView) canonicalCopy(storage []float64) []float64 {
+	out := make([]float64, len(storage))
+	if v == nil {
+		copy(out, storage)
+		return out
+	}
+	for k, c := range v.nzPerm {
+		out[c] = storage[k]
+	}
+	return out
+}
+
+// gather fills a storage-ordered nnz vector from a canonical one —
+// the resume direction. A nil view is the identity layout.
+func (v *reorderView) gather(dst, canonical []float64) {
+	if v == nil {
+		copy(dst, canonical)
+		return
+	}
+	for k, c := range v.nzPerm {
+		dst[k] = canonical[c]
+	}
+}

@@ -1,0 +1,127 @@
+package core_test
+
+// Matrix test for locality reordering: a reorder view is a second
+// *storage* layout of S (rows permuted, columns canonical, within-row
+// order preserved), so for a fixed thread count the solver output must
+// be bitwise identical across every mode — including the serialized
+// checkpoint bytes, which canonicalize the nnz-ordered state — and a
+// checkpoint taken under one mode must resume bit-identically under
+// another.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"netalignmc/internal/core"
+	"netalignmc/internal/matching"
+	"netalignmc/internal/problemio"
+)
+
+func reorderBase(method core.Method, threads int) core.Options {
+	o := core.Options{Method: method}
+	switch method {
+	case core.MethodMR:
+		o.MR = core.MROptions{
+			Iterations: 9, Threads: threads, Chunk: 16,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+		}
+	default:
+		o.BP = core.BPOptions{
+			Iterations: 9, Threads: threads, Chunk: 16, Batch: 2, Trace: true,
+			Matcher: matching.MatcherSpec{Name: "approx"},
+		}
+	}
+	return o
+}
+
+func TestReorderMatrix(t *testing.T) {
+	p := smallSynthetic(t, 307)
+	modes := []core.ReorderMode{core.ReorderNone, core.ReorderAuto, core.ReorderDegree, core.ReorderRCM}
+	for _, method := range []core.Method{core.MethodBP, core.MethodMR} {
+		for _, threads := range []int{1, 2} {
+			base := reorderBase(method, threads)
+			ref, refCks := runAligned(t, p, base, 4)
+			if err := ref.Matching.Validate(p.L); err != nil {
+				t.Fatalf("%v threads=%d: %v", method, threads, err)
+			}
+			for _, mode := range modes[1:] {
+				name := fmt.Sprintf("%v/threads=%d/reorder=%v", method, threads, mode)
+				ro := base
+				ro.Reorder = core.ReorderOptions{Mode: mode}
+				got, gotCks := runAligned(t, p, ro, 4)
+				compareRuns(t, name, ref, got, refCks, gotCks)
+			}
+			// Reorder and pipeline composed must still match the
+			// canonical barrier run bit for bit.
+			if threads > 1 {
+				name := fmt.Sprintf("%v/threads=%d/reorder=rcm/pipeline", method, threads)
+				combo := base
+				combo.Reorder = core.ReorderOptions{Mode: core.ReorderRCM}
+				combo.Pipeline = core.PipelineOptions{Enabled: true}
+				got, gotCks := runAligned(t, p, combo, 4)
+				compareRuns(t, name, ref, got, refCks, gotCks)
+			}
+		}
+	}
+}
+
+// TestResumeAcrossReorder saves a checkpoint under one reorder mode and
+// resumes under another: the continuation must be bit-identical to the
+// uninterrupted canonical run, because checkpoints serialize the
+// nnz-ordered state canonically.
+func TestResumeAcrossReorder(t *testing.T) {
+	p := smallSynthetic(t, 311)
+	for _, method := range []core.Method{core.MethodBP, core.MethodMR} {
+		base := reorderBase(method, 2)
+
+		// Uninterrupted canonical-order reference, saving iteration 4.
+		var saved *core.Checkpoint
+		ref := base
+		setCheckpoint(&ref, 4, func(c *core.Checkpoint) error {
+			if c.Iter != 4 {
+				return nil
+			}
+			var buf bytes.Buffer
+			if err := problemio.WriteCheckpoint(&buf, c); err != nil {
+				return err
+			}
+			var err error
+			saved, err = problemio.ReadCheckpoint(&buf)
+			return err
+		})
+		refRes, err := p.Align(nil, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saved == nil {
+			t.Fatalf("%v: checkpoint at iteration 4 never written", method)
+		}
+
+		for _, mode := range []core.ReorderMode{core.ReorderNone, core.ReorderDegree, core.ReorderRCM} {
+			resumed := base
+			resumed.Reorder = core.ReorderOptions{Mode: mode}
+			switch method {
+			case core.MethodMR:
+				resumed.MR.Resume = saved
+			default:
+				resumed.BP.Resume = saved
+			}
+			res, err := p.Align(nil, resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("%v/resume-under=%v", method, mode)
+			if math.Float64bits(refRes.Objective) != math.Float64bits(res.Objective) {
+				t.Fatalf("%s: objective %v != uninterrupted %v", name, res.Objective, refRes.Objective)
+			}
+			for i := range refRes.Matching.MateA {
+				if refRes.Matching.MateA[i] != res.Matching.MateA[i] {
+					t.Fatalf("%s: mateA[%d] = %d, uninterrupted has %d",
+						name, i, res.Matching.MateA[i], refRes.Matching.MateA[i])
+				}
+			}
+		}
+	}
+}

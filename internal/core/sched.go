@@ -41,19 +41,27 @@ func (p Partition) String() string {
 type partitionSet struct {
 	prob    *Problem
 	workers int
-	sRows   []int // rows of S (= edges of L), cost = row nnz
-	lRows   []int // V_A vertices of L, cost = degree
-	lCols   []int // V_B vertices of L, cost = degree
+	view    *reorderView // S row layout the sRows offsets were built from
+	sRows   []int        // rows of S (= edges of L), cost = row nnz
+	lRows   []int        // V_A vertices of L, cost = degree
+	lCols   []int        // V_B vertices of L, cost = degree
 }
 
-// ensureParts returns the workspace's partition set for (p, workers),
-// rebuilding the offsets only when the problem or worker count changed.
-func (ws *Workspace) ensureParts(p *Problem, workers int) *partitionSet {
+// ensureParts returns the workspace's partition set for (p, workers,
+// view), rebuilding the offsets only when the problem, worker count,
+// or S row layout changed. A non-nil view partitions S's rows in
+// their reordered storage order (the order the sweeps walk them in).
+func (ws *Workspace) ensureParts(p *Problem, workers int, view *reorderView) *partitionSet {
 	ps := &ws.parts
-	if ps.prob != p || ps.workers != workers {
+	if ps.prob != p || ps.workers != workers || ps.view != view {
 		ps.prob = p
 		ps.workers = workers
-		ps.sRows = parallel.BalancedOffsetsFromPtr(p.S.Ptr, workers, ps.sRows)
+		ps.view = view
+		sPtr := p.S.Ptr
+		if view != nil {
+			sPtr = view.s.Ptr
+		}
+		ps.sRows = parallel.BalancedOffsetsFromPtr(sPtr, workers, ps.sRows)
 		ps.lRows = parallel.BalancedOffsetsFromPtr(p.L.RowPtr, workers, ps.lRows)
 		ps.lCols = parallel.BalancedOffsetsFromPtr(p.L.ColPtr, workers, ps.lCols)
 	}
@@ -81,7 +89,7 @@ type exec struct {
 // newExec prepares the run's dispatcher: resolves the partition policy,
 // derives (or reuses) the balanced offsets, and starts the per-run
 // worker pool. The caller must close the exec when the solve ends.
-func newExec(p *Problem, ws *Workspace, threads, chunk int, sched parallel.Schedule, part Partition, noPool bool) *exec {
+func newExec(p *Problem, ws *Workspace, threads, chunk int, sched parallel.Schedule, part Partition, noPool bool, view *reorderView) *exec {
 	e := &exec{sched: sched, threads: threads, chunk: chunk}
 	t := parallel.Threads(threads)
 	if t == 1 {
@@ -90,7 +98,7 @@ func newExec(p *Problem, ws *Workspace, threads, chunk int, sched parallel.Sched
 	}
 	e.balanced = part == PartitionBalanced
 	if e.balanced {
-		e.parts = ws.ensureParts(p, t)
+		e.parts = ws.ensureParts(p, t, view)
 	}
 	if !noPool {
 		e.pool = parallel.NewPool(t)

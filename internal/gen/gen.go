@@ -65,6 +65,39 @@ func DefaultSynthetic(expectedDegree float64, seed int64) SyntheticOptions {
 	}
 }
 
+// FigPresetNames lists the Figure 4-7 scaling presets in paper order.
+func FigPresetNames() []string {
+	return []string{"fig4", "fig5", "fig6", "fig7"}
+}
+
+// FigPreset returns the synthetic configuration for one of the paper's
+// Figure 4-7 scaling measurements: the Figure 2 power-law recipe at
+// the sizes where the matching barrier dominates, so pipelined
+// rounding can be measured at scale. fig4 and fig5 are the medium and
+// large dense-candidate problems (d̄=8), fig6 is the denser d̄=10
+// variant, fig7 the largest sparse-candidate (d̄=2) one.
+func FigPreset(name string, seed int64) (SyntheticOptions, error) {
+	var (
+		n    int
+		dbar float64
+	)
+	switch name {
+	case "fig4":
+		n, dbar = 8192, 8
+	case "fig5":
+		n, dbar = 16384, 8
+	case "fig6":
+		n, dbar = 16384, 10
+	case "fig7":
+		n, dbar = 32768, 2
+	default:
+		return SyntheticOptions{}, fmt.Errorf("gen: unknown fig preset %q (want one of %v)", name, FigPresetNames())
+	}
+	so := DefaultSynthetic(dbar, seed)
+	so.N = n
+	return so, nil
+}
+
 // Synthetic builds a synthetic power-law alignment problem following
 // Section VI-A: G ~ power law on N vertices; A and B are independent
 // edge-added perturbations of G; L contains the identity matching

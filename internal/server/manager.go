@@ -1523,8 +1523,16 @@ func (m *Manager) run(j *Job) {
 		})
 	}
 
+	// Pipeline and reorder are execution-layout choices with
+	// bit-identical results, so they never enter the cache key. (MR's
+	// pipeline disengages under the heartbeat observer; BP's overlaps.)
+	var reorder core.ReorderOptions
+	_ = reorder.Mode.UnmarshalText([]byte(spec.Reorder)) // validated at admission
+
 	res, runErr := p.Align(runCtx, core.Options{
-		Method: method,
+		Method:   method,
+		Pipeline: core.PipelineOptions{Enabled: spec.Pipeline},
+		Reorder:  reorder,
 		BP: core.BPOptions{
 			Iterations: spec.Iterations, Gamma: spec.Gamma, Batch: spec.Batch,
 			Threads: threads, Matcher: mspec, FuseKernels: spec.Fused, Timer: m.timer,

@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomCSR(t *testing.T, rng *rand.Rand, n int) *CSR {
+	t.Helper()
+	var tr []Triplet
+	for r := 0; r < n; r++ {
+		d := 1 + rng.Intn(6)
+		for j := 0; j < d; j++ {
+			c := rng.Intn(n)
+			v := rng.Float64()
+			tr = append(tr, Triplet{Row: r, Col: c, Val: v}, Triplet{Row: c, Col: r, Val: v})
+		}
+	}
+	m, err := NewFromTriplets(n, n, tr)
+	if err != nil {
+		t.Fatalf("NewFromTriplets: %v", err)
+	}
+	return m
+}
+
+func checkPermutation(t *testing.T, order []int, n int) {
+	t.Helper()
+	if len(order) != n {
+		t.Fatalf("permutation length %d, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, r := range order {
+		if r < 0 || r >= n || seen[r] {
+			t.Fatalf("invalid permutation entry %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	m := randomCSR(t, rand.New(rand.NewSource(1)), 50)
+	order := DegreeOrder(m.Ptr)
+	checkPermutation(t, order, m.NumRows)
+	prev := math.MaxInt
+	for _, r := range order {
+		l := m.Ptr[r+1] - m.Ptr[r]
+		if l > prev {
+			t.Fatalf("row lengths not non-increasing: %d after %d", l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestRCMOrder(t *testing.T) {
+	m := randomCSR(t, rand.New(rand.NewSource(2)), 50)
+	order := RCMOrder(m)
+	checkPermutation(t, order, m.NumRows)
+	// Deterministic: same input, same order.
+	again := RCMOrder(m)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("RCMOrder not deterministic at %d", i)
+		}
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(t, rng, 40)
+	order := DegreeOrder(m.Ptr)
+	pm, nzPerm, err := PermuteRows(m, order)
+	if err != nil {
+		t.Fatalf("PermuteRows: %v", err)
+	}
+	if err := pm.Validate(); err != nil {
+		t.Fatalf("permuted matrix invalid: %v", err)
+	}
+	if pm.NNZ() != m.NNZ() {
+		t.Fatalf("nnz changed: %d -> %d", m.NNZ(), pm.NNZ())
+	}
+	// Every row of the view equals the original row, entries in order.
+	for newR, oldR := range order {
+		nlo, nhi := pm.RowRange(newR)
+		olo, ohi := m.RowRange(oldR)
+		if nhi-nlo != ohi-olo {
+			t.Fatalf("row %d length mismatch", newR)
+		}
+		for i := 0; i < nhi-nlo; i++ {
+			if pm.Col[nlo+i] != m.Col[olo+i] || pm.Val[nlo+i] != m.Val[olo+i] {
+				t.Fatalf("row %d entry %d mismatch", newR, i)
+			}
+			if nzPerm[nlo+i] != olo+i {
+				t.Fatalf("nzPerm[%d] = %d, want %d", nlo+i, nzPerm[nlo+i], olo+i)
+			}
+		}
+	}
+	// nzPerm is itself a permutation of the nonzero indices.
+	seen := make([]bool, m.NNZ())
+	for _, k := range nzPerm {
+		if k < 0 || k >= m.NNZ() || seen[k] {
+			t.Fatalf("nzPerm not a permutation at %d", k)
+		}
+		seen[k] = true
+	}
+
+	if _, _, err := PermuteRows(m, order[:len(order)-1]); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	bad := append([]int(nil), order...)
+	bad[0] = bad[1]
+	if _, _, err := PermuteRows(m, bad); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+}
