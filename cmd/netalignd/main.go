@@ -9,9 +9,11 @@
 // uploaded SMAT/MTX triple, or a generator spec), run on a bounded
 // worker pool, checkpoint periodically into the spool directory, and
 // stream live progress over SSE at GET /v1/jobs/{id}/events. On
-// SIGTERM the daemon drains: running jobs checkpoint and stop, queued
-// jobs stay queued, and the next start resumes every interrupted job
-// bit-identically from its last checkpoint.
+// SIGTERM (or POST /v1/drain) the daemon drains: running jobs
+// checkpoint and stop, queued jobs are handed off to their ring
+// successors in cluster mode (otherwise they stay queued), and the
+// next start resumes every interrupted job bit-identically from its
+// last checkpoint.
 //
 // Endpoints:
 //
@@ -29,6 +31,10 @@
 //	DELETE /v1/jobs/{id}        cooperative cancel
 //	GET    /v1/cache/{key}      cached result by content address (peer
 //	                            cache fill; 404 cache_miss otherwise)
+//	POST   /v1/drain            begin a graceful drain (202; idempotent)
+//	POST   /v1/handoff          admit a draining peer's exported job
+//	                            (cluster-internal; same admission gates
+//	                            as POST /v1/jobs)
 //	GET    /healthz             liveness (always 200 while serving)
 //	GET    /readyz              readiness (503 while draining or under
 //	                            refuse-level pressure)
@@ -116,6 +122,7 @@ func run() int {
 	self := fs.String("self", "", "this node's own base URL within -peers (never probed)")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member; must match the router's setting (0 = default)")
 	peerProbes := fs.Int("peer-probes", 0, "max ring neighbors probed per cache miss (0 = default)")
+	peerBudget := fs.Duration("peer-fill-budget", 0, "total wall-clock budget for one peer cache fill across all probes (0 = default)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: netalignd [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serve network-alignment solves as durable jobs over HTTP/JSON.\n\nFlags:\n")
@@ -158,15 +165,19 @@ func run() int {
 	if *peers != "" {
 		// NewPeerFiller returns a nil pointer when the peer list leaves
 		// nothing to probe; assign only a live filler so the manager's
-		// interface nil-check stays meaningful.
+		// interface nil-checks stay meaningful.
 		if pf := cluster.NewPeerFiller(cluster.PeerFillConfig{
 			Self:      *self,
 			Peers:     strings.Split(*peers, ","),
 			VNodes:    *vnodes,
 			MaxProbes: *peerProbes,
+			Budget:    *peerBudget,
 		}); pf != nil {
 			cfg.PeerFiller = pf
-			log.Printf("peer cache fill enabled (%d peers)", len(strings.Split(*peers, ",")))
+			cfg.Handoff = pf
+			pf.Start()
+			defer pf.Stop()
+			log.Printf("peer cache fill and drain handoff enabled (%d peers)", len(strings.Split(*peers, ",")))
 		}
 	}
 	mgr, err := server.NewManager(cfg)
@@ -176,6 +187,12 @@ func run() int {
 	}
 	api := server.NewServer(mgr)
 	api.PublishExpvars()
+	// POST /v1/drain follows the exact SIGTERM path: closing drainc
+	// unblocks the select below, so API-initiated drains get the same
+	// checkpoint + handoff + http-shutdown sequence as a signal. The
+	// server invokes the func at most once.
+	drainc := make(chan struct{})
+	api.SetDrainFunc(func() { close(drainc) })
 
 	// Slow-client protection. WriteTimeout bounds ordinary responses;
 	// SSE streams opt out per write via http.NewResponseController, so
@@ -203,6 +220,8 @@ func run() int {
 		log.Print(err)
 		return 1
 	case <-ctx.Done():
+	case <-drainc:
+		log.Print("drain requested over the API")
 	}
 
 	log.Printf("draining (timeout %s)", *drainTimeout)

@@ -59,6 +59,7 @@ func run() int {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member; must match the backends' -vnodes (0 = default)")
 	probeEvery := fs.Duration("probe-every", time.Second, "backend readiness probe interval")
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "hedge idempotent reads (status/result/cache) to the ring successor after this delay; set near the fleet's p95 read latency (0 disables)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: netalignrouter -peers <url,url,...> [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Consistent-hash router over a set of netalignd backends.\n\nFlags:\n")
@@ -80,6 +81,7 @@ func run() int {
 		VNodes:       *vnodes,
 		ProbeEvery:   *probeEvery,
 		ProbeTimeout: *probeTimeout,
+		HedgeAfter:   *hedgeAfter,
 	})
 	if err != nil {
 		log.Print(err)

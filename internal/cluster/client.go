@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -283,7 +284,18 @@ func (c *Client) Ready() error {
 // means the peer has no entry; ErrPeerPayload means it served bytes
 // that failed validation.
 func (c *Client) CacheGet(key cache.Key) ([]byte, error) {
-	resp, err := c.http().Get(c.Base + "/v1/cache/" + key.String())
+	return c.CacheGetCtx(context.Background(), key)
+}
+
+// CacheGetCtx is CacheGet bounded by a context — the peer filler's
+// total-budget probes and the router's hedged cache reads cancel
+// stragglers through it.
+func (c *Client) CacheGetCtx(ctx context.Context, key cache.Key) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/cache/"+key.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
 	}
@@ -300,6 +312,51 @@ func (c *Client) CacheGet(key cache.Key) ([]byte, error) {
 		return nil, fmt.Errorf("%w (%s, key %s)", ErrPeerPayload, c.Base, key)
 	}
 	return data, nil
+}
+
+// Handoff offers one drained job to this node via POST /v1/handoff.
+// A 202 means the node admitted the job (under its original id) and
+// returns its initial status; refusals map back to the same sentinel
+// errors the local AdmitHandoff would produce, so the sender can tell
+// "try the next successor" (quota, pressure, draining) from
+// "malformed" (ErrBadSpec).
+func (c *Client) Handoff(ctx context.Context, h *server.HandoffJob) (*server.JobStatus, error) {
+	body, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode handoff: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/handoff", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, c.apiError(resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cluster: %s: decode handoff response: %w", c.Base, err)
+	}
+	return &st, nil
+}
+
+// Drain asks the node to begin a proactive drain (POST /v1/drain):
+// stop accepting work and hand queued jobs to ring successors.
+func (c *Client) Drain() error {
+	resp, err := c.http().Post(c.Base+"/v1/drain", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return c.apiError(resp)
+	}
+	return nil
 }
 
 // Metrics fetches the node's manager snapshot via /debug/vars.

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"netalignmc/internal/cache"
+	"netalignmc/internal/server"
+)
+
+// drainSpec is slow enough to still be mid-run when a drain lands but
+// finite enough to finish within the test budget.
+func drainSpec() server.Spec {
+	return server.Spec{
+		Method: "bp", Iterations: 400, Batch: 1, Approx: true, Threads: 1,
+		ProgressEvery: 1, CheckpointEvery: 2,
+		Generator: &server.GeneratorSpec{N: 120, DBar: 4, Seed: 5},
+	}
+}
+
+// getStatusAt fetches a job's status through one node, tolerating 404
+// (the job may not have arrived yet).
+func getStatusAt(t *testing.T, base, id string) (*server.JobStatus, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	st := &server.JobStatus{}
+	_ = json.NewDecoder(resp.Body).Decode(st)
+	return st, resp.StatusCode
+}
+
+// metricsBody scrapes one node's /metrics.
+func metricsBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return string(data)
+}
+
+// TestDrainHandoffAcrossNodes drains node A over POST /v1/drain while
+// it is mid-solve and verifies the tentpole contract: the interrupted
+// job moves to node B under the same id, resumes from its shipped
+// checkpoint, and completes with result bytes identical to an
+// undisturbed baseline node; A's copy is a handed_off tombstone and
+// both nodes' handoff counters record the move.
+func TestDrainHandoffAcrossNodes(t *testing.T) {
+	baseline := startNode(t, server.Config{})
+	stBase := submitOK(t, baseline.url, drainSpec())
+	waitDone(t, baseline.url, stBase.ID)
+	want := getResultBytes(t, baseline.url, stBase.ID)
+
+	b := startNode(t, server.Config{Workers: 2})
+	pf := NewPeerFiller(PeerFillConfig{Peers: []string{b.url}})
+	if pf == nil {
+		t.Fatal("NewPeerFiller returned nil with one peer")
+	}
+	a := startNode(t, server.Config{Workers: 1, Handoff: pf})
+
+	st := submitOK(t, a.url, drainSpec())
+	ckpt := a.mgr.Store().CheckpointPath(st.ID)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint on A after 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	dresp, err := http.Post(a.url+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/drain: status %d body %s", dresp.StatusCode, dbody)
+	}
+	// Repeated drains are idempotent 202s.
+	dresp2, err := http.Post(a.url+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST /v1/drain: status %d", dresp2.StatusCode)
+	}
+
+	// A finalizes the local copy handed_off once the export lands.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		local, code := getStatusAt(t, a.url, st.ID)
+		if code == http.StatusOK && local.State == server.StateDone {
+			t.Skip("job finished on A before the drain landed; nothing handed off")
+		}
+		if code == http.StatusOK && local.State == server.StateHandedOff {
+			if got, wantNode := local.HandedOffTo, normalizeBase(b.url); got != wantNode {
+				t.Errorf("handedOffTo = %q, want %q", got, wantNode)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job on A still %s (code %d), want handed_off", local.State, code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// B completes the same id with byte-identical results.
+	waitDone(t, b.url, st.ID)
+	got := getResultBytes(t, b.url, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Errorf("handed-off result differs from undisturbed baseline (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	remote, _ := getStatusAt(t, b.url, st.ID)
+	if remote.Resumes == 0 {
+		t.Error("B ran the checkpointed job without counting a resume")
+	}
+
+	if m := metricsBody(t, a.url); !strings.Contains(m, "netalignd_handoff_sent_total 1") {
+		t.Errorf("A metrics missing handoff_sent_total 1:\n%s", m)
+	}
+	if m := metricsBody(t, b.url); !strings.Contains(m, "netalignd_handoff_received_total 1") {
+		t.Errorf("B metrics missing handoff_received_total 1:\n%s", m)
+	}
+}
+
+// TestRouterHedgedRead pins the hedged-read half of the tentpole: a
+// stale owner mapping (the job moved in a drain handoff) makes the
+// primary 404, the router hedges to the ring successor immediately,
+// relays its 200, counts the hedge and the win, and repairs the owner
+// map so the next read goes straight to the right node.
+func TestRouterHedgedRead(t *testing.T) {
+	a := startNode(t, server.Config{})
+	b := startNode(t, server.Config{})
+	peers := []string{a.url, b.url}
+	router, err := NewRouter(RouterConfig{
+		Peers: peers, ProbeEvery: time.Hour, KeyThreads: 1,
+		HedgeAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	rt := httptest.NewServer(router)
+	t.Cleanup(func() {
+		rt.Close()
+		router.Stop()
+	})
+
+	st := submitOK(t, b.url, smallSpec())
+	waitDone(t, b.url, st.ID)
+	want := getResultBytes(t, b.url, st.ID)
+
+	// Simulate the post-handoff world: the router still believes A owns
+	// the job.
+	router.recordOwner(st.ID, normalizeBase(a.url))
+
+	resp, err := http.Get(rt.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || got.ID != st.ID || got.State != server.StateDone {
+		t.Fatalf("hedged status read: code %d id %q state %s", resp.StatusCode, got.ID, got.State)
+	}
+	if router.hedged.Value() < 1 {
+		t.Errorf("hedged counter = %d, want >= 1", router.hedged.Value())
+	}
+	if router.hedgeWins.Value() < 1 {
+		t.Errorf("hedge win counter = %d, want >= 1", router.hedgeWins.Value())
+	}
+	router.mu.Lock()
+	owner := router.owner[st.ID]
+	router.mu.Unlock()
+	if owner != normalizeBase(b.url) {
+		t.Errorf("owner map after hedge win = %q, want %q", owner, normalizeBase(b.url))
+	}
+
+	// The result document reads byte-identically through the repaired
+	// (and hedge-capable) path.
+	res, err := http.Get(rt.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !bytes.Equal(data, want) {
+		t.Errorf("hedged result read: code %d, %d bytes, want 200 with %d bytes",
+			res.StatusCode, len(data), len(want))
+	}
+
+	for _, wantLine := range []string{"netalignrouter_hedged_total", "netalignrouter_hedge_wins_total"} {
+		if m := metricsBody(t, rt.URL); !strings.Contains(m, wantLine) {
+			t.Errorf("router metrics missing %s", wantLine)
+		}
+	}
+}
+
+// TestPeerFillSkipsDownPeer: a peer the health monitor has marked down
+// is skipped — no probe, no timeout paid — and the skip is counted,
+// for both cache fills and handoffs.
+func TestPeerFillSkipsDownPeer(t *testing.T) {
+	a := startNode(t, server.Config{CacheBytes: 16 << 20})
+	f := NewPeerFiller(PeerFillConfig{Peers: []string{a.url}})
+	if f == nil {
+		t.Fatal("NewPeerFiller returned nil")
+	}
+	f.monitor.MarkDown(normalizeBase(a.url))
+
+	if _, ok := f.Fill(cache.Key{}); ok {
+		t.Fatal("Fill returned data from a down peer")
+	}
+	st := f.Stats()
+	if st.Probes != 0 || st.Skips != 1 || st.Misses != 1 {
+		t.Errorf("stats after skipped fill = %+v, want 0 probes / 1 skip / 1 miss", st)
+	}
+
+	h := &server.HandoffJob{ID: "00112233aabbccdd"}
+	if _, err := f.Handoff(context.Background(), h); err == nil {
+		t.Fatal("Handoff succeeded with every peer down")
+	}
+	if st := f.Stats(); st.Skips != 2 {
+		t.Errorf("skips after refused handoff = %d, want 2", st.Skips)
+	}
+}
+
+// TestPeerFillBudgetBounds: one admission's total fill time is bounded
+// by the Budget even when a routable peer is arbitrarily slow — and
+// budget expiry does not mark the peer down (it says nothing about the
+// peer's health).
+func TestPeerFillBudgetBounds(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer slow.Close()
+
+	f := NewPeerFiller(PeerFillConfig{
+		Peers:   []string{slow.URL},
+		Budget:  100 * time.Millisecond,
+		Timeout: 10 * time.Second, // per-probe timeout alone would stall
+	})
+	if f == nil {
+		t.Fatal("NewPeerFiller returned nil")
+	}
+	start := time.Now()
+	if _, ok := f.Fill(cache.Key{}); ok {
+		t.Fatal("Fill returned data from the slow peer")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Fill took %s, budget is 100ms", elapsed)
+	}
+	if st := f.Stats(); st.Probes != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 probe / 1 miss", st)
+	}
+	if !f.monitor.IsUp(normalizeBase(slow.URL)) {
+		t.Error("budget expiry marked the peer down; only transport failures may")
+	}
+}

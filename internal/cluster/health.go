@@ -18,6 +18,21 @@ import (
 //
 // Nodes start optimistically up: a router must be able to forward
 // before its first probe round completes.
+//
+// Two orderings are load-bearing here:
+//
+//   - onChange delivery is serialized by a generation counter: every
+//     membership transition is stamped under mu, and deliver refuses
+//     to hand a set to onChange after a newer generation has already
+//     been delivered. Without this, two concurrent transitions (say a
+//     MarkDown racing a probe round) could invoke onChange out of
+//     order and install a permanently stale ring in the receiver.
+//   - MarkDown beats an in-flight probe: probeAll snapshots each
+//     node's mark counter before probing and discards a successful
+//     probe result whose node was marked down in the meantime — the
+//     transport failure behind the MarkDown is fresher evidence than
+//     the probe's earlier 200. The node stays down until the next
+//     probe round re-confirms it.
 type Monitor struct {
 	nodes    []string
 	probe    func(node string) error
@@ -26,6 +41,16 @@ type Monitor struct {
 
 	mu sync.Mutex
 	up map[string]bool
+	// marks counts MarkDown calls per node; probeAll compares it
+	// against a pre-probe snapshot to detect a demotion that landed
+	// while the probe was in flight.
+	marks map[string]uint64
+	// gen stamps membership transitions; delivered (under deliverMu)
+	// is the newest generation handed to onChange.
+	gen uint64
+
+	deliverMu sync.Mutex
+	delivered uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -44,6 +69,7 @@ func NewMonitor(nodes []string, every time.Duration, probe func(node string) err
 		every:    every,
 		onChange: onChange,
 		up:       make(map[string]bool, len(nodes)),
+		marks:    make(map[string]uint64, len(nodes)),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -77,8 +103,18 @@ func (m *Monitor) Stop() {
 }
 
 // probeAll checks every node in parallel and applies the results as
-// one membership transition.
+// one membership transition. A successful probe is discarded when a
+// MarkDown for that node landed after the probe round began (its mark
+// counter moved): the demotion is the fresher signal, and applying
+// the stale success would resurrect a just-failed node for a full
+// probe interval.
 func (m *Monitor) probeAll() {
+	m.mu.Lock()
+	snap := make(map[string]uint64, len(m.nodes))
+	for _, n := range m.nodes {
+		snap[n] = m.marks[n]
+	}
+	m.mu.Unlock()
 	results := make([]bool, len(m.nodes))
 	var wg sync.WaitGroup
 	for i, n := range m.nodes {
@@ -92,36 +128,69 @@ func (m *Monitor) probeAll() {
 	m.mu.Lock()
 	changed := false
 	for i, n := range m.nodes {
-		if m.up[n] != results[i] {
-			m.up[n] = results[i]
+		res := results[i]
+		if res && m.marks[n] != snap[n] {
+			// Marked down while this probe was in flight; keep it down.
+			continue
+		}
+		if m.up[n] != res {
+			m.up[n] = res
 			changed = true
 		}
 	}
 	var up []string
+	var gen uint64
 	if changed {
+		m.gen++
+		gen = m.gen
 		up = m.upLocked()
 	}
 	m.mu.Unlock()
-	if changed && m.onChange != nil {
-		m.onChange(up)
+	if changed {
+		m.deliver(gen, up)
 	}
 }
 
 // MarkDown demotes one node immediately (a request to it just failed
-// at the transport level); no-op when it is already down.
+// at the transport level). Even when the node is already down, the
+// call bumps its mark counter so an in-flight probe's stale success
+// cannot resurrect it.
 func (m *Monitor) MarkDown(node string) {
 	m.mu.Lock()
 	was, known := m.up[node]
-	if !known || !was {
+	if !known {
+		m.mu.Unlock()
+		return
+	}
+	m.marks[node]++
+	if !was {
 		m.mu.Unlock()
 		return
 	}
 	m.up[node] = false
+	m.gen++
+	gen := m.gen
 	up := m.upLocked()
 	m.mu.Unlock()
-	if m.onChange != nil {
-		m.onChange(up)
+	m.deliver(gen, up)
+}
+
+// deliver hands one membership generation to onChange, dropping it if
+// a newer generation has already been delivered. The generation is
+// assigned under mu together with the transition itself, so "newer
+// generation" and "newer up-set" coincide; deliverMu only serializes
+// the callback without holding up state transitions.
+func (m *Monitor) deliver(gen uint64, up []string) {
+	if m.onChange == nil {
+		return
 	}
+	m.deliverMu.Lock()
+	defer m.deliverMu.Unlock()
+	if gen <= m.delivered {
+		return
+	}
+	m.delivered = gen
+	m.onChange(up)
 }
 
 // upLocked snapshots the sorted up-set; callers hold m.mu.

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A MarkDown that lands while a probe round is in flight must win over
+// the probe's earlier success: the transport failure behind the mark
+// is fresher evidence than the 200 collected before it. The probe
+// function itself performs the MarkDown, which lands it deterministically
+// in the window between probe collection and result application.
+func TestMonitorMarkDownDuringProbe(t *testing.T) {
+	var m *Monitor
+	marked := false
+	probe := func(node string) error {
+		if node == "b" && !marked {
+			// Simulates a router request failing against b while the
+			// health probe (which succeeded a moment earlier) is still
+			// in flight.
+			marked = true
+			m.MarkDown("b")
+		}
+		return nil
+	}
+	m = NewMonitor([]string{"a", "b"}, time.Hour, probe, nil)
+	m.probeAll()
+	if m.IsUp("b") {
+		t.Fatal("node b resurrected: probe success applied over a later MarkDown")
+	}
+	if !m.IsUp("a") {
+		t.Fatal("node a should be up")
+	}
+	// The next full probe round (no concurrent mark) brings b back.
+	m.probeAll()
+	if !m.IsUp("b") {
+		t.Fatal("node b should recover on the next clean probe round")
+	}
+}
+
+// Racing MarkDown against probeAll must leave the receiver's last
+// delivered up-set equal to the monitor's final state: out-of-order
+// onChange delivery would install a permanently stale ring. Run with
+// -race.
+func TestMonitorDeliverySerializedUnderRace(t *testing.T) {
+	var mu sync.Mutex
+	var last []string
+	onChange := func(up []string) {
+		mu.Lock()
+		last = append([]string(nil), up...)
+		mu.Unlock()
+	}
+	probeErr := errors.New("down")
+	var failB sync.Map
+	probe := func(node string) error {
+		if node == "b" {
+			if _, bad := failB.Load("fail"); bad {
+				return probeErr
+			}
+		}
+		return nil
+	}
+	m := NewMonitor([]string{"a", "b", "c"}, time.Hour, probe, onChange)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.probeAll()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			m.MarkDown("b")
+			if i%3 == 0 {
+				failB.Store("fail", true)
+			} else {
+				failB.Delete("fail")
+			}
+			m.MarkDown("c")
+		}
+	}()
+	wg.Wait()
+
+	// Quiesce with one final deterministic round.
+	failB.Delete("fail")
+	m.probeAll()
+
+	want := m.Up()
+	mu.Lock()
+	got := append([]string(nil), last...)
+	mu.Unlock()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("last delivered up-set %v != monitor state %v (stale delivery)", got, want)
+	}
+}

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 	"time"
 
@@ -28,10 +31,18 @@ type PeerFillConfig struct {
 	// successor order (0 = 3). Keeps a cold cache from turning every
 	// miss into a full-cluster broadcast.
 	MaxProbes int
-	// Timeout bounds each probe end to end (0 = 5s): peer fill is an
-	// optimization, and a slow peer must not stall admission longer
-	// than a recompute would take to start.
+	// Timeout bounds each individual probe (0 = 5s).
 	Timeout time.Duration
+	// Budget bounds one whole Fill end to end (0 = 5s): peer fill is
+	// an optimization, and a string of slow peers must not stall
+	// admission longer than a recompute would take to start. Without
+	// it, MaxProbes sequential timeouts compound (3 dead-but-routable
+	// peers × 5s held admissions ~15s).
+	Budget time.Duration
+	// ProbeEvery is the health monitor's background probe interval
+	// (0 = 2s). The monitor lets Fill skip peers already known dead
+	// instead of waiting out their dial timeout; Start launches it.
+	ProbeEvery time.Duration
 }
 
 // PeerFiller implements server.PeerFiller over the cluster's
@@ -41,26 +52,50 @@ type PeerFillConfig struct {
 // returning the first hash-validated payload. This is how results
 // migrate after ring rebalances instead of being recomputed: the new
 // owner's first miss pulls the entry from the old owner's cache.
+//
+// It also implements server.HandoffSender: at drain time the manager
+// hands it each queued job, and it offers the job to the ring
+// successors of the job's route key over POST /v1/handoff.
+//
+// A small health monitor (started by Start, optimistic-up like the
+// router's) tracks peer readiness: Fill and Handoff skip peers
+// currently marked down — counted in Stats().Skips — and transport
+// failures mark a peer down passively, so one dead peer costs one
+// timeout, not one per admission.
 type PeerFiller struct {
 	ring      *Ring
 	self      string
 	clients   map[string]*Client
+	monitor   *Monitor
 	maxProbes int
+	budget    time.Duration
 
-	probes, fills, rejects, misses atomic.Int64
+	probes, fills, rejects, misses, skips atomic.Int64
 }
 
-var _ server.PeerFiller = (*PeerFiller)(nil)
+var (
+	_ server.PeerFiller    = (*PeerFiller)(nil)
+	_ server.HandoffSender = (*PeerFiller)(nil)
+)
 
 // NewPeerFiller builds the filler; returns nil when the config leaves
 // no peers to probe (so callers can pass the result straight into
 // server.Config.PeerFiller — a typed nil would defeat its nil check).
+// Call Start to launch the background health probes (and Stop on the
+// way down); without Start peers still demote passively on transport
+// errors but only a successful background probe brings one back.
 func NewPeerFiller(cfg PeerFillConfig) *PeerFiller {
 	if cfg.MaxProbes <= 0 {
 		cfg.MaxProbes = 3
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 5 * time.Second
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 2 * time.Second
 	}
 	probeHTTP := &http.Client{
 		Timeout: cfg.Timeout,
@@ -87,7 +122,9 @@ func NewPeerFiller(cfg PeerFillConfig) *PeerFiller {
 		self:      self,
 		clients:   make(map[string]*Client, len(members)),
 		maxProbes: cfg.MaxProbes,
+		budget:    cfg.Budget,
 	}
+	var peerList []string
 	for _, p := range members {
 		if p == self {
 			continue
@@ -95,36 +132,75 @@ func NewPeerFiller(cfg PeerFillConfig) *PeerFiller {
 		c := NewClient(p)
 		c.HTTP = probeHTTP
 		f.clients[c.Base] = c
+		peerList = append(peerList, c.Base)
 	}
 	if len(f.clients) == 0 {
 		return nil
 	}
+	f.monitor = NewMonitor(peerList, cfg.ProbeEvery, func(node string) error {
+		return f.clients[node].Ready()
+	}, nil)
 	return f
 }
 
+// Start launches the background peer health probes; Stop ends them.
+// Both are safe on a nil filler (the no-peers case).
+func (f *PeerFiller) Start() {
+	if f != nil {
+		f.monitor.Start()
+	}
+}
+
+// Stop ends the background health probes and waits for them.
+func (f *PeerFiller) Stop() {
+	if f != nil {
+		f.monitor.Stop()
+	}
+}
+
+// markIfTransport demotes a peer on a transport-level failure (so the
+// next admission skips it instead of re-paying the timeout) — but not
+// when the error is our own budget expiring, which says nothing about
+// the peer.
+func (f *PeerFiller) markIfTransport(ctx context.Context, node string, err error) {
+	var ue *url.Error
+	if errors.As(err, &ue) && ctx.Err() == nil {
+		f.monitor.MarkDown(node)
+	}
+}
+
 // Fill probes the key's ring neighbors for a cached result, skipping
-// self, stopping at the first validated payload or after MaxProbes
-// peers. Invalid payloads are rejected and the probe continues — one
-// corrupt peer must not poison the fill.
+// self and peers marked down, stopping at the first validated payload,
+// after MaxProbes peers, or when the total Budget is spent — whichever
+// comes first. Invalid payloads are rejected and the probe continues —
+// one corrupt peer must not poison the fill.
 func (f *PeerFiller) Fill(key cache.Key) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.budget)
+	defer cancel()
 	probed := 0
 	for _, node := range f.ring.Successors(key[:], 0) {
 		c, ok := f.clients[node]
 		if !ok {
 			continue // self
 		}
-		if probed >= f.maxProbes {
+		if probed >= f.maxProbes || ctx.Err() != nil {
 			break
+		}
+		if !f.monitor.IsUp(node) {
+			f.skips.Add(1)
+			continue
 		}
 		probed++
 		f.probes.Add(1)
-		data, err := c.CacheGet(key)
+		data, err := c.CacheGetCtx(ctx, key)
 		switch {
 		case err == nil:
 			f.fills.Add(1)
 			return data, true
 		case errors.Is(err, ErrPeerPayload):
 			f.rejects.Add(1)
+		default:
+			f.markIfTransport(ctx, node, err)
 		}
 	}
 	f.misses.Add(1)
@@ -138,5 +214,46 @@ func (f *PeerFiller) Stats() server.PeerFillStats {
 		Fills:   f.fills.Load(),
 		Rejects: f.rejects.Load(),
 		Misses:  f.misses.Load(),
+		Skips:   f.skips.Load(),
 	}
+}
+
+// Handoff implements server.HandoffSender: offer a drained job to the
+// ring successors of its route key, in order, skipping self and peers
+// marked down, returning the first node that admits it. Any per-node
+// refusal (draining, quota, pressure, transport) falls through to the
+// next successor; handoff bodies can be large, so sends use the
+// default streaming client (dial-bounded, ctx-bounded overall) rather
+// than the filler's short probe timeout.
+func (f *PeerFiller) Handoff(ctx context.Context, h *server.HandoffJob) (string, error) {
+	routeKey := h.RouteKey
+	if len(routeKey) == 0 {
+		routeKey = []byte(h.ID)
+	}
+	var lastErr error
+	for _, node := range f.ring.Successors(routeKey, 0) {
+		if node == f.self {
+			continue
+		}
+		if _, known := f.clients[node]; !known {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if !f.monitor.IsUp(node) {
+			f.skips.Add(1)
+			continue
+		}
+		if _, err := NewClient(node).Handoff(ctx, h); err != nil {
+			lastErr = err
+			f.markIfTransport(ctx, node, err)
+			continue
+		}
+		return node, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no peer available for handoff of job %s", h.ID)
+	}
+	return "", lastErr
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -13,6 +14,7 @@ import (
 	"net/url"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +48,13 @@ type RouterConfig struct {
 	// KeyThreads bounds problem-construction parallelism while hashing
 	// a submission (0 = GOMAXPROCS). It cannot affect the key.
 	KeyThreads int
+	// HedgeAfter enables request hedging for idempotent GETs (status,
+	// result, cache): when the owner has not answered within this
+	// delay, the router issues a second request to the ring successor
+	// and relays whichever succeeds first. 0 disables hedging. Set it
+	// near the fleet's p95 read latency — low enough to cut tail
+	// latency, high enough that hedges stay rare.
+	HedgeAfter time.Duration
 }
 
 // Router is the cluster front door: a thin HTTP proxy over the
@@ -63,14 +72,15 @@ type RouterConfig struct {
 // alive and its refusal is meaningful to the client, and rerouting a
 // 429 would defeat per-node backpressure.
 type Router struct {
-	ring    *Ring
-	monitor *Monitor
-	clients map[string]*Client
-	proxies map[string]*httputil.ReverseProxy
-	nodes   []string // all configured nodes, normalized, sorted
-	httpc   *http.Client
-	threads int
-	mux     *http.ServeMux
+	ring       *Ring
+	monitor    *Monitor
+	clients    map[string]*Client
+	proxies    map[string]*httputil.ReverseProxy
+	nodes      []string // all configured nodes, normalized, sorted
+	httpc      *http.Client
+	threads    int
+	hedgeAfter time.Duration
+	mux        *http.ServeMux
 
 	mu    sync.Mutex
 	owner map[string]string // job id → node base URL
@@ -80,6 +90,8 @@ type Router struct {
 	unroutable expvar.Int             // submissions no node would take
 	rebalances expvar.Int             // ring membership transitions
 	ownerMiss  expvar.Int             // per-job requests resolved by fan-out
+	hedged     expvar.Int             // secondary requests issued for slow/failed reads
+	hedgeWins  expvar.Int             // hedged reads won by the secondary
 }
 
 // NewRouter builds the router; Start launches its health probes.
@@ -104,14 +116,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	sort.Strings(nodes)
 
 	r := &Router{
-		ring:      NewRing(nodes, cfg.VNodes),
-		clients:   make(map[string]*Client, len(nodes)),
-		proxies:   make(map[string]*httputil.ReverseProxy, len(nodes)),
-		nodes:     nodes,
-		httpc:     defaultHTTPClient,
-		threads:   cfg.KeyThreads,
-		owner:     make(map[string]string),
-		forwarded: make(map[string]*expvar.Int, len(nodes)),
+		ring:       NewRing(nodes, cfg.VNodes),
+		clients:    make(map[string]*Client, len(nodes)),
+		proxies:    make(map[string]*httputil.ReverseProxy, len(nodes)),
+		nodes:      nodes,
+		httpc:      defaultHTTPClient,
+		threads:    cfg.KeyThreads,
+		hedgeAfter: cfg.HedgeAfter,
+		owner:      make(map[string]string),
+		forwarded:  make(map[string]*expvar.Int, len(nodes)),
 	}
 	probeHTTP := &http.Client{Timeout: cfg.ProbeTimeout, Transport: defaultHTTPClient.Transport}
 	for _, n := range nodes {
@@ -351,7 +364,12 @@ func (r *Router) resolveOwner(id string) (string, bool) {
 // handleJob proxies any per-job route — status, result, events (SSE),
 // cancel, requeue — raw to the job's owning node. Proxying raw keeps
 // the router transparent: streams, headers and error envelopes pass
-// through untouched.
+// through untouched. Idempotent GETs (status, result — not the SSE
+// stream) are hedged when HedgeAfter is set: a slow or failed owner
+// read races a second copy sent to the ring successor, and the first
+// success wins. This both cuts read tail latency and heals stale
+// owner mappings after a drain handoff — the hedge finds the job on
+// the node that admitted it.
 func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	node, ok := r.resolveOwner(id)
@@ -359,7 +377,147 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 		writeRouterError(w, http.StatusNotFound, "not_found", "job %s not found on any backend", id)
 		return
 	}
+	if r.hedgeAfter > 0 && req.Method == http.MethodGet && !strings.HasSuffix(req.URL.Path, "/events") {
+		if peer, ok := r.hedgePeer(id, node); ok {
+			r.hedgedRelay(w, req, id, node, peer)
+			return
+		}
+	}
 	r.proxies[node].ServeHTTP(w, req)
+}
+
+// hedgePeer picks the hedge target for a job read: the first up node
+// other than the primary, in ring-successor order of the job id —
+// the node a drain handoff of this job would have landed on when the
+// job is uncacheable, and a deterministic healthy peer otherwise.
+func (r *Router) hedgePeer(id, primary string) (string, bool) {
+	for _, n := range r.ring.Successors([]byte(id), 0) {
+		if n != primary && r.monitor.IsUp(n) {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// hedgeResult is one leg's outcome in a hedged read.
+type hedgeResult struct {
+	resp  *http.Response
+	node  string
+	err   error
+	hedge bool
+}
+
+// hedgedRelay races a GET between the job's recorded owner and a ring
+// peer. The primary fires immediately; the secondary fires after the
+// hedge delay, or at once if the primary fails first (transport error
+// or non-2xx — a 404 right after a drain handoff means "ask the
+// successor now", not "wait out the timer"). First 2xx wins and is
+// relayed; a secondary win updates the owner map so later reads go
+// straight to the right node. When neither leg succeeds the primary's
+// response is relayed verbatim (its refusal is the authoritative one),
+// falling back to the secondary's, then to 502.
+func (r *Router) hedgedRelay(w http.ResponseWriter, req *http.Request, id, primary, secondary string) {
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	results := make(chan hedgeResult, 2)
+	fire := func(node string, hedge bool) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+req.URL.Path, nil)
+		if err != nil {
+			results <- hedgeResult{nil, node, err, hedge}
+			return
+		}
+		hreq.Header = req.Header.Clone()
+		resp, err := r.httpc.Do(hreq)
+		results <- hedgeResult{resp, node, err, hedge}
+	}
+	go fire(primary, false)
+	timer := time.NewTimer(r.hedgeAfter)
+	defer timer.Stop()
+	timerC := timer.C
+	launch := func() {
+		timerC = nil
+		r.hedged.Add(1)
+		go fire(secondary, true)
+	}
+	var prim, sec hedgeResult
+	outstanding := 1
+	for outstanding > 0 {
+		select {
+		case <-timerC:
+			launch()
+			outstanding++
+		case res := <-results:
+			outstanding--
+			if res.err == nil && res.resp.StatusCode >= 200 && res.resp.StatusCode < 300 {
+				if res.hedge {
+					r.hedgeWins.Add(1)
+					r.recordOwner(id, res.node)
+					closeHedge(prim)
+				} else {
+					closeHedge(sec)
+				}
+				drainHedge(results, outstanding)
+				r.relayResponse(w, res.resp)
+				return
+			}
+			if res.err != nil {
+				r.monitor.MarkDown(res.node)
+			}
+			if res.hedge {
+				sec = res
+			} else {
+				prim = res
+				if timerC != nil {
+					launch()
+					outstanding++
+				}
+			}
+		}
+	}
+	switch {
+	case prim.resp != nil:
+		closeHedge(sec)
+		r.relayResponse(w, prim.resp)
+	case sec.resp != nil:
+		r.relayResponse(w, sec.resp)
+	default:
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			"backends %s and %s unreachable: %v", primary, secondary, prim.err)
+	}
+}
+
+// drainHedge disposes of the losing leg's eventual result so its
+// connection is reusable; the winner's relay happens before the
+// deferred cancel, so the loser is also aborted promptly.
+func drainHedge(results <-chan hedgeResult, outstanding int) {
+	if outstanding == 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < outstanding; i++ {
+			closeHedge(<-results)
+		}
+	}()
+}
+
+// closeHedge discards one leg's response body, if any.
+func closeHedge(res hedgeResult) {
+	if res.resp != nil {
+		io.Copy(io.Discard, io.LimitReader(res.resp.Body, 1<<20))
+		res.resp.Body.Close()
+	}
+}
+
+// relayResponse streams a backend response to the client.
+func (r *Router) relayResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
 }
 
 // handleList fans the listing out to every up node and merges the
@@ -408,14 +566,26 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 
 // handleCacheGet probes the key's ring successors for a cached result
 // — the router-side face of peer fill, useful for warming and
-// diagnostics.
+// diagnostics. With hedging enabled the first two candidates race
+// (the second starting after the hedge delay, or at once when the
+// first misses); any remaining successors are probed sequentially.
 func (r *Router) handleCacheGet(w http.ResponseWriter, req *http.Request) {
 	key, err := cache.ParseKey(req.PathValue("key"))
 	if err != nil {
 		writeRouterError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	for _, node := range r.ring.Successors(key[:], 0) {
+	nodes := r.ring.Successors(key[:], 0)
+	if r.hedgeAfter > 0 && len(nodes) >= 2 {
+		if data, ok := r.hedgedCacheGet(req.Context(), key, nodes[0], nodes[1]); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(data)
+			return
+		}
+		nodes = nodes[2:]
+	}
+	for _, node := range nodes {
 		data, err := r.clients[node].CacheGet(key)
 		if err != nil {
 			continue
@@ -426,6 +596,55 @@ func (r *Router) handleCacheGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeRouterError(w, http.StatusNotFound, "cache_miss", "no cached result for %s", key)
+}
+
+// hedgedCacheGet races one cache lookup between the key's first two
+// ring candidates: the primary fires immediately, the secondary after
+// the hedge delay or as soon as the primary misses. First validated
+// payload wins.
+func (r *Router) hedgedCacheGet(reqCtx context.Context, key cache.Key, primary, secondary string) ([]byte, bool) {
+	ctx, cancel := context.WithCancel(reqCtx)
+	defer cancel()
+	type cacheRes struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	results := make(chan cacheRes, 2)
+	fire := func(node string, hedge bool) {
+		data, err := r.clients[node].CacheGetCtx(ctx, key)
+		results <- cacheRes{data, err, hedge}
+	}
+	go fire(primary, false)
+	timer := time.NewTimer(r.hedgeAfter)
+	defer timer.Stop()
+	timerC := timer.C
+	launch := func() {
+		timerC = nil
+		r.hedged.Add(1)
+		go fire(secondary, true)
+	}
+	outstanding := 1
+	for outstanding > 0 {
+		select {
+		case <-timerC:
+			launch()
+			outstanding++
+		case res := <-results:
+			outstanding--
+			if res.err == nil {
+				if res.hedge {
+					r.hedgeWins.Add(1)
+				}
+				return res.data, true
+			}
+			if !res.hedge && timerC != nil {
+				launch()
+				outstanding++
+			}
+		}
+	}
+	return nil, false
 }
 
 // handleHealthz is router liveness: 200 whenever the process answers.
@@ -477,6 +696,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	counter("netalignrouter_unroutable_total", "Submissions refused because no backend would take them.", r.unroutable.Value())
 	counter("netalignrouter_ring_rebalance_total", "Ring membership transitions (nodes joining or leaving the up-set).", r.rebalances.Value())
 	counter("netalignrouter_owner_fanout_total", "Per-job requests resolved by fan-out owner lookup.", r.ownerMiss.Value())
+	counter("netalignrouter_hedged_total", "Secondary requests issued for slow or failed idempotent reads.", r.hedged.Value())
+	counter("netalignrouter_hedge_wins_total", "Hedged reads answered first by the secondary.", r.hedgeWins.Value())
 
 	// Aggregate rollup: sum each reachable node's snapshot. Nodes that
 	// fail the scrape are skipped and counted, so a partial rollup is

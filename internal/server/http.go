@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -13,6 +14,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"netalignmc/internal/cache"
@@ -23,6 +25,11 @@ import (
 // maxBodyBytes bounds an uploaded job body (problems are uploaded
 // inline as text).
 const maxBodyBytes = 64 << 20
+
+// maxHandoffBytes bounds a POST /v1/handoff body: a job spec plus
+// base64-encoded canonical problem and checkpoint payloads, so the
+// limit sits above maxBodyBytes with room for the encoding overhead.
+const maxHandoffBytes = 256 << 20
 
 // SSE stream tuning: how often an idle stream emits a ": keepalive"
 // comment, and the per-write deadline each event write arms (a client
@@ -42,6 +49,14 @@ type Server struct {
 	be  Backend
 	mgr *Manager
 	mux *http.ServeMux
+	// drainFn, when set via SetDrainFunc, is what POST /v1/drain
+	// invokes (once) to begin a full drain — the daemon wires it to
+	// the same shutdown path SIGTERM takes, so an HTTP drain also
+	// hands queued jobs to ring successors and exits. Without it the
+	// handler falls back to draining the manager in place (the process
+	// keeps serving reads).
+	drainFn   func()
+	drainOnce sync.Once
 }
 
 // NewServer builds the HTTP API for a manager. The job routes live
@@ -59,6 +74,8 @@ func NewServer(mgr *Manager) *Server {
 		s.mux.HandleFunc("POST "+prefix+"/jobs/{id}/requeue", s.handleRequeue)
 		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
 		s.mux.HandleFunc("GET "+prefix+"/cache/{key}", s.handleCacheGet)
+		s.mux.HandleFunc("POST "+prefix+"/drain", s.handleDrain)
+		s.mux.HandleFunc("POST "+prefix+"/handoff", s.handleHandoff)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -442,6 +459,88 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// SetDrainFunc installs the callback POST /v1/drain invokes to begin
+// a full drain. The daemon wires it to the same path SIGTERM takes
+// (cancel the serve context → Manager.Shutdown with the drain
+// timeout → handoff → exit); tests wire test-local equivalents. Call
+// before serving; nil leaves the handler's in-place fallback.
+func (s *Server) SetDrainFunc(fn func()) { s.drainFn = fn }
+
+// defaultDrainWait bounds the in-place drain the handler falls back
+// to when no drain func is installed.
+const defaultDrainWait = 30 * time.Second
+
+// handleDrain begins a proactive drain: the manager stops accepting
+// work immediately (readyz flips to draining before the response is
+// written, so routers steer away at once) and the full drain —
+// cancel running jobs at their next checkpoint boundary, hand queued
+// jobs to ring successors — proceeds in the background. 202 always;
+// repeated posts are idempotent.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.drainOnce.Do(func() {
+		// Flip the readiness signal synchronously: the 202 must imply
+		// "no new work will be accepted here".
+		s.mgr.draining.Store(true)
+		if s.drainFn != nil {
+			go s.drainFn()
+			return
+		}
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), defaultDrainWait)
+			defer cancel()
+			_ = s.mgr.Shutdown(ctx)
+		}()
+	})
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+// handleHandoff admits a draining peer's exported job (see
+// Manager.AdmitHandoff). The same admission gates as a fresh
+// submission apply, with the same status codes, so a refused handoff
+// makes the sender try the next ring successor.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxHandoffBytes)
+	var h HandoffJob
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, errTooLarge,
+				"handoff body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, errBadRequest, "decode handoff: %v", err)
+		return
+	}
+	st, err := s.mgr.AdmitHandoff(&h)
+	retryAfter := func() string {
+		return strconv.FormatInt(s.mgr.TenantRetryAfterSeconds(h.Spec.tenantName()), 10)
+	}
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
+	case errors.Is(err, ErrTenantQuota):
+		w.Header().Set("Retry-After", retryAfter())
+		writeError(w, http.StatusTooManyRequests, errTenantQuota, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfter())
+		writeError(w, http.StatusTooManyRequests, errQueueFull, "%v", err)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", retryAfter())
+		writeError(w, http.StatusTooManyRequests, errOverloaded, "%v", err)
+	case errors.Is(err, ErrDiskPressure):
+		writeError(w, http.StatusServiceUnavailable, errDiskPressure, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, errDraining, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
 // handleMetrics renders the manager snapshot in the Prometheus text
 // exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -474,6 +573,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("netalignd_jobs_preempted_total", "Batch runs checkpoint-preempted for interactive jobs.", m.Preempted)
 	counter("netalignd_jobs_shed_quota_total", "Submissions refused by per-tenant admission quotas.", m.ShedQuota)
 	counter("netalignd_jobs_deadline_expired_total", "Jobs failed because their queue deadline passed before dispatch.", m.Expired)
+	counter("netalignd_handoff_sent_total", "Queued jobs exported to a ring successor during drain.", m.HandoffSent)
+	counter("netalignd_handoff_received_total", "Drained jobs admitted from a peer's handoff.", m.HandoffReceived)
+	counter("netalignd_handoff_failed_total", "Drain exports no peer accepted (job stayed queued in the spool).", m.HandoffFailed)
 	gauge("netalignd_jobs_quarantined", "Jobs currently quarantined.", float64(m.QuarantinedNow))
 	gauge("netalignd_disk_free_bytes", "Free bytes on the spool volume at the last pressure sample.", float64(m.DiskFreeBytes))
 	gauge("netalignd_rss_bytes", "Process resident set size at the last pressure sample.", float64(m.RSSBytes))
@@ -513,6 +615,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("netalignd_peer_fill_probes_total", "Cache probes sent to ring neighbors.", m.PeerFill.Probes)
 		counter("netalignd_peer_fill_rejects_total", "Peer payloads rejected by hash validation.", m.PeerFill.Rejects)
 		counter("netalignd_peer_fill_misses_total", "Peer probes that found no entry anywhere.", m.PeerFill.Misses)
+		counter("netalignd_peer_fill_skipped_total", "Peer probes skipped because the peer was marked down.", m.PeerFill.Skips)
 	}
 	if m.CacheEnabled {
 		counter("netalignd_cache_hits_total", "Result-cache hits (memory or disk).", m.CacheHits)

@@ -54,6 +54,14 @@ const (
 	// is kept for inspection, and POST /v1/jobs/{id}/requeue moves
 	// them back to queued with a fresh budget.
 	StateQuarantined State = "quarantined"
+	// StateHandedOff: a proactive drain exported this job — spec,
+	// canonical problem bytes, retry budget and latest checkpoint — to
+	// a ring successor, which admitted it under the same job id and
+	// resumes it bit-identically. Terminal on this node: recovery must
+	// never re-run a handed-off job (the successor owns it now), so the
+	// spool record is kept only as a tombstone pointing at the
+	// receiving node.
+	StateHandedOff State = "handed_off"
 )
 
 // Terminal reports whether the state is final: no worker will touch
@@ -61,7 +69,7 @@ const (
 // requeue).
 func (s State) Terminal() bool {
 	switch s {
-	case StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined:
+	case StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined, StateHandedOff:
 		return true
 	}
 	return false
@@ -69,7 +77,7 @@ func (s State) Terminal() bool {
 
 func validState(s State) bool {
 	switch s {
-	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined:
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateNumerics, StateQuarantined, StateHandedOff:
 		return true
 	}
 	return false
@@ -422,6 +430,10 @@ type Meta struct {
 	// Preemptions counts how many times the job was checkpoint-
 	// preempted to yield its worker slot to interactive traffic.
 	Preemptions int `json:"preemptions,omitempty"`
+	// HandedOffTo records, for a handed_off tombstone, the base URL of
+	// the ring successor that accepted the job during a proactive
+	// drain; status queries for the id can be redirected there.
+	HandedOffTo string `json:"handedOffTo,omitempty"`
 }
 
 // newJobID returns a random 16-hex-digit job id.

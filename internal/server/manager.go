@@ -80,6 +80,16 @@ type Config struct {
 	// Called outside the manager lock — it is expected to do network
 	// I/O.
 	PeerFiller PeerFiller
+	// Handoff, when set, makes drain proactive: Shutdown exports every
+	// job still queued after the workers stop — canonical problem
+	// bytes, spec, retry budget, latest checkpoint — and offers each
+	// to its ring successor (see internal/cluster's HTTP
+	// implementation). A job the sender accepts is finalized
+	// handed_off locally (a tombstone recovery never re-runs); one no
+	// peer accepts stays queued in the spool and is recovered on the
+	// next startup, exactly as without a sender. Works independently
+	// of PeerFiller and the result cache.
+	Handoff HandoffSender
 
 	// RetryBudget is how many times a transiently failed attempt
 	// (solver error, injected I/O fault, worker panic, stall) is
@@ -150,12 +160,15 @@ type PeerFiller interface {
 
 // PeerFillStats counts one node's peer-fill activity: cache probes
 // sent to peers, entries successfully fetched and validated, payloads
-// rejected by hash validation, and probes that found nothing.
+// rejected by hash validation, probes that found nothing, and probes
+// skipped because the peer was already marked down (a dead peer must
+// not stall admission waiting out its timeout).
 type PeerFillStats struct {
 	Probes  int64 `json:"probes"`
 	Fills   int64 `json:"fills"`
 	Rejects int64 `json:"rejects"`
 	Misses  int64 `json:"misses"`
+	Skips   int64 `json:"skips"`
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +255,9 @@ type Job struct {
 	preempt     bool
 	preemptions int
 	enqueuedAt  time.Time
+	// handedTo is the base URL of the ring successor that accepted this
+	// job during a proactive drain (set with state = StateHandedOff).
+	handedTo string
 
 	iter atomic.Int64
 	// beat increments on every solver iteration (unthrottled, unlike
@@ -272,6 +288,7 @@ func (j *Job) metaLocked() *Meta {
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Resumes: j.resumes, Attempts: j.attempts, CrashRuns: j.crashRuns,
 		Incarnation: j.incarnation, Preemptions: j.preemptions,
+		HandedOffTo: j.handedTo,
 	}
 }
 
@@ -305,6 +322,10 @@ type JobStatus struct {
 	// Preemptions is how many times the job was checkpoint-preempted
 	// to yield its worker slot to interactive traffic.
 	Preemptions int `json:"preemptions,omitempty"`
+	// HandedOffTo names the node that accepted this job during a
+	// proactive drain (state handed_off only); the job continues there
+	// under the same id.
+	HandedOffTo string `json:"handedOffTo,omitempty"`
 }
 
 // Status returns a consistent snapshot of the job.
@@ -317,6 +338,7 @@ func (j *Job) Status() *JobStatus {
 		Iter: int(j.iter.Load()), Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Resumes: j.resumes, Attempts: j.attempts, Preemptions: j.preemptions,
+		HandedOffTo: j.handedTo,
 	}
 }
 
@@ -336,6 +358,9 @@ type Counters struct {
 	Preempted/* batch runs checkpoint-preempted for interactive jobs */ atomic.Int64
 	ShedQuota/* submissions refused by a per-tenant admission quota */ atomic.Int64
 	Expired/* jobs failed because their queue deadline passed before dispatch */ atomic.Int64
+	HandoffSent/* queued jobs exported to a ring successor during drain */ atomic.Int64
+	HandoffReceived/* drained jobs admitted from a peer's handoff */ atomic.Int64
+	HandoffFailed/* drain exports no peer accepted (job stays queued in the spool) */ atomic.Int64
 }
 
 // Manager owns the job lifecycle: a tenant-aware scheduler (weighted
@@ -449,7 +474,7 @@ func (m *Manager) recover() error {
 			started: meta.Started, finished: meta.Finished,
 			resumes: meta.Resumes, attempts: meta.Attempts,
 			crashRuns: meta.CrashRuns, incarnation: meta.Incarnation,
-			preemptions: meta.Preemptions,
+			preemptions: meta.Preemptions, handedTo: meta.HandedOffTo,
 		}
 		j.events.Store(newBroker())
 		if meta.State.Terminal() {
@@ -1695,8 +1720,12 @@ func (m *Manager) CachePeek(key cache.Key) ([]byte, bool) {
 // Shutdown drains the pool: no new submissions are accepted, running
 // jobs are cancelled (they stop at the next iteration boundary and
 // stay resumable from their last checkpoint), and workers are awaited
-// until ctx expires. Queued jobs remain queued in the spool and run
-// on the next startup.
+// until ctx expires. With Config.Handoff set the drain is proactive:
+// once the workers have stopped (so every interrupted run has parked
+// queued with its latest checkpoint on disk), each queued job is
+// exported to its ring successor and tombstoned handed_off. Jobs no
+// peer accepts — and all queued jobs when no sender is configured —
+// remain queued in the spool and run on the next startup.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.draining.Store(true)
 	m.pressure.shutdown()
@@ -1742,6 +1771,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
+	// Proactive handoff runs strictly after the workers have stopped:
+	// the drain-requeue path has parked every interrupted run queued
+	// and its last checkpoint rename has completed, so the exported
+	// spool state is exactly what a local resume would see.
+	if m.cfg.Handoff != nil && err == nil {
+		m.handoffQueued(ctx)
+	}
 	// Disconnect any remaining SSE subscribers (queued jobs, and
 	// running jobs that outlived the deadline).
 	m.mu.Lock()
@@ -1783,6 +1819,12 @@ type Metrics struct {
 	Preempted int64 `json:"preempted"`
 	ShedQuota int64 `json:"shedQuota"`
 	Expired   int64 `json:"expired"`
+	// Drain-handoff counters: queued jobs exported to a ring successor
+	// at drain, jobs admitted from a peer's drain, and exports no peer
+	// accepted (those stay queued in the spool).
+	HandoffSent     int64 `json:"handoffSent"`
+	HandoffReceived int64 `json:"handoffReceived"`
+	HandoffFailed   int64 `json:"handoffFailed"`
 	// Tenants is the per-tenant rollup: queue depths, running slots,
 	// lifetime admission/completion/preemption/shed counters, weights
 	// and cumulative queue-wait time.
@@ -1867,6 +1909,9 @@ func (m *Manager) Snapshot() Metrics {
 		Preempted:     m.counters.Preempted.Load(),
 		ShedQuota:     m.counters.ShedQuota.Load(),
 		Expired:       m.counters.Expired.Load(),
+		HandoffSent:     m.counters.HandoffSent.Load(),
+		HandoffReceived: m.counters.HandoffReceived.Load(),
+		HandoffFailed:   m.counters.HandoffFailed.Load(),
 		Tenants:       tenants,
 		QuarantinedNow: quarantined,
 		DiskFreeBytes: m.pressure.diskFreeBytes.Load(),

@@ -25,7 +25,7 @@ import (
 // and test-installed per Store. Registered here so chaos tests can
 // enumerate every spool failure site.
 func init() {
-	for _, base := range []string{"job.json", "problem.txt", "result.json"} {
+	for _, base := range []string{"job.json", "problem.txt", "result.json", "checkpoint.ckpt"} {
 		faults.RegisterWritePoint("spool:write:" + base)
 		faults.RegisterPoint("spool:rename:" + base)
 	}
@@ -209,6 +209,33 @@ func (s *Store) LoadProblem(id string, threads int) (*core.Problem, error) {
 		return nil, fmt.Errorf("server: problem %s: %w", id, err)
 	}
 	return p, nil
+}
+
+// SaveCheckpointBytes persists raw checkpoint bytes atomically — the
+// receiving half of a drain handoff, which transports the sender's
+// checkpoint.ckpt verbatim so the resumed run is bit-identical to one
+// that never moved. (The solver's own checkpoints go through
+// problemio.WriteCheckpointFile instead; both end in an atomic
+// rename, so they never tear each other.)
+func (s *Store) SaveCheckpointBytes(id string, data []byte) error {
+	if err := s.atomicWrite(s.CheckpointPath(id), data); err != nil {
+		return fmt.Errorf("server: checkpoint %s: %w", id, err)
+	}
+	return nil
+}
+
+// LoadCheckpointBytes returns the job's checkpoint.ckpt bytes verbatim
+// (the sending half of a drain handoff); (nil, nil) when no checkpoint
+// has been written yet.
+func (s *Store) LoadCheckpointBytes(id string) ([]byte, error) {
+	data, err := os.ReadFile(s.CheckpointPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: checkpoint %s: %w", id, err)
+	}
+	return data, nil
 }
 
 // LoadCheckpoint reads the job's latest checkpoint; (nil, nil) when no

@@ -10,7 +10,12 @@
 #      affinity: both submissions landed on one owner (submitted=2 on
 #      exactly one backend), the second was a cache hit there, and the
 #      other backend saw nothing
-#   4. kill -9 the owner, resubmit through the router, and verify the
+#   4. proactive drain handoff: put a mid-run job plus a queued job on
+#      the non-owner, SIGTERM it, and verify both jobs move to the
+#      owner (handoff_received >= 2) and complete there; restart the
+#      drained node over its spool and verify the local copies are
+#      handed_off tombstones that never re-run
+#   5. kill -9 the owner, resubmit through the router, and verify the
 #      ring heals: the survivor takes the job (router failover metric
 #      increments) and recomputes the identical objective
 #
@@ -72,7 +77,9 @@ wait_healthy() { # wait_healthy <base>
 poll_done() { # poll_done <base> <id>
     local state=""
     for _ in $(seq 1 150); do
-        state=$(curl -fs "$1/v1/jobs/$2" | json "['state']")
+        # Tolerate transient 404s: a job mid-handoff exists on neither
+        # node for a moment.
+        state=$(curl -fs "$1/v1/jobs/$2" | json "['state']" 2>/dev/null || true)
         [ "$state" = done ] && return 0
         case "$state" in failed|cancelled|numerics)
             echo "job $2 ended $state, wanted done"; exit 1 ;;
@@ -124,8 +131,12 @@ SUB_A=$(node_metric "$NODE_A" netalignd_jobs_submitted_total)
 SUB_B=$(node_metric "$NODE_B" netalignd_jobs_submitted_total)
 if [ "${SUB_A:-0}" = 2 ] && [ "${SUB_B:-0}" = 0 ]; then
     OWNER=$NODE_A; OWNER_PID=$A_PID; OWNER_NAME=A
+    OTHER=$NODE_B; OTHER_PID=$B_PID; OTHER_NAME=B
+    OTHER_ADDR=$BADDR; OTHER_SPOOL="$DIR/spool-b"
 elif [ "${SUB_B:-0}" = 2 ] && [ "${SUB_A:-0}" = 0 ]; then
     OWNER=$NODE_B; OWNER_PID=$B_PID; OWNER_NAME=B
+    OTHER=$NODE_A; OTHER_PID=$A_PID; OTHER_NAME=A
+    OTHER_ADDR=$AADDR; OTHER_SPOOL="$DIR/spool-a"
 else
     echo "submissions split across nodes (A=$SUB_A B=$SUB_B), want both on one owner"
     exit 1
@@ -135,6 +146,46 @@ HITS=$(node_metric "$OWNER" netalignd_cache_hits_total)
 OBJ2=$(curl -fs "$ROUTER/v1/jobs/$ID2/result" | json "['objective']")
 [ "$OBJ2" = "$OBJ" ] || { echo "cached objective $OBJ2 != original $OBJ"; exit 1; }
 echo "   owner is node $OWNER_NAME (submitted=2, hits=$HITS); objective matches"
+
+echo "== drain node $OTHER_NAME with work in flight; jobs must move to node $OWNER_NAME"
+# A mid-run checkpointing job occupies the single worker; a quick job
+# queues behind it. SIGTERM then drains: both export to the peer.
+LONG_SPEC='{"method":"bp","iterations":3000,"batch":1,"approx":true,"threads":1,
+            "progressEvery":1,"checkpointEvery":5,
+            "generator":{"n":120,"dbar":4,"seed":21}}'
+QUEUED_SPEC='{"method":"bp","iterations":20,"approx":true,"threads":1,
+              "generator":{"n":40,"dbar":3,"seed":8}}'
+XID=$(curl -fs -X POST "$OTHER/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$LONG_SPEC" | json "['id']")
+YID=$(curl -fs -X POST "$OTHER/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$QUEUED_SPEC" | json "['id']")
+kill -TERM "$OTHER_PID"
+wait "$OTHER_PID" 2>/dev/null || true
+poll_done "$OWNER" "$XID"
+poll_done "$OWNER" "$YID"
+RECEIVED=$(node_metric "$OWNER" netalignd_handoff_received_total)
+[ "${RECEIVED:-0}" -ge 2 ] || { echo "owner handoff_received_total=$RECEIVED after drain, want >= 2"; exit 1; }
+echo "   jobs $XID, $YID completed on node $OWNER_NAME (handoff_received=$RECEIVED)"
+
+echo "== restart node $OTHER_NAME; handed-off jobs must stay tombstones"
+"$DIR/netalignd" -addr "$OTHER_ADDR" -spool "$OTHER_SPOOL" -workers 1 \
+    -peers "$NODE_A,$NODE_B" -self "$OTHER" >"$DIR/node-$OTHER_NAME-restart.log" 2>&1 &
+OTHER_PID=$!
+PIDS="$PIDS $OTHER_PID"
+disown "$OTHER_PID" 2>/dev/null || true
+wait_healthy "$OTHER"
+XSTATE=$(curl -fs "$OTHER/v1/jobs/$XID" | json "['state']")
+[ "$XSTATE" = handed_off ] || { echo "restarted node shows job $XID as $XSTATE, want handed_off"; exit 1; }
+DEPTH=$(node_metric "$OTHER" netalignd_queue_depth)
+[ "${DEPTH:-0}" = 0 ] || { echo "restarted node queue_depth=$DEPTH, want 0 (tombstones must not requeue)"; exit 1; }
+# Give the router time to re-admit the restarted node to the ring
+# before the failover phase below depends on it.
+for _ in $(seq 1 50); do
+    UP=$(curl -fs "$ROUTER/metrics" | grep -F "netalignrouter_node_up{node=\"$OTHER\"}" | awk '{print $2}')
+    [ "${UP:-0}" = 1 ] && break
+    sleep 0.2
+done
+echo "   job $XID is handed_off on the restarted node; queue empty"
 
 echo "== kill the owner; the ring must heal onto the survivor"
 kill -9 "$OWNER_PID"
