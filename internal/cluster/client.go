@@ -114,6 +114,8 @@ func (c *Client) apiError(resp *http.Response) error {
 		sentinel = server.ErrNotReady
 	case "cache_miss":
 		sentinel = fs.ErrNotExist
+	case "handed_off":
+		sentinel = server.ErrAlreadyHandedOff
 	}
 	if sentinel != nil {
 		return fmt.Errorf("%w: %s (%s)", sentinel, msg, c.Base)

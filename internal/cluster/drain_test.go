@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -216,6 +217,76 @@ func TestRouterHedgedRead(t *testing.T) {
 		if m := metricsBody(t, rt.URL); !strings.Contains(m, wantLine) {
 			t.Errorf("router metrics missing %s", wantLine)
 		}
+	}
+}
+
+// TestRouterFollowsTombstone: with hedging disabled, a status read
+// that lands on a drained node's handed_off tombstone — a 200 the
+// hedge race could never beat — is followed one hop to the node that
+// admitted the job, the owner map is repaired, and the relayed read
+// preserves the client's query string and the backend's response
+// headers, so relayed and proxied reads are indistinguishable.
+func TestRouterFollowsTombstone(t *testing.T) {
+	const id = "00112233aabbccdd"
+	var liveQuery atomic.Value
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		liveQuery.Store(r.URL.RawQuery)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Backend", "live")
+		_ = json.NewEncoder(w).Encode(&server.JobStatus{ID: id, State: server.StateDone})
+	}))
+	defer live.Close()
+	tomb := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&server.JobStatus{
+			ID: id, State: server.StateHandedOff, HandedOffTo: live.URL,
+		})
+	}))
+	defer tomb.Close()
+
+	router, err := NewRouter(RouterConfig{
+		Peers: []string{tomb.URL, live.URL}, ProbeEvery: time.Hour, KeyThreads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := httptest.NewServer(router)
+	defer rt.Close()
+	// The router still believes the drained node owns the job.
+	router.recordOwner(id, normalizeBase(tomb.URL))
+
+	resp, err := http.Get(rt.URL + "/v1/jobs/" + id + "?verbose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || got.State != server.StateDone {
+		t.Fatalf("tombstone-followed read: code %d state %s, want 200 done", resp.StatusCode, got.State)
+	}
+	if h := resp.Header.Get("X-Backend"); h != "live" {
+		t.Errorf("X-Backend header = %q, want %q (response headers must relay verbatim)", h, "live")
+	}
+	if q, _ := liveQuery.Load().(string); q != "verbose=1" {
+		t.Errorf("query reaching backend = %q, want %q", q, "verbose=1")
+	}
+	router.mu.Lock()
+	owner := router.owner[id]
+	router.mu.Unlock()
+	if owner != normalizeBase(live.URL) {
+		t.Errorf("owner map after tombstone follow = %q, want %q", owner, normalizeBase(live.URL))
 	}
 }
 

@@ -245,9 +245,20 @@ func (f *PeerFiller) Handoff(ctx context.Context, h *server.HandoffJob) (string,
 			f.skips.Add(1)
 			continue
 		}
-		if _, err := NewClient(node).Handoff(ctx, h); err != nil {
+		st, err := NewClient(node).Handoff(ctx, h)
+		if err != nil {
 			lastErr = err
 			f.markIfTransport(ctx, node, err)
+			continue
+		}
+		if st != nil && st.State == server.StateHandedOff {
+			// The peer answered its own tombstone for this id — it gave
+			// the job away in an earlier drain and does not own it.
+			// Current nodes refuse such redeliveries outright
+			// (ErrAlreadyHandedOff); this guards against an older peer
+			// that still 202s them. Tombstoning our live copy against
+			// it would leave the job terminal everywhere.
+			lastErr = fmt.Errorf("cluster: %s holds only a handed_off tombstone for job %s", node, h.ID)
 			continue
 		}
 		return node, nil

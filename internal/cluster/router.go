@@ -14,6 +14,7 @@ import (
 	"net/url"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -361,15 +362,15 @@ func (r *Router) resolveOwner(id string) (string, bool) {
 	return found, true
 }
 
-// handleJob proxies any per-job route — status, result, events (SSE),
-// cancel, requeue — raw to the job's owning node. Proxying raw keeps
-// the router transparent: streams, headers and error envelopes pass
-// through untouched. Idempotent GETs (status, result — not the SSE
-// stream) are hedged when HedgeAfter is set: a slow or failed owner
-// read races a second copy sent to the ring successor, and the first
-// success wins. This both cuts read tail latency and heals stale
-// owner mappings after a drain handoff — the hedge finds the job on
-// the node that admitted it.
+// handleJob serves any per-job route. Mutations and the SSE stream
+// (cancel, requeue, events) proxy raw to the job's owning node, so
+// streams, headers and error envelopes pass through untouched.
+// Idempotent GETs (status, result) relay through relayJobGet instead:
+// hedged against the ring successor when HedgeAfter is set, and in
+// either mode following a handed_off tombstone status one hop to the
+// node that admitted the job in a drain — which both cuts read tail
+// latency and heals stale owner mappings even when the drained node
+// is back up and answering its tombstones with 200s.
 func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	node, ok := r.resolveOwner(id)
@@ -377,13 +378,106 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 		writeRouterError(w, http.StatusNotFound, "not_found", "job %s not found on any backend", id)
 		return
 	}
-	if r.hedgeAfter > 0 && req.Method == http.MethodGet && !strings.HasSuffix(req.URL.Path, "/events") {
+	if req.Method == http.MethodGet && !strings.HasSuffix(req.URL.Path, "/events") {
+		r.relayJobGet(w, req, id, node)
+		return
+	}
+	r.proxies[node].ServeHTTP(w, req)
+}
+
+// jobGet issues one per-job GET to a node, preserving the client's
+// path, query string and request headers — a hedged or direct relay
+// read must be indistinguishable from a proxied one to the backend.
+func (r *Router) jobGet(ctx context.Context, req *http.Request, node string) (*http.Response, error) {
+	target := node + req.URL.Path
+	if req.URL.RawQuery != "" {
+		target += "?" + req.URL.RawQuery
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header = req.Header.Clone()
+	return r.httpc.Do(hreq)
+}
+
+// relayJobGet answers an idempotent per-job GET: hedged between the
+// recorded owner and a ring peer when hedging is enabled, a direct
+// owner read otherwise. Both paths finish through finishJobGet, which
+// follows drain tombstones.
+func (r *Router) relayJobGet(w http.ResponseWriter, req *http.Request, id, node string) {
+	if r.hedgeAfter > 0 {
 		if peer, ok := r.hedgePeer(id, node); ok {
 			r.hedgedRelay(w, req, id, node, peer)
 			return
 		}
 	}
-	r.proxies[node].ServeHTTP(w, req)
+	resp, err := r.jobGet(req.Context(), req, node)
+	if err != nil {
+		r.monitor.MarkDown(node)
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			"backend %s unreachable: %v", node, err)
+		return
+	}
+	r.finishJobGet(w, req, id, node, resp)
+}
+
+// finishJobGet relays a per-job GET response, first following a drain
+// tombstone one hop: a 200 on the plain status route whose body says
+// handed_off names the node that admitted the job during the drain,
+// so the router records that node as the owner and re-reads there —
+// the client sees the live job, not the tombstone. One hop only: if
+// the follow-up fails (or points at another tombstone), whatever the
+// hop returned is relayed as-is rather than chasing a chain.
+func (r *Router) finishJobGet(w http.ResponseWriter, req *http.Request, id, node string, resp *http.Response) {
+	target, body, inspected := r.tombstoneTarget(req, resp, id, node)
+	if !inspected {
+		r.relayResponse(w, resp)
+		return
+	}
+	// Inspection consumed the response body into body.
+	resp.Body.Close()
+	if target != "" {
+		r.recordOwner(id, target)
+		if fresh, err := r.jobGet(req.Context(), req, target); err == nil {
+			r.relayResponse(w, fresh)
+			return
+		}
+		r.monitor.MarkDown(target)
+		// Fall through: the tombstone itself is still a truthful answer.
+	}
+	r.relayBuffered(w, resp, body)
+}
+
+// tombstoneTarget decides whether a per-job GET response needs
+// tombstone inspection and, if so, consumes its body: a 200 on the
+// plain status route decoding to a handed_off JobStatus yields the
+// receiving node — normalized, and only when it is a configured peer
+// other than the one that answered (a foreign or self-referential
+// pointer is relayed untouched, never followed). inspected reports
+// that the body was read and must be relayed via relayBuffered.
+func (r *Router) tombstoneTarget(req *http.Request, resp *http.Response, id, node string) (target string, body []byte, inspected bool) {
+	if resp.StatusCode != http.StatusOK || !strings.HasSuffix(req.URL.Path, "/jobs/"+id) {
+		return "", nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// Partially consumed: must relay the buffered prefix, not the
+		// stream.
+		return "", body, true
+	}
+	var st server.JobStatus
+	if json.Unmarshal(body, &st) != nil || st.State != server.StateHandedOff || st.HandedOffTo == "" {
+		return "", body, true
+	}
+	t := normalizeBase(st.HandedOffTo)
+	if t == node {
+		return "", body, true
+	}
+	if _, known := r.clients[t]; !known {
+		return "", body, true
+	}
+	return t, body, true
 }
 
 // hedgePeer picks the hedge target for a job read: the first up node
@@ -421,13 +515,7 @@ func (r *Router) hedgedRelay(w http.ResponseWriter, req *http.Request, id, prima
 	defer cancel()
 	results := make(chan hedgeResult, 2)
 	fire := func(node string, hedge bool) {
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+req.URL.Path, nil)
-		if err != nil {
-			results <- hedgeResult{nil, node, err, hedge}
-			return
-		}
-		hreq.Header = req.Header.Clone()
-		resp, err := r.httpc.Do(hreq)
+		resp, err := r.jobGet(ctx, req, node)
 		results <- hedgeResult{resp, node, err, hedge}
 	}
 	go fire(primary, false)
@@ -457,7 +545,10 @@ func (r *Router) hedgedRelay(w http.ResponseWriter, req *http.Request, id, prima
 					closeHedge(sec)
 				}
 				drainHedge(results, outstanding)
-				r.relayResponse(w, res.resp)
+				// A 2xx winner can still be a drain tombstone (the old
+				// owner is back up and answers its handed_off status
+				// with a 200); finishJobGet follows it to the live job.
+				r.finishJobGet(w, req, id, res.node, res.resp)
 				return
 			}
 			if res.err != nil {
@@ -508,16 +599,39 @@ func closeHedge(res hedgeResult) {
 	}
 }
 
+// hopByHopHeaders are connection-scoped (RFC 9110 §7.6.1) and never
+// forwarded.
+var hopByHopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// copyResponseHeaders copies every end-to-end backend header, so a
+// relayed read carries exactly what a proxied one would.
+func copyResponseHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		dst[k] = append([]string(nil), vv...)
+	}
+	for _, h := range hopByHopHeaders {
+		dst.Del(h)
+	}
+}
+
 // relayResponse streams a backend response to the client.
 func (r *Router) relayResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After"} {
-		if v := resp.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
-		}
-	}
+	copyResponseHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// relayBuffered relays a response whose body was already consumed for
+// tombstone inspection.
+func (r *Router) relayBuffered(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyResponseHeaders(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
 }
 
 // handleList fans the listing out to every up node and merges the

@@ -134,7 +134,24 @@ func (m *Manager) handoffOne(ctx context.Context, j *Job) {
 	j.finished = time.Now()
 	meta := j.metaLocked()
 	j.mu.Unlock()
-	_ = m.store.SaveMeta(meta)
+	if err := m.store.SaveMeta(meta); err != nil {
+		// The tombstone never reached disk: the spool still says
+		// queued, so the next startup will recover and re-run the job
+		// this node just gave away. Roll the in-memory state back to
+		// match the spool rather than publish a terminal state that is
+		// not durable — the duplicate run this risks is bit-identical
+		// (wasted compute, not divergent results), whereas a
+		// memory/disk split would also break every in-process reader.
+		j.mu.Lock()
+		if j.state == StateHandedOff {
+			j.state = StateQueued
+			j.handedTo = ""
+			j.finished = time.Time{}
+		}
+		j.mu.Unlock()
+		m.counters.HandoffFailed.Add(1)
+		return
+	}
 	m.counters.HandoffSent.Add(1)
 	j.publish("state", j.Status())
 	j.closeEvents()
@@ -147,7 +164,9 @@ func (m *Manager) handoffOne(ctx context.Context, j *Job) {
 // persisted verbatim and the checkpoint (when present) installed
 // before the job becomes visible, so the resumed run is bit-identical
 // to one that never moved. Redelivery is idempotent: an id this node
-// already knows returns its current status without admitting twice.
+// already knows returns its current status without admitting twice —
+// unless the local copy is a handed_off tombstone, which is refused
+// with ErrAlreadyHandedOff (see there).
 func (m *Manager) AdmitHandoff(h *HandoffJob) (*JobStatus, error) {
 	if !jobIDPattern.MatchString(h.ID) {
 		return nil, fmt.Errorf("%w: malformed handoff job id %q", ErrBadSpec, h.ID)
@@ -188,7 +207,19 @@ func (m *Manager) AdmitHandoff(h *HandoffJob) (*JobStatus, error) {
 	}
 	if existing, ok := m.jobs[h.ID]; ok {
 		m.mu.Unlock()
-		return existing.Status(), nil
+		st := existing.Status()
+		if st.State == StateHandedOff {
+			// This node only holds a tombstone for the id: it exported
+			// the job in an earlier drain and does not own it. In a
+			// rolling restart the job's ring successor may offer it
+			// right back here; answering 202 would let the sender
+			// tombstone its live copy too — the job terminal on both
+			// nodes, never run. Refuse so the sender tries the next
+			// successor (or keeps the job queued for its own recovery).
+			return nil, fmt.Errorf("%w: job %s was handed off to %s in an earlier drain",
+				ErrAlreadyHandedOff, h.ID, st.HandedOffTo)
+		}
+		return st, nil
 	}
 	tenant := h.Spec.tenantName()
 	if q := m.cfg.TenantQuota; q > 0 && m.sched.depth(tenant) >= q {

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"netalignmc/internal/faults"
 )
 
 // stubSender delivers handoffs straight into a destination manager,
@@ -345,5 +347,112 @@ func TestAdmitHandoffGates(t *testing.T) {
 	}
 	if _, err := drained.AdmitHandoff(&HandoffJob{ID: "ffeeddccbbaa9988", Spec: spec, Problem: problem}); !errors.Is(err, ErrDraining) {
 		t.Errorf("draining node: %v, want ErrDraining", err)
+	}
+}
+
+// TestAdmitHandoffRefusesTombstone pins the rolling-drain ping-pong
+// guard: a node that gave a job away in an earlier drain (and holds
+// only a handed_off tombstone, recovered across a restart) must refuse
+// a handoff of the same id. Accepting would make the current sender
+// tombstone its live copy too, leaving the job terminal on both nodes
+// and never run.
+func TestAdmitHandoffRefusesTombstone(t *testing.T) {
+	recvMgr, _ := newTestServer(t, Config{Workers: 1})
+	sender := &stubSender{dst: recvMgr, node: "http://peer.example"}
+
+	spool := t.TempDir()
+	src, err := NewManager(Config{Spool: spool, Workers: 1, Handoff: sender})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Submit(longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := src.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	sender.mu.Lock()
+	if len(sender.sent) != 1 {
+		sender.mu.Unlock()
+		t.Fatalf("sender saw %d handoffs, want 1", len(sender.sent))
+	}
+	h := sender.sent[0]
+	sender.mu.Unlock()
+
+	// Restart over the drained spool: the tombstone is recovered. The
+	// receiver later drains in turn and offers the job straight back.
+	restarted, err := NewManager(Config{Spool: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = restarted.Shutdown(ctx)
+	})
+	if _, err := restarted.AdmitHandoff(h); !errors.Is(err, ErrAlreadyHandedOff) {
+		t.Fatalf("AdmitHandoff onto tombstone: %v, want ErrAlreadyHandedOff", err)
+	}
+	// A node holding a live copy keeps answering redelivery
+	// idempotently; only tombstones refuse.
+	st, err := recvMgr.AdmitHandoff(h)
+	if err != nil {
+		t.Fatalf("redelivery to live copy refused: %v", err)
+	}
+	if st.State == StateHandedOff {
+		t.Fatalf("live copy reported handed_off")
+	}
+}
+
+// TestHandoffTombstoneWriteFailureStaysQueued: when the handed_off
+// tombstone cannot be persisted, the job must not claim handed_off in
+// memory while the spool still says queued (the next startup would
+// recover and re-run a job the successor owns, with the in-process
+// view disagreeing the whole time). The in-memory state rolls back to
+// queued to match the spool, and the attempt counts as a handoff
+// failure, not a send.
+func TestHandoffTombstoneWriteFailureStaysQueued(t *testing.T) {
+	spool := t.TempDir()
+	src, err := NewManager(Config{Spool: spool, Workers: 1, Handoff: &stubSender{node: "http://peer.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Submit(longSpec()); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	jQueued, err := src.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm a persistent job.json write fault only now — the submissions
+	// above already spooled their records; from here every tombstone
+	// write fails, as a disk dying exactly at drain time would.
+	restore := faults.SetActive(faults.NewPlan(1).WithIO("spool:write:job.json", faults.IOErr, 0))
+	t.Cleanup(restore)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := src.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	m := src.Snapshot()
+	if m.HandoffSent != 0 {
+		t.Errorf("HandoffSent = %d, want 0 (no tombstone reached disk)", m.HandoffSent)
+	}
+	if m.HandoffFailed != 2 {
+		t.Errorf("HandoffFailed = %d, want 2", m.HandoffFailed)
+	}
+	if st := jQueued.Status(); st.State != StateQueued {
+		t.Fatalf("job %s in-memory state = %s, want queued (matching the spool)", jQueued.ID, st.State)
+	}
+	restore()
+	meta, err := src.Store().LoadMeta(jQueued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.State != StateQueued {
+		t.Fatalf("job %s spool state = %s, want queued", jQueued.ID, meta.State)
 	}
 }

@@ -131,6 +131,7 @@ const (
 	errNotQuarantined = "not_quarantined"
 	errCacheMiss      = "cache_miss"
 	errTenantQuota    = "tenant_quota"
+	errHandedOff      = "handed_off"
 )
 
 // CacheSHA256Header carries the hex SHA-256 of a GET /v1/cache/{key}
@@ -533,6 +534,10 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errDiskPressure, "%v", err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, errDraining, "%v", err)
+	case errors.Is(err, ErrAlreadyHandedOff):
+		// This node gave the id away in an earlier drain and only holds
+		// a tombstone; a 202 here would orphan the sender's live copy.
+		writeError(w, http.StatusConflict, errHandedOff, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 	default:

@@ -44,6 +44,13 @@ var (
 	// ErrNotQuarantined: requeue asked for a job that is not in the
 	// quarantined state (409).
 	ErrNotQuarantined = errors.New("server: job is not quarantined")
+	// ErrAlreadyHandedOff: a handoff offered a job id this node holds
+	// only as a handed_off tombstone — it gave the job away in an
+	// earlier drain and does not own it. Accepting would let the
+	// current sender tombstone its live copy too, leaving the job
+	// terminal everywhere and never run; the sender must try the next
+	// ring successor instead (409).
+	ErrAlreadyHandedOff = errors.New("server: job already handed off")
 )
 
 // Config parameterizes a Manager.

@@ -185,7 +185,14 @@ for _ in $(seq 1 50); do
     [ "${UP:-0}" = 1 ] && break
     sleep 0.2
 done
-echo "   job $XID is handed_off on the restarted node; queue empty"
+# A read through the router must never surface the tombstone: the
+# router either resolves the live copy directly or follows the
+# handed_off status one hop to the node that admitted the job.
+RSTATE=$(curl -fs "$ROUTER/v1/jobs/$XID" | json "['state']")
+[ "$RSTATE" = done ] || { echo "router shows job $XID as $RSTATE, want done (tombstone must be followed)"; exit 1; }
+XOBJ=$(curl -fs "$ROUTER/v1/jobs/$XID/result" | json "['objective']")
+[ -n "$XOBJ" ] || { echo "router result read for $XID failed after tombstone follow"; exit 1; }
+echo "   job $XID is handed_off on the restarted node; queue empty; router serves done"
 
 echo "== kill the owner; the ring must heal onto the survivor"
 kill -9 "$OWNER_PID"
